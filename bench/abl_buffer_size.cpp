@@ -1,0 +1,44 @@
+// Ablation: swap-buffer capacity (Section 5 sizes the HR<->LR buffers at 10
+// lines each and reports a worst-case forced-writeback overhead of ~1%).
+// Sweeps the buffer size on write-heavy benchmarks and reports the forced
+// writeback share and IPC.
+//
+//   ./abl_buffer_size [scale=0.4]
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/probe.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sttgpu;
+
+  const Config cfg = Config::from_args(argc, argv);
+  const double scale = cfg.get_double("scale", 0.4);
+  const unsigned sizes[] = {1, 2, 5, 10, 20};
+  const char* benchmarks[] = {"bfs", "kmeans", "histo", "mri-g", "backprop"};
+
+  std::cout << "Ablation: swap-buffer capacity (C1 geometry)\n\n";
+  TextTable table({"benchmark", "buffer", "forced-wb share", "migr blocked", "IPC"});
+
+  for (const char* name : benchmarks) {
+    for (const unsigned lines : sizes) {
+      sttl2::TwoPartBankConfig bank = sim::c1_bank_config();
+      bank.buffer_lines = lines;
+      const sim::TwoPartProbe p = sim::run_two_part(name, bank, scale);
+      const double writes = static_cast<double>(p.counters.get("w_demand"));
+      const double forced = static_cast<double>(p.counters.get("lr_forced_wb") +
+                                                p.counters.get("refresh_forced_wb"));
+      table.add_row({name, std::to_string(lines),
+                     TextTable::fmt_percent(writes > 0 ? forced / writes : 0.0, 2),
+                     std::to_string(p.counters.get("migrations_blocked")),
+                     TextTable::fmt(p.metrics.ipc, 3)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check (paper): 10-line buffers keep the forced-writeback\n"
+               "share around or below ~1% even in the worst case; tiny buffers\n"
+               "block migrations and leak performance.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) of the simulator's hot structures:
+// tag probe, LRU victim selection, Zipf sampling, MTJ model math, warp
+// instruction generation, COV computation, and a full small GPU run.
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_array.hpp"
+#include "cache/write_stats.hpp"
+#include "common/rng.hpp"
+#include "nvm/mtj.hpp"
+#include "sim/runner.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+
+using namespace sttgpu;
+
+void BM_TagProbe(benchmark::State& state) {
+  cache::TagArray tags({64 * 1024, 8, 256}, cache::ReplacementKind::kLru);
+  Rng rng(7);
+  // Warm: fill half the array.
+  for (int i = 0; i < 128; ++i) {
+    const Addr a = rng.next_below(1 << 20) * 256;
+    tags.fill(a, tags.pick_victim(a), 0);
+  }
+  for (auto _ : state) {
+    const Addr a = rng.next_below(1 << 20) * 256;
+    benchmark::DoNotOptimize(tags.probe(a));
+  }
+}
+BENCHMARK(BM_TagProbe);
+
+void BM_LruVictim(benchmark::State& state) {
+  cache::LruPolicy lru(256, static_cast<unsigned>(state.range(0)));
+  std::vector<bool> valid(state.range(0), true);
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lru.victim(rng.next_below(256), valid));
+  }
+}
+BENCHMARK(BM_LruVictim)->Arg(2)->Arg(7)->Arg(8)->Arg(128);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<std::size_t>(state.range(0)), 0.9);
+  Rng rng(13);
+  for (auto _ : state) benchmark::DoNotOptimize(zipf.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(64)->Arg(512);
+
+void BM_MtjModel(benchmark::State& state) {
+  nvm::MtjModel mtj;
+  double delta = 10.0;
+  for (auto _ : state) {
+    delta = delta >= 40.0 ? 10.0 : delta + 0.1;
+    benchmark::DoNotOptimize(mtj.write_pulse_ns(delta));
+    benchmark::DoNotOptimize(mtj.write_energy_nj_per_line(delta));
+  }
+}
+BENCHMARK(BM_MtjModel);
+
+void BM_WarpStream(benchmark::State& state) {
+  const workload::Workload w = workload::make_benchmark("bfs", 1.0);
+  workload::WarpStream stream(w.kernels[0], 3, 1024, 42);
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    if (stream.done()) {
+      state.PauseTiming();
+      stream = workload::WarpStream(w.kernels[0], ++n, 1024, 42);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(stream.next());
+  }
+}
+BENCHMARK(BM_WarpStream);
+
+void BM_WriteVariationCov(benchmark::State& state) {
+  cache::WriteVariationTracker tracker(256, 8);
+  Rng rng(17);
+  for (int i = 0; i < 100000; ++i) {
+    tracker.record_write(rng.next_below(256), static_cast<unsigned>(rng.next_below(8)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.inter_set_cov());
+    benchmark::DoNotOptimize(tracker.intra_set_cov());
+  }
+}
+BENCHMARK(BM_WriteVariationCov);
+
+void BM_FullTinyRun(benchmark::State& state) {
+  for (auto _ : state) {
+    const sim::Metrics m = sim::run_one(sim::Architecture::kC1, "hotspot", 0.05);
+    benchmark::DoNotOptimize(m.ipc);
+  }
+}
+BENCHMARK(BM_FullTinyRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

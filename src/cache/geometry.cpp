@@ -1,0 +1,25 @@
+#include "cache/geometry.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::cache {
+
+CacheGeometry::CacheGeometry(std::uint64_t size_bytes, unsigned associativity,
+                             unsigned line_bytes)
+    : size_bytes_(size_bytes), assoc_(associativity), line_bytes_(line_bytes) {
+  STTGPU_REQUIRE(size_bytes_ > 0, "CacheGeometry: size must be positive");
+  STTGPU_REQUIRE(assoc_ > 0, "CacheGeometry: associativity must be positive");
+  STTGPU_REQUIRE(line_bytes_ > 0 && is_pow2(line_bytes_),
+                 "CacheGeometry: line size must be a power of two");
+  STTGPU_REQUIRE(size_bytes_ % line_bytes_ == 0,
+                 "CacheGeometry: size must be a multiple of line size");
+  const std::uint64_t lines = size_bytes_ / line_bytes_;
+  STTGPU_REQUIRE(lines % assoc_ == 0,
+                 "CacheGeometry: line count must be a multiple of associativity");
+  STTGPU_REQUIRE(assoc_ <= lines, "CacheGeometry: associativity exceeds line count");
+  sets_ = lines / assoc_;
+  offset_bits_ = log2_exact(line_bytes_);
+  pow2_sets_ = is_pow2(sets_);
+}
+
+}  // namespace sttgpu::cache

@@ -1,0 +1,53 @@
+// Cache geometry: size / associativity / line size with the derived
+// index/tag address arithmetic used by every array in the hierarchy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sttgpu::cache {
+
+class CacheGeometry {
+ public:
+  /// Throws SimError on inconsistent parameters (non-power-of-two line,
+  /// capacity not divisible into whole sets, ...).
+  CacheGeometry(std::uint64_t size_bytes, unsigned associativity, unsigned line_bytes);
+
+  std::uint64_t size_bytes() const noexcept { return size_bytes_; }
+  unsigned associativity() const noexcept { return assoc_; }
+  unsigned line_bytes() const noexcept { return line_bytes_; }
+  std::uint64_t num_sets() const noexcept { return sets_; }
+  std::uint64_t num_lines() const noexcept { return sets_ * assoc_; }
+  bool fully_associative() const noexcept { return sets_ == 1; }
+
+  /// Line-aligned base address of @p addr.
+  Addr line_base(Addr addr) const noexcept { return align_down(addr, line_bytes_); }
+
+  /// Set index for @p addr. For a non-power-of-two set count (e.g. a 7-way
+  /// array carved out of a power-of-two capacity) a modulo mapping is used.
+  std::uint64_t set_index(Addr addr) const noexcept {
+    const Addr line = addr >> offset_bits_;
+    return pow2_sets_ ? (line & (sets_ - 1)) : (line % sets_);
+  }
+
+  /// Tag for @p addr: everything above the offset bits except the index is
+  /// folded into a single integer key. Keeping the full line number as the
+  /// tag is exact and avoids aliasing in the model.
+  Addr tag_of(Addr addr) const noexcept { return addr >> offset_bits_; }
+
+  /// Reconstructs a representative byte address from a tag (line number).
+  Addr addr_of_tag(Addr tag) const noexcept { return tag << offset_bits_; }
+
+  unsigned offset_bits() const noexcept { return offset_bits_; }
+
+ private:
+  std::uint64_t size_bytes_;
+  unsigned assoc_;
+  unsigned line_bytes_;
+  std::uint64_t sets_;
+  unsigned offset_bits_;
+  bool pow2_sets_;
+};
+
+}  // namespace sttgpu::cache

@@ -1,0 +1,39 @@
+#include "cache/mshr.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::cache {
+
+MshrFile::MshrFile(unsigned num_entries, unsigned max_merged)
+    : num_entries_(num_entries), max_merged_(max_merged) {
+  STTGPU_REQUIRE(num_entries > 0, "MshrFile: need at least one entry");
+  STTGPU_REQUIRE(max_merged > 0, "MshrFile: need at least one merge slot");
+}
+
+bool MshrFile::can_merge(Addr line_addr) const noexcept {
+  const auto it = entries_.find(line_addr);
+  return it != entries_.end() && it->second.size() < max_merged_;
+}
+
+void MshrFile::allocate(Addr line_addr, RequestId first) {
+  STTGPU_ASSERT_MSG(!full(), "MSHR allocate on full file");
+  STTGPU_ASSERT_MSG(!has_entry(line_addr), "MSHR allocate on existing entry");
+  entries_[line_addr] = {first};
+}
+
+void MshrFile::merge(Addr line_addr, RequestId req) {
+  auto it = entries_.find(line_addr);
+  STTGPU_ASSERT_MSG(it != entries_.end(), "MSHR merge without entry");
+  STTGPU_ASSERT_MSG(it->second.size() < max_merged_, "MSHR merge beyond capacity");
+  it->second.push_back(req);
+}
+
+std::vector<RequestId> MshrFile::release(Addr line_addr) {
+  auto it = entries_.find(line_addr);
+  STTGPU_ASSERT_MSG(it != entries_.end(), "MSHR release without entry");
+  std::vector<RequestId> reqs = std::move(it->second);
+  entries_.erase(it);
+  return reqs;
+}
+
+}  // namespace sttgpu::cache

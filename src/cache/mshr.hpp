@@ -1,0 +1,48 @@
+// Miss Status Holding Registers: merges outstanding misses to the same line
+// and bounds the number of in-flight misses per cache.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace sttgpu::cache {
+
+/// Opaque request handle owned by the caller.
+using RequestId = std::uint64_t;
+
+class MshrFile {
+ public:
+  /// @p num_entries distinct missing lines; @p max_merged requests per line.
+  MshrFile(unsigned num_entries, unsigned max_merged);
+
+  /// True if no new line entry can be allocated.
+  bool full() const noexcept { return entries_.size() >= num_entries_; }
+
+  /// True if @p line_addr already has an entry (a secondary miss can merge).
+  bool has_entry(Addr line_addr) const noexcept { return entries_.count(line_addr) != 0; }
+
+  /// True if @p line_addr has an entry with merge capacity left.
+  bool can_merge(Addr line_addr) const noexcept;
+
+  /// Allocates an entry (primary miss). Precondition: !full() && !has_entry().
+  void allocate(Addr line_addr, RequestId first);
+
+  /// Merges a secondary miss. Precondition: can_merge(line_addr).
+  void merge(Addr line_addr, RequestId req);
+
+  /// Completes the miss: removes the entry and returns all merged requests.
+  std::vector<RequestId> release(Addr line_addr);
+
+  std::size_t outstanding_lines() const noexcept { return entries_.size(); }
+  unsigned capacity() const noexcept { return num_entries_; }
+
+ private:
+  unsigned num_entries_;
+  unsigned max_merged_;
+  std::unordered_map<Addr, std::vector<RequestId>> entries_;
+};
+
+}  // namespace sttgpu::cache

@@ -1,0 +1,144 @@
+#include "cache/replacement.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sttgpu::cache {
+
+unsigned ReplacementPolicy::first_invalid(const std::vector<bool>& valid) {
+  for (unsigned w = 0; w < valid.size(); ++w) {
+    if (!valid[w]) return w;
+  }
+  return static_cast<unsigned>(valid.size());
+}
+
+// ---------------------------------------------------------------- LRU
+
+LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), stamp_(sets * ways, 0) {
+  STTGPU_REQUIRE(sets > 0 && ways > 0, "LruPolicy: empty geometry");
+}
+
+void LruPolicy::on_access(std::uint64_t set, unsigned way) {
+  stamp_[set * ways_ + way] = ++tick_;
+}
+
+void LruPolicy::on_insert(std::uint64_t set, unsigned way) { on_access(set, way); }
+
+void LruPolicy::on_invalidate(std::uint64_t set, unsigned way) {
+  stamp_[set * ways_ + way] = 0;
+}
+
+unsigned LruPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
+  STTGPU_ASSERT(valid.size() == ways_);
+  const unsigned inv = first_invalid(valid);
+  if (inv < ways_) return inv;
+  unsigned best = 0;
+  std::uint64_t best_stamp = stamp_[set * ways_];
+  for (unsigned w = 1; w < ways_; ++w) {
+    const std::uint64_t s = stamp_[set * ways_ + w];
+    if (s < best_stamp) {
+      best_stamp = s;
+      best = w;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- FIFO
+
+FifoPolicy::FifoPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), stamp_(sets * ways, 0) {
+  STTGPU_REQUIRE(sets > 0 && ways > 0, "FifoPolicy: empty geometry");
+}
+
+void FifoPolicy::on_insert(std::uint64_t set, unsigned way) {
+  stamp_[set * ways_ + way] = ++tick_;
+}
+
+void FifoPolicy::on_invalidate(std::uint64_t set, unsigned way) {
+  stamp_[set * ways_ + way] = 0;
+}
+
+unsigned FifoPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
+  STTGPU_ASSERT(valid.size() == ways_);
+  const unsigned inv = first_invalid(valid);
+  if (inv < ways_) return inv;
+  unsigned best = 0;
+  std::uint64_t best_stamp = stamp_[set * ways_];
+  for (unsigned w = 1; w < ways_; ++w) {
+    const std::uint64_t s = stamp_[set * ways_ + w];
+    if (s < best_stamp) {
+      best_stamp = s;
+      best = w;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- Random
+
+RandomPolicy::RandomPolicy(std::uint64_t sets, unsigned ways, std::uint64_t seed)
+    : ways_(ways), rng_(seed) {
+  STTGPU_REQUIRE(sets > 0 && ways > 0, "RandomPolicy: empty geometry");
+}
+
+unsigned RandomPolicy::victim(std::uint64_t /*set*/, const std::vector<bool>& valid) {
+  STTGPU_ASSERT(valid.size() == ways_);
+  const unsigned inv = first_invalid(valid);
+  if (inv < ways_) return inv;
+  return static_cast<unsigned>(rng_.next_below(ways_));
+}
+
+// ---------------------------------------------------------------- Tree PLRU
+
+TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), levels_(log2_exact(ways)), bits_(sets * (ways - 1), false) {
+  STTGPU_REQUIRE(sets > 0 && ways > 1, "TreePlruPolicy: need at least 2 ways");
+  STTGPU_REQUIRE(is_pow2(ways), "TreePlruPolicy: way count must be a power of two");
+}
+
+void TreePlruPolicy::touch(std::uint64_t set, unsigned way) {
+  // Walk root->leaf; at each node, point the bit *away* from the touched way.
+  const std::size_t base = set * (ways_ - 1);
+  unsigned node = 0;
+  for (unsigned level = 0; level < levels_; ++level) {
+    const bool right = (way >> (levels_ - 1 - level)) & 1u;
+    bits_[base + node] = !right;  // bit points to the *less* recently used side
+    node = 2 * node + 1 + (right ? 1 : 0);
+  }
+}
+
+void TreePlruPolicy::on_access(std::uint64_t set, unsigned way) { touch(set, way); }
+void TreePlruPolicy::on_insert(std::uint64_t set, unsigned way) { touch(set, way); }
+void TreePlruPolicy::on_invalidate(std::uint64_t /*set*/, unsigned /*way*/) {}
+
+unsigned TreePlruPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
+  STTGPU_ASSERT(valid.size() == ways_);
+  const unsigned inv = first_invalid(valid);
+  if (inv < ways_) return inv;
+  const std::size_t base = set * (ways_ - 1);
+  unsigned node = 0;
+  unsigned way = 0;
+  for (unsigned level = 0; level < levels_; ++level) {
+    const bool right = bits_[base + node];
+    way = (way << 1) | (right ? 1u : 0u);
+    node = 2 * node + 1 + (right ? 1 : 0);
+  }
+  return way;
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind, std::uint64_t sets,
+                                                    unsigned ways, std::uint64_t seed) {
+  switch (kind) {
+    case ReplacementKind::kLru: return std::make_unique<LruPolicy>(sets, ways);
+    case ReplacementKind::kFifo: return std::make_unique<FifoPolicy>(sets, ways);
+    case ReplacementKind::kRandom: return std::make_unique<RandomPolicy>(sets, ways, seed);
+    case ReplacementKind::kTreePlru: return std::make_unique<TreePlruPolicy>(sets, ways);
+  }
+  throw SimError("make_replacement: unknown kind");
+}
+
+}  // namespace sttgpu::cache

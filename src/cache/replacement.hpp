@@ -1,0 +1,107 @@
+// Replacement policies for set-associative arrays.
+//
+// Policies are stateful per (set, way) and are driven by three events:
+// access (hit), insert (fill), and invalidate. Victim selection prefers an
+// invalid way if the caller says one exists; otherwise the policy picks
+// among valid ways.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace sttgpu::cache {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual void on_access(std::uint64_t set, unsigned way) = 0;
+  virtual void on_insert(std::uint64_t set, unsigned way) = 0;
+  virtual void on_invalidate(std::uint64_t set, unsigned way) = 0;
+
+  /// Chooses a victim way within @p set. @p valid has one flag per way; the
+  /// policy must return an invalid way if any exists.
+  virtual unsigned victim(std::uint64_t set, const std::vector<bool>& valid) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Returns the first invalid way, or ways() if all are valid.
+  static unsigned first_invalid(const std::vector<bool>& valid);
+};
+
+/// True LRU via per-way last-use stamps (works for any associativity).
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint64_t sets, unsigned ways);
+  void on_access(std::uint64_t set, unsigned way) override;
+  void on_insert(std::uint64_t set, unsigned way) override;
+  void on_invalidate(std::uint64_t set, unsigned way) override;
+  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  std::string name() const override { return "lru"; }
+
+ private:
+  unsigned ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> stamp_;  // sets x ways
+};
+
+/// FIFO: victim is the oldest insertion.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  FifoPolicy(std::uint64_t sets, unsigned ways);
+  void on_access(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
+  void on_insert(std::uint64_t set, unsigned way) override;
+  void on_invalidate(std::uint64_t set, unsigned way) override;
+  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  std::string name() const override { return "fifo"; }
+
+ private:
+  unsigned ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<std::uint64_t> stamp_;
+};
+
+/// Uniform-random victim among valid ways (deterministic given the seed).
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint64_t sets, unsigned ways, std::uint64_t seed = 1);
+  void on_access(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
+  void on_insert(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
+  void on_invalidate(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
+  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  unsigned ways_;
+  Rng rng_;
+};
+
+/// Tree pseudo-LRU; requires a power-of-two way count.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::uint64_t sets, unsigned ways);
+  void on_access(std::uint64_t set, unsigned way) override;
+  void on_insert(std::uint64_t set, unsigned way) override;
+  void on_invalidate(std::uint64_t set, unsigned way) override;
+  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  std::string name() const override { return "tree-plru"; }
+
+ private:
+  void touch(std::uint64_t set, unsigned way);
+
+  unsigned ways_;
+  unsigned levels_;
+  std::vector<bool> bits_;  // sets x (ways - 1) tree bits
+};
+
+enum class ReplacementKind { kLru, kFifo, kRandom, kTreePlru };
+
+std::unique_ptr<ReplacementPolicy> make_replacement(ReplacementKind kind, std::uint64_t sets,
+                                                    unsigned ways, std::uint64_t seed = 1);
+
+}  // namespace sttgpu::cache

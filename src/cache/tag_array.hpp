@@ -1,0 +1,71 @@
+// Tag array: storage + lookup for a set-associative structure, decoupled
+// from any particular timing or write policy so both the conventional
+// caches (L1s, SRAM L2) and the two-part STT-RAM L2 can build on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/geometry.hpp"
+#include "cache/replacement.hpp"
+#include "common/types.hpp"
+
+namespace sttgpu::cache {
+
+/// Per-line metadata. The simulator tracks metadata only; data payloads are
+/// not simulated (the paper's questions are about timing/energy, not values).
+struct LineMeta {
+  Addr tag = 0;               ///< full line number (exact, no aliasing)
+  bool valid = false;
+  bool dirty = false;
+  std::uint32_t write_count = 0;   ///< writes since insertion (WWS monitor input)
+  Cycle insert_cycle = 0;
+  Cycle last_write_cycle = kNoCycle;   ///< kNoCycle until first write
+  Cycle retention_deadline = kNoCycle; ///< cycle at which data expires (STT parts)
+};
+
+class TagArray {
+ public:
+  TagArray(const CacheGeometry& geometry, ReplacementKind replacement,
+           std::uint64_t seed = 1);
+
+  const CacheGeometry& geometry() const noexcept { return geom_; }
+
+  /// Finds the way holding @p addr's line, if resident. Does not touch
+  /// replacement state (use touch() on a decided hit).
+  std::optional<unsigned> probe(Addr addr) const noexcept;
+
+  /// Marks (set, way) most-recently-used.
+  void touch(Addr addr, unsigned way);
+
+  /// Picks the victim way for @p addr's set (an invalid way if any).
+  unsigned pick_victim(Addr addr);
+
+  /// Installs @p addr's line into (its set, @p way), overwriting whatever is
+  /// there. Caller is responsible for having handled the previous occupant.
+  LineMeta& fill(Addr addr, unsigned way, Cycle now);
+
+  /// Invalidates (set-of-addr, way).
+  void invalidate(Addr addr, unsigned way);
+
+  LineMeta& line(std::uint64_t set, unsigned way);
+  const LineMeta& line(std::uint64_t set, unsigned way) const;
+
+  /// Valid-bit vector for @p set (for victim selection and tests).
+  std::vector<bool> valid_mask(std::uint64_t set) const;
+
+  /// Number of valid lines across the whole array.
+  std::uint64_t valid_count() const noexcept;
+
+  /// Applies @p fn to every valid line (used by refresh/expiry scans).
+  void for_each_valid(const std::function<void(std::uint64_t set, unsigned way, LineMeta&)>& fn);
+
+ private:
+  CacheGeometry geom_;
+  std::vector<LineMeta> lines_;  // sets x ways
+  std::unique_ptr<ReplacementPolicy> repl_;
+};
+
+}  // namespace sttgpu::cache

@@ -1,0 +1,37 @@
+// A tiny string-keyed configuration store with typed getters.
+//
+// Benches and examples accept "key=value" command-line overrides; this class
+// parses them and hands typed values to the experiment builders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sttgpu {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style "key=value" tokens; unknown tokens throw SimError.
+  static Config from_args(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::map<std::string, std::string>& all() const noexcept { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sttgpu

@@ -1,0 +1,133 @@
+#include "common/json.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+void JsonWriter::before_value() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;
+  }
+  STTGPU_REQUIRE(stack_.empty() || stack_.back() == Scope::kArray,
+                 "JsonWriter: value inside an object requires a key");
+  STTGPU_REQUIRE(!(stack_.empty() && wrote_root_),
+                 "JsonWriter: only one root value allowed");
+  if (!stack_.empty()) {
+    if (!first_in_scope_.back()) *os_ << ',';
+    first_in_scope_.back() = false;
+  }
+  if (stack_.empty()) wrote_root_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  *os_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  STTGPU_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject && !expecting_value_,
+                 "JsonWriter: unbalanced end_object");
+  *os_ << '}';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  *os_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  STTGPU_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray && !expecting_value_,
+                 "JsonWriter: unbalanced end_array");
+  *os_ << ']';
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  STTGPU_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                 "JsonWriter: key outside an object");
+  STTGPU_REQUIRE(!expecting_value_, "JsonWriter: consecutive keys");
+  if (!first_in_scope_.back()) *os_ << ',';
+  first_in_scope_.back() = false;
+  write_escaped(name);
+  *os_ << ':';
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  before_value();
+  if (std::isfinite(d)) {
+    *os_ << d;
+  } else {
+    *os_ << "null";  // JSON has no NaN/Inf
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  before_value();
+  *os_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  before_value();
+  *os_ << u;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  before_value();
+  *os_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  *os_ << "null";
+  return *this;
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  *os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *os_ << "\\\""; break;
+      case '\\': *os_ << "\\\\"; break;
+      case '\n': *os_ << "\\n"; break;
+      case '\r': *os_ << "\\r"; break;
+      case '\t': *os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os_ << buf;
+        } else {
+          *os_ << c;
+        }
+    }
+  }
+  *os_ << '"';
+}
+
+}  // namespace sttgpu

@@ -1,0 +1,67 @@
+// A minimal streaming JSON writer — enough to export run results and figure
+// data for external plotting without pulling in a JSON library.
+//
+// Usage:
+//   JsonWriter w(os);
+//   w.begin_object();
+//   w.key("ipc").value(3.14);
+//   w.key("rows").begin_array();
+//   w.value("bfs").value(42);
+//   w.end_array();
+//   w.end_object();
+//
+// The writer validates nesting (unbalanced begin/end throws) and escapes
+// strings. Output is compact (no pretty printing).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sttgpu {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  /// Destructor checks balance only in tests; incomplete output is the
+  /// caller's bug but must not throw during unwinding.
+  ~JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object and followed by a value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(unsigned u) { return value(static_cast<std::uint64_t>(u)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// True once every begin has been matched by an end.
+  bool complete() const noexcept { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope : unsigned char { kObject, kArray };
+
+  void before_value();
+  void write_escaped(std::string_view s);
+
+  std::ostream* os_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool expecting_value_ = false;  ///< a key was just written
+  bool wrote_root_ = false;
+};
+
+}  // namespace sttgpu

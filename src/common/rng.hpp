@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All simulator randomness flows through Rng so that a (seed, workload)
+// pair always replays the identical address trace — a prerequisite for the
+// paper's architecture comparisons, where every architecture must see the
+// same access stream.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+/// xoshiro256** with splitmix64 seeding. Small, fast, reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      // splitmix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    // Multiply-shift bounded generation (Lemire); bias is negligible for
+    // simulation purposes and the method is branch-free.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability @p p of returning true.
+  bool chance(double p) noexcept { return next_double() < p; }
+
+  /// Geometric-ish exponential variate with the given mean (> 0).
+  double next_exponential(double mean) noexcept {
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999;
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// Precomputed Zipf(s) sampler over {0, .., n-1}. Used to synthesize hot
+/// write-working-sets: a small set of ranks receives most accesses.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    STTGPU_REQUIRE(n > 0, "ZipfSampler: n must be positive");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.next_double();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return lo;
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sttgpu

@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+double StreamStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double StreamStats::cov() const noexcept {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_;
+}
+
+Histogram::Histogram(std::vector<double> upper_edges) : edges_(std::move(upper_edges)) {
+  STTGPU_REQUIRE(!edges_.empty(), "Histogram: need at least one bucket edge");
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    STTGPU_REQUIRE(edges_[i] > edges_[i - 1], "Histogram: edges must be strictly increasing");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double value, std::uint64_t weight) noexcept {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction(std::size_t i) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) sum += counts_[k];
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+double coefficient_of_variation(const std::vector<std::uint64_t>& counts) noexcept {
+  if (counts.empty()) return 0.0;
+  StreamStats s;
+  for (auto c : counts) s.add(static_cast<double>(c));
+  return s.cov();
+}
+
+double geometric_mean(const std::vector<double>& values) noexcept {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::uint64_t CounterSet::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+}  // namespace sttgpu

@@ -1,0 +1,93 @@
+// Statistics plumbing: counters, streaming mean/variance, histograms with
+// user-defined bucket edges, and a coefficient-of-variation helper used for
+// the paper's Figure 3 (inter/intra-set write variation, after i2WAP).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sttgpu {
+
+/// Welford streaming mean / variance accumulator.
+class StreamStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Coefficient of variation (stddev / mean); zero when mean is zero.
+  double cov() const noexcept;
+
+  void reset() noexcept { *this = StreamStats{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over explicit upper-edge buckets plus an implicit overflow
+/// bucket. Edges must be strictly increasing. Example (Fig. 6 buckets):
+///   Histogram h({10e3, 50e3, 100e3, 1e6, 2.5e6});  // ns edges
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void add(double value, std::uint64_t weight = 1) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const noexcept { return counts_[i]; }
+  std::uint64_t overflow() const noexcept { return counts_.back(); }
+  std::uint64_t total() const noexcept { return total_; }
+  double upper_edge(std::size_t i) const noexcept { return edges_[i]; }
+
+  /// Fraction of all samples falling in bucket @p i (0 if empty histogram).
+  double fraction(std::size_t i) const noexcept;
+
+  /// Fraction of samples with value <= edges_[i].
+  double cumulative_fraction(std::size_t i) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> edges_;        // strictly increasing upper edges
+  std::vector<std::uint64_t> counts_;  // edges_.size() + 1 (last = overflow)
+  std::uint64_t total_ = 0;
+};
+
+/// Computes the coefficient of variation of a vector of counts.
+/// Returns 0 when the mean is zero (an all-cold region has no variation).
+double coefficient_of_variation(const std::vector<std::uint64_t>& counts) noexcept;
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometric_mean(const std::vector<double>& values) noexcept;
+
+/// A named bag of integral counters, suitable for dumping after a run.
+class CounterSet {
+ public:
+  std::uint64_t& operator[](const std::string& name) { return counters_[name]; }
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const noexcept { return counters_; }
+  void merge(const CounterSet& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace sttgpu

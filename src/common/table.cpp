@@ -1,0 +1,68 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  STTGPU_REQUIRE(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  STTGPU_REQUIRE(cells.size() == headers_.size(), "TextTable: row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << " |\n";
+  };
+
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::print_csv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace sttgpu

@@ -1,0 +1,33 @@
+// Plain-text table printer used by the bench binaries so that every
+// regenerated paper table/figure prints as an aligned, copy-pasteable grid
+// (plus optional CSV output for plotting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sttgpu {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for row building).
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sttgpu

@@ -1,0 +1,47 @@
+// Fundamental scalar types and small address-math helpers shared by every
+// subsystem of the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace sttgpu {
+
+/// Simulation time in GPU core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Byte address in the (flat) simulated global address space.
+using Addr = std::uint64_t;
+
+/// Sentinel for "no cycle scheduled".
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/// True iff @p v is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Floor of log2 for a non-zero value.
+constexpr unsigned log2_floor(std::uint64_t v) noexcept {
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Exact log2; only meaningful when is_pow2(v).
+constexpr unsigned log2_exact(std::uint64_t v) noexcept { return log2_floor(v); }
+
+/// Round @p v down to a multiple of @p align (align must be a power of two).
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t align) noexcept {
+  return v & ~(align - 1);
+}
+
+/// Round @p v up to a multiple of @p align (align must be a power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Ceiling integer division.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sttgpu

@@ -1,0 +1,62 @@
+// Physical units used throughout the device/power models.
+//
+// Energies are carried in picojoules, times in nanoseconds, power in watts
+// and areas in mm^2. Helper conversion functions keep call sites explicit
+// about which unit they hold, without the syntactic weight of a full
+// dimensional-analysis library.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace sttgpu {
+
+using PicoJoule = double;  ///< dynamic energy quantum
+using NanoSec = double;    ///< latency / pulse width
+using Watt = double;       ///< (leakage) power
+using MilliMeter2 = double;///< silicon area
+
+inline constexpr double kNanoJoulePerPicoJoule = 1e-3;
+
+constexpr PicoJoule nanojoule_to_pj(double nj) noexcept { return nj * 1e3; }
+constexpr double pj_to_nanojoule(PicoJoule pj) noexcept { return pj * 1e-3; }
+
+constexpr double ns_to_seconds(NanoSec ns) noexcept { return ns * 1e-9; }
+constexpr NanoSec seconds_to_ns(double s) noexcept { return s * 1e9; }
+constexpr NanoSec us_to_ns(double us) noexcept { return us * 1e3; }
+constexpr NanoSec ms_to_ns(double ms) noexcept { return ms * 1e6; }
+
+/// Clock domain: converts between wall-clock time and core cycles.
+class Clock {
+ public:
+  constexpr explicit Clock(double freq_hz) noexcept : freq_hz_(freq_hz) {}
+
+  constexpr double frequency_hz() const noexcept { return freq_hz_; }
+  constexpr NanoSec period_ns() const noexcept { return 1e9 / freq_hz_; }
+
+  /// Number of whole cycles that cover @p ns of wall time (rounds up,
+  /// minimum 1 so that no physical latency ever becomes free).
+  constexpr Cycle cycles_for_ns(NanoSec ns) const noexcept {
+    const double c = ns / period_ns();
+    const auto whole = static_cast<Cycle>(c);
+    const Cycle rounded = (static_cast<double>(whole) < c) ? whole + 1 : whole;
+    return rounded == 0 ? 1 : rounded;
+  }
+
+  constexpr NanoSec ns_for_cycles(Cycle c) const noexcept {
+    return static_cast<double>(c) * period_ns();
+  }
+
+  constexpr double seconds_for_cycles(Cycle c) const noexcept {
+    return ns_to_seconds(ns_for_cycles(c));
+  }
+
+ private:
+  double freq_hz_;
+};
+
+/// GTX480-class shader-domain clock used by the whole memory hierarchy model.
+inline constexpr double kDefaultCoreClockHz = 700e6;
+
+}  // namespace sttgpu

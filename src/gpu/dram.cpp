@@ -1,0 +1,69 @@
+#include "gpu/dram.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+DramChannel::DramChannel(const GpuConfig& config, ReadCallback on_read_done)
+    : pipe_(0, config.dram_service_gap),
+      on_read_done_(std::move(on_read_done)),
+      open_page_(config.dram_open_page),
+      row_bytes_(config.dram_row_bytes),
+      miss_latency_(config.dram_latency),
+      hit_latency_(config.dram_row_hit_latency) {
+  STTGPU_REQUIRE(static_cast<bool>(on_read_done_), "DramChannel: callback required");
+  STTGPU_REQUIRE(!open_page_ || is_pow2(row_bytes_),
+                 "DramChannel: row size must be a power of two");
+}
+
+Cycle DramChannel::access_latency(Addr addr) noexcept {
+  if (!open_page_) return miss_latency_;
+  const Addr row = addr / row_bytes_;
+  const bool hit = have_open_row_ && row == open_row_;
+  have_open_row_ = true;
+  open_row_ = row;
+  if (hit) {
+    ++row_hits_;
+    return hit_latency_;
+  }
+  ++row_misses_;
+  return miss_latency_;
+}
+
+void DramChannel::read(Addr addr, std::uint64_t cookie, Cycle now) {
+  // The pipe models bank/bus occupancy (zero latency); the page policy
+  // decides the access latency added on top.
+  const Cycle ready = pipe_.admit(now) + access_latency(addr);
+  pending_.push_back({ready, cookie});
+  ++reads_;
+}
+
+void DramChannel::write(Addr addr, Cycle now) {
+  // Writebacks consume channel bandwidth but need no completion signal.
+  (void)pipe_.admit(now);
+  (void)access_latency(addr);  // they still move the open row
+  ++writes_;
+}
+
+void DramChannel::tick(Cycle now) {
+  // Open-page hits can complete before earlier row misses; scan the small
+  // pending window rather than assuming FIFO completion order.
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].ready <= now) {
+      const Pending p = pending_[i];
+      pending_[i] = pending_.back();
+      pending_.pop_back();
+      on_read_done_(p.cookie, now);
+    } else {
+      ++i;
+    }
+  }
+}
+
+Cycle DramChannel::next_event() const noexcept {
+  Cycle next = kNoCycle;
+  for (const Pending& p : pending_) next = p.ready < next ? p.ready : next;
+  return next;
+}
+
+}  // namespace sttgpu::gpu

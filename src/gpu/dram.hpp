@@ -1,0 +1,71 @@
+// Off-chip DRAM channel model: one channel per memory controller / L2 bank
+// (Table 2: each L2 bank has a point-to-point link to its own controller).
+//
+// Bandwidth is a ThroughputPipe (per-256B service gap); the access latency
+// on top is either a fixed closed-page latency (default) or, in open-page
+// mode, a row-buffer model where hits to the channel's last-activated row
+// are faster. Reads complete with a callback to the owning L2 bank;
+// writebacks are fire and forget (they still consume bandwidth and move the
+// open row).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+#include <functional>
+
+#include "common/types.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/pipe.hpp"
+
+namespace sttgpu::gpu {
+
+class DramChannel {
+ public:
+  using ReadCallback = std::function<void(std::uint64_t cookie, Cycle now)>;
+
+  DramChannel(const GpuConfig& config, ReadCallback on_read_done);
+
+  /// Issues a line read; @p cookie is returned through the callback.
+  void read(Addr addr, std::uint64_t cookie, Cycle now);
+
+  /// Issues a writeback (no completion callback).
+  void write(Addr addr, Cycle now);
+
+  /// Delivers read completions due at or before @p now.
+  void tick(Cycle now);
+
+  /// Next cycle at which this channel has a completion to deliver.
+  Cycle next_event() const noexcept;
+
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t row_hits() const noexcept { return row_hits_; }
+  std::uint64_t row_misses() const noexcept { return row_misses_; }
+  bool idle() const noexcept { return pending_.empty(); }
+
+ private:
+  struct Pending {
+    Cycle ready;
+    std::uint64_t cookie;
+  };
+
+  Cycle access_latency(Addr addr) noexcept;
+
+  ThroughputPipe pipe_;
+  ReadCallback on_read_done_;
+  std::vector<Pending> pending_;  // small unordered window (open-page reorders)
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+
+  // Row-buffer state (open-page mode)
+  bool open_page_ = false;
+  std::uint64_t row_bytes_ = 2048;
+  Cycle miss_latency_ = 220;
+  Cycle hit_latency_ = 140;
+  bool have_open_row_ = false;
+  Addr open_row_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+};
+
+}  // namespace sttgpu::gpu

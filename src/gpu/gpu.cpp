@@ -1,0 +1,164 @@
+#include "gpu/gpu.hpp"
+
+#include "common/error.hpp"
+#include "gpu/occupancy.hpp"
+
+namespace sttgpu::gpu {
+
+namespace {
+/// Hard ceiling against livelock bugs; far above any expected run length.
+constexpr Cycle kMaxCycles = 2'000'000'000;
+}  // namespace
+
+Gpu::Gpu(const GpuConfig& config, L2BankFactory& l2_factory)
+    : config_(config), factory_(&l2_factory), icnt_(config_) {
+  banks_.resize(config_.num_l2_banks);
+  dram_.reserve(config_.num_l2_banks);
+  for (unsigned b = 0; b < config_.num_l2_banks; ++b) {
+    dram_.push_back(std::make_unique<DramChannel>(
+        config_, [this, b](std::uint64_t cookie, Cycle now) {
+          banks_[b]->on_dram_read_done(cookie, now);
+        }));
+  }
+  for (unsigned b = 0; b < config_.num_l2_banks; ++b) {
+    banks_[b] = l2_factory.make_bank(b, *dram_[b]);
+    STTGPU_REQUIRE(banks_[b] != nullptr, "L2BankFactory returned a null bank");
+  }
+  sms_.reserve(config_.num_sms);
+  senders_.reserve(config_.num_sms);
+  for (unsigned s = 0; s < config_.num_sms; ++s) {
+    sms_.push_back(std::make_unique<Sm>(s, config_, /*seed=*/1000 + s));
+    senders_.push_back([this, s](Addr addr, bool is_store) -> std::uint64_t {
+      const std::uint64_t id = next_request_id_++;
+      L2Request req;
+      req.id = id;
+      req.addr = addr;
+      req.is_store = is_store;
+      req.sm_id = s;
+      req.created = now_;
+      icnt_.send_request(bank_of(addr), req, now_);
+      return id;
+    });
+  }
+}
+
+unsigned Gpu::bank_of(Addr addr) const noexcept {
+  return static_cast<unsigned>((addr / config_.l2_line_bytes) % config_.num_l2_banks);
+}
+
+void Gpu::step() {
+  // Memory side first so that this cycle's completions can wake warps.
+  for (unsigned b = 0; b < banks_.size(); ++b) {
+    icnt_.deliver_requests(
+        b, now_, [&] { return banks_[b]->accepting(); },
+        [&](const L2Request& req) { banks_[b]->enqueue(req, now_); });
+  }
+  for (auto& d : dram_) d->tick(now_);
+  for (auto& bank : banks_) bank->tick(now_);
+  response_scratch_.clear();
+  for (auto& bank : banks_) bank->drain_responses(now_, response_scratch_);
+  for (const L2Response& resp : response_scratch_) icnt_.send_response(resp, now_);
+
+  for (unsigned s = 0; s < sms_.size(); ++s) {
+    icnt_.deliver_responses(s, now_, [&](const L2Response& resp) {
+      sms_[s]->on_response(resp, now_, senders_[s]);
+    });
+    sms_[s]->cycle(now_, senders_[s]);
+  }
+  ++now_;
+}
+
+bool Gpu::memory_idle() const {
+  if (!icnt_.idle()) return false;
+  for (const auto& bank : banks_) {
+    if (!bank->idle()) return false;
+  }
+  for (const auto& d : dram_) {
+    if (!d->idle()) return false;
+  }
+  for (const auto& sm : sms_) {
+    if (sm->inflight() != 0) return false;
+  }
+  return true;
+}
+
+void Gpu::drain_memory() {
+  while (!memory_idle()) {
+    step();
+    STTGPU_REQUIRE(now_ < kMaxCycles, "Gpu: memory drain exceeded the cycle ceiling");
+  }
+}
+
+void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
+  const Occupancy occ = compute_occupancy(kernel, config_);
+
+  std::vector<std::deque<unsigned>> queues(config_.num_sms);
+  for (unsigned blk = 0; blk < kernel.grid_blocks; ++blk) {
+    queues[blk % config_.num_sms].push_back(blk);
+  }
+  const std::uint64_t warps_in_grid =
+      static_cast<std::uint64_t>(kernel.grid_blocks) * kernel.warps_per_block();
+  for (unsigned s = 0; s < config_.num_sms; ++s) {
+    sms_[s]->start_kernel(kernel, std::move(queues[s]), occ.blocks_per_sm, warps_in_grid,
+                          seed);
+  }
+
+  const auto all_done = [&] {
+    for (const auto& sm : sms_) {
+      if (!sm->kernel_done()) return false;
+    }
+    return true;
+  };
+  // Check completion periodically; the check itself is O(SMs).
+  while (true) {
+    for (int i = 0; i < 64; ++i) {
+      step();
+    }
+    STTGPU_REQUIRE(now_ < kMaxCycles, "Gpu: kernel exceeded the cycle ceiling");
+    if (all_done()) break;
+  }
+
+  // Inter-kernel boundary: L1s are flushed (no coherence across launches).
+  for (unsigned s = 0; s < config_.num_sms; ++s) sms_[s]->flush_l1(now_, senders_[s]);
+  drain_memory();
+}
+
+RunResult Gpu::run(const workload::Workload& workload) {
+  STTGPU_REQUIRE(!workload.kernels.empty(), "Gpu::run: workload has no kernels");
+
+  for (std::size_t k = 0; k < workload.kernels.size(); ++k) {
+    run_kernel(workload.kernels[k], workload.seed + 0x1000 * (k + 1));
+  }
+
+  RunResult r;
+  r.cycles = now_;
+  for (const auto& sm : sms_) {
+    r.instructions += sm->stats().issued_instructions;
+    r.sm.issued_instructions += sm->stats().issued_instructions;
+    r.sm.issued_loads += sm->stats().issued_loads;
+    r.sm.issued_stores += sm->stats().issued_stores;
+    r.sm.load_transactions += sm->stats().load_transactions;
+    r.sm.store_transactions += sm->stats().store_transactions;
+    r.sm.idle_cycles += sm->stats().idle_cycles;
+    r.sm.stall_cycles += sm->stats().stall_cycles;
+    r.sm.mshr_merges += sm->stats().mshr_merges;
+    r.l1d_hits += sm->l1().data_counters().load_hits;
+    r.l1d_misses += sm->l1().data_counters().load_misses;
+  }
+  r.ipc = r.cycles ? static_cast<double>(r.instructions) / static_cast<double>(r.cycles)
+                   : 0.0;
+  r.runtime_s = config_.clock().seconds_for_cycles(r.cycles);
+  for (const auto& bank : banks_) {
+    r.l2.merge(bank->stats());
+    r.l2_leakage_w += bank->leakage_w();
+    r.l2_energy.merge(bank->energy());
+    factory_->collect(*bank, r.l2_counters);
+  }
+  for (const auto& d : dram_) {
+    r.dram_reads += d->reads();
+    r.dram_writes += d->writes();
+  }
+  return r;
+}
+
+}  // namespace sttgpu::gpu

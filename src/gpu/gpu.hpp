@@ -1,0 +1,91 @@
+// Top-level GPU: SM cluster + interconnect + pluggable L2 banks + DRAM
+// channels, executing a Workload's kernels sequentially and reporting the
+// performance/energy metrics the paper's evaluation uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/dram.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/interconnect.hpp"
+#include "gpu/l2_bank.hpp"
+#include "gpu/sm.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace sttgpu::gpu {
+
+/// Everything a run produces.
+struct RunResult {
+  Cycle cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;
+  double runtime_s = 0.0;
+
+  L2BankStats l2;              ///< merged across banks
+  Watt l2_leakage_w = 0.0;     ///< summed across banks
+  CounterSet l2_counters;      ///< implementation-specific bank counters
+  power::EnergyLedger l2_energy;  ///< merged dynamic-energy ledger
+
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+
+  std::uint64_t l1d_hits = 0;
+  std::uint64_t l1d_misses = 0;
+
+  SmStats sm;                  ///< merged across SMs
+};
+
+/// Factory that builds one L2 bank. @p dram is the bank's private channel;
+/// implementations must deliver their DRAM read completions through it and
+/// accept them via L2Bank-internal callbacks (see sttl2::BankDramPort).
+class L2BankFactory {
+ public:
+  virtual ~L2BankFactory() = default;
+  virtual std::unique_ptr<L2Bank> make_bank(unsigned bank_id, DramChannel& dram) = 0;
+  /// Extra counters the implementation wants surfaced in RunResult.
+  virtual void collect(const L2Bank& bank, CounterSet& out) const {
+    (void)bank;
+    (void)out;
+  }
+};
+
+class Gpu {
+ public:
+  Gpu(const GpuConfig& config, L2BankFactory& l2_factory);
+
+  /// Runs all kernels of @p workload to completion; cumulative across calls
+  /// is not supported — construct a fresh Gpu per run.
+  RunResult run(const workload::Workload& workload);
+
+  /// Direct access for tests / benches needing implementation details.
+  L2Bank& bank(unsigned i) { return *banks_[i]; }
+  unsigned num_banks() const noexcept { return static_cast<unsigned>(banks_.size()); }
+  const GpuConfig& config() const noexcept { return config_; }
+
+ private:
+  void run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed);
+  void drain_memory();
+  bool memory_idle() const;
+  void step();  ///< advance one cycle
+
+  unsigned bank_of(Addr addr) const noexcept;
+
+  GpuConfig config_;
+  L2BankFactory* factory_;
+  Interconnect icnt_;
+  std::vector<std::unique_ptr<DramChannel>> dram_;
+  std::vector<std::unique_ptr<L2Bank>> banks_;
+  std::vector<std::unique_ptr<Sm>> sms_;
+
+  Cycle now_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<L2Response> response_scratch_;
+  std::vector<SendTxnFn> senders_;  ///< one bound sender per SM
+};
+
+}  // namespace sttgpu::gpu

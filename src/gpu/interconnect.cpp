@@ -1,0 +1,46 @@
+#include "gpu/interconnect.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+Interconnect::Interconnect(const GpuConfig& config) {
+  STTGPU_REQUIRE(config.num_l2_banks > 0 && config.num_sms > 0,
+                 "Interconnect: need at least one SM and one bank");
+  to_bank_.reserve(config.num_l2_banks);
+  for (unsigned b = 0; b < config.num_l2_banks; ++b) {
+    to_bank_.emplace_back(config.icnt_latency, config.icnt_service_gap);
+  }
+  to_sm_.reserve(config.num_sms);
+  for (unsigned s = 0; s < config.num_sms; ++s) {
+    to_sm_.emplace_back(config.icnt_latency, config.icnt_service_gap);
+  }
+  request_q_.resize(config.num_l2_banks);
+  response_q_.resize(config.num_sms);
+}
+
+void Interconnect::send_request(unsigned bank, const L2Request& request, Cycle now) {
+  STTGPU_ASSERT(bank < to_bank_.size());
+  const Cycle arrival = to_bank_[bank].admit(now);
+  request_q_[bank].push_back({arrival, request});
+  ++request_flits_;
+}
+
+void Interconnect::send_response(const L2Response& response, Cycle now) {
+  STTGPU_ASSERT(response.sm_id < to_sm_.size());
+  const Cycle arrival = to_sm_[response.sm_id].admit(now);
+  response_q_[response.sm_id].push_back({arrival, response});
+  ++response_flits_;
+}
+
+bool Interconnect::idle() const noexcept {
+  for (const auto& q : request_q_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& q : response_q_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace sttgpu::gpu

@@ -1,0 +1,78 @@
+// On-chip interconnect between the SM clusters and the L2 banks.
+//
+// The paper's configuration uses a butterfly network; at the abstraction
+// level of this simulator what matters is per-port bandwidth and pipeline
+// latency, so each direction is modelled as a ThroughputPipe per L2-bank
+// port (requests) and per SM port (responses), plus FIFO delivery queues
+// with backpressure toward the banks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/pipe.hpp"
+#include "gpu/request.hpp"
+
+namespace sttgpu::gpu {
+
+class Interconnect {
+ public:
+  explicit Interconnect(const GpuConfig& config);
+
+  /// SM -> bank direction. The network itself always accepts (the SM-side
+  /// credit system bounds in-flight traffic); delivery to a bank is gated
+  /// by the bank's accepting() via deliver_requests().
+  void send_request(unsigned bank, const L2Request& request, Cycle now);
+
+  /// Pops requests that have arrived at @p bank by @p now, while @p accepting
+  /// allows; returns them in arrival order.
+  template <typename AcceptFn, typename DeliverFn>
+  void deliver_requests(unsigned bank, Cycle now, AcceptFn&& accepting,
+                        DeliverFn&& deliver) {
+    auto& q = request_q_[bank];
+    while (!q.empty() && q.front().arrival <= now && accepting()) {
+      deliver(q.front().req);
+      q.pop_front();
+    }
+  }
+
+  /// Bank -> SM direction.
+  void send_response(const L2Response& response, Cycle now);
+
+  /// Pops responses that have arrived at SM @p sm by @p now.
+  template <typename DeliverFn>
+  void deliver_responses(unsigned sm, Cycle now, DeliverFn&& deliver) {
+    auto& q = response_q_[sm];
+    while (!q.empty() && q.front().arrival <= now) {
+      deliver(q.front().resp);
+      q.pop_front();
+    }
+  }
+
+  bool idle() const noexcept;
+
+  std::uint64_t request_flits() const noexcept { return request_flits_; }
+  std::uint64_t response_flits() const noexcept { return response_flits_; }
+
+ private:
+  struct TimedRequest {
+    Cycle arrival;
+    L2Request req;
+  };
+  struct TimedResponse {
+    Cycle arrival;
+    L2Response resp;
+  };
+
+  std::vector<ThroughputPipe> to_bank_;
+  std::vector<ThroughputPipe> to_sm_;
+  std::vector<std::deque<TimedRequest>> request_q_;    // per bank
+  std::vector<std::deque<TimedResponse>> response_q_;  // per SM
+  std::uint64_t request_flits_ = 0;
+  std::uint64_t response_flits_ = 0;
+};
+
+}  // namespace sttgpu::gpu

@@ -1,0 +1,104 @@
+#include "gpu/l1_complex.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+namespace {
+
+cache::CacheGeometry l1d_geom(const GpuConfig& c) {
+  return {c.l1d_size, c.l1d_assoc, c.l1d_line};
+}
+cache::CacheGeometry l1c_geom(const GpuConfig& c) {
+  return {c.l1c_size, c.l1c_assoc, c.l1d_line};
+}
+cache::CacheGeometry l1t_geom(const GpuConfig& c) {
+  return {c.l1t_size, c.l1t_assoc, c.l1t_line};
+}
+
+cache::CachePolicies writeback_policies() {
+  // Local-data policy; loads always allocate.
+  return {cache::WriteHitPolicy::kWriteBack, cache::WriteMissPolicy::kAllocate,
+          cache::ReplacementKind::kLru};
+}
+
+}  // namespace
+
+L1Complex::L1Complex(const GpuConfig& config, std::uint64_t seed)
+    : l1d_(l1d_geom(config), writeback_policies(), seed),
+      l1c_(l1c_geom(config), writeback_policies(), seed + 1),
+      l1t_(l1t_geom(config), writeback_policies(), seed + 2) {}
+
+cache::SetAssocCache& L1Complex::cache_for(workload::MemSpace space) {
+  switch (space) {
+    case workload::MemSpace::kConstant: return l1c_;
+    case workload::MemSpace::kTexture: return l1t_;
+    default: return l1d_;
+  }
+}
+
+L1Outcome L1Complex::access(Addr addr, workload::WarpInstr::Kind kind,
+                            workload::MemSpace space, Cycle now) {
+  using Kind = workload::WarpInstr::Kind;
+  L1Outcome out;
+  cache::SetAssocCache& c = cache_for(space);
+
+  if (kind == Kind::kLoad) {
+    // Loads allocate on miss once the fill returns; the access here only
+    // decides hit/miss (the fill happens via fill() on response).
+    if (c.contains(addr)) {
+      const auto r = c.access(addr, cache::AccessKind::kLoad, now);
+      STTGPU_ASSERT(r.hit);
+      out.hit = true;
+      return out;
+    }
+    // Count the miss without perturbing the array until the line returns.
+    out.send_read = true;
+    (void)c.counters();  // miss is recorded on fill()
+    return out;
+  }
+
+  // Stores.
+  STTGPU_ASSERT(kind == Kind::kStore);
+  if (space == workload::MemSpace::kGlobal) {
+    // Fig. 1b: write-evict on hit, write-no-allocate on miss; both forward.
+    (void)c.invalidate_line(addr);  // global lines are never dirty in L1
+    out.send_write = true;
+    return out;
+  }
+
+  // Local data: write-back, write-allocate (no fetch-on-write: the model
+  // treats a local store miss as allocating the line directly).
+  const auto r = c.access(addr, cache::AccessKind::kStore, now);
+  out.hit = r.hit;
+  if (r.writeback) out.writebacks.push_back(r.writeback_addr);
+  return out;
+}
+
+void L1Complex::fill(Addr addr, workload::MemSpace space, Cycle now,
+                     std::vector<Addr>& writebacks) {
+  cache::SetAssocCache& c = cache_for(space);
+  // Record the load miss in the counters via a regular access, then the
+  // resulting fill happens inside access() itself (allocate-on-miss).
+  const auto r = c.access(addr, cache::AccessKind::kLoad, now);
+  if (r.writeback) writebacks.push_back(r.writeback_addr);
+}
+
+std::vector<Addr> L1Complex::flush() {
+  std::vector<Addr> dirty;
+  for (cache::SetAssocCache* c : {&l1d_, &l1c_, &l1t_}) {
+    std::vector<std::pair<std::uint64_t, unsigned>> valid;
+    c->tags().for_each_valid([&](std::uint64_t set, unsigned way, cache::LineMeta& line) {
+      if (line.dirty) dirty.push_back(c->geometry().addr_of_tag(line.tag));
+      valid.emplace_back(set, way);
+      (void)way;
+    });
+    for (const auto& [set, way] : valid) {
+      const cache::LineMeta& line = c->tags().line(set, way);
+      if (line.valid) c->tags().invalidate(c->geometry().addr_of_tag(line.tag), way);
+    }
+  }
+  return dirty;
+}
+
+}  // namespace sttgpu::gpu

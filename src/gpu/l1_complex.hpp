@@ -1,0 +1,60 @@
+// Per-SM first-level cache complex: L1 data cache plus the read-only
+// constant and texture caches, with the GPU write policies of the paper's
+// Figure 1b:
+//
+//   * global-data store, L1 hit  -> write-evict (invalidate, forward to L2);
+//   * global-data store, L1 miss -> write-no-allocate (forward to L2);
+//   * local-data accesses        -> write-back, write-allocate;
+//   * constant/texture           -> read-only allocate-on-miss.
+//
+// L1s are not coherent (paper Section 2); nothing here needs invalidation
+// traffic. The class is purely functional — the SM attaches timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "gpu/gpu_config.hpp"
+#include "workload/kernel.hpp"
+
+namespace sttgpu::gpu {
+
+/// What one L1 transaction requires from the rest of the hierarchy.
+struct L1Outcome {
+  bool hit = false;        ///< satisfied locally (loads only)
+  bool send_read = false;  ///< fetch this line from L2
+  bool send_write = false; ///< forward a store to L2
+  /// Dirty local lines displaced by this operation (write them to L2).
+  std::vector<Addr> writebacks;
+};
+
+class L1Complex {
+ public:
+  L1Complex(const GpuConfig& config, std::uint64_t seed);
+
+  /// One 128B (64B for texture) transaction against the right cache.
+  L1Outcome access(Addr addr, workload::WarpInstr::Kind kind, workload::MemSpace space,
+                   Cycle now);
+
+  /// Installs a returned miss line; appends dirty evictions to @p writebacks.
+  void fill(Addr addr, workload::MemSpace space, Cycle now, std::vector<Addr>& writebacks);
+
+  /// End-of-kernel flush: invalidates everything, returning dirty local
+  /// lines that must be written back to L2.
+  std::vector<Addr> flush();
+
+  const cache::CacheCounters& data_counters() const noexcept { return l1d_.counters(); }
+  const cache::CacheCounters& const_counters() const noexcept { return l1c_.counters(); }
+  const cache::CacheCounters& texture_counters() const noexcept { return l1t_.counters(); }
+
+ private:
+  cache::SetAssocCache& cache_for(workload::MemSpace space);
+
+  cache::SetAssocCache l1d_;
+  cache::SetAssocCache l1c_;
+  cache::SetAssocCache l1t_;
+};
+
+}  // namespace sttgpu::gpu

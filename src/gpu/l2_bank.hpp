@@ -1,0 +1,56 @@
+// Abstract interface every L2 bank implementation plugs into the GPU.
+//
+// Implementations (src/sttl2):
+//   * UniformL2Bank  — conventional single-array bank; with SRAM cells it is
+//     the paper's SRAM baseline, with 10-year STT cells the naive "STT-RAM
+//     baseline" (4x capacity);
+//   * TwoPartL2Bank  — the paper's proposed LR + HR architecture.
+//
+// Contract: the GPU pushes requests with enqueue() when accepting() is
+// true, calls tick(now) once per simulated cycle, and drains completed
+// responses. Banks talk to their private DRAM channel directly (injected at
+// construction) and charge dynamic energy to the injected EnergyLedger.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/request.hpp"
+#include "power/energy.hpp"
+
+namespace sttgpu::gpu {
+
+class L2Bank {
+ public:
+  virtual ~L2Bank() = default;
+
+  /// True while the bank's input queue has room.
+  virtual bool accepting() const = 0;
+
+  /// Hands the bank a request (precondition: accepting()).
+  virtual void enqueue(const L2Request& request, Cycle now) = 0;
+
+  /// Advances internal state to @p now (process input, fills, refresh, ...).
+  virtual void tick(Cycle now) = 0;
+
+  /// Appends responses that completed at or before @p now to @p out.
+  virtual void drain_responses(Cycle now, std::vector<L2Response>& out) = 0;
+
+  /// Completion callback for a DRAM line read the bank issued on its
+  /// private channel (wired up by the GPU at construction).
+  virtual void on_dram_read_done(std::uint64_t cookie, Cycle now) = 0;
+
+  /// True when the bank holds no in-flight work (used for run termination).
+  virtual bool idle() const = 0;
+
+  virtual const L2BankStats& stats() const = 0;
+
+  /// Dynamic energy charged by this bank during the run.
+  virtual const power::EnergyLedger& energy() const = 0;
+
+  /// Static leakage of this bank's arrays (for the total-power report).
+  virtual Watt leakage_w() const = 0;
+};
+
+}  // namespace sttgpu::gpu

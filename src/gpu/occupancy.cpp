@@ -1,0 +1,50 @@
+#include "gpu/occupancy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+Occupancy compute_occupancy(const workload::KernelSpec& kernel, const GpuConfig& config) {
+  STTGPU_REQUIRE(kernel.threads_per_block > 0 &&
+                     kernel.threads_per_block % config.warp_size == 0,
+                 "occupancy: threads_per_block must be a positive multiple of the warp size");
+
+  const unsigned by_threads = config.max_threads_per_sm / kernel.threads_per_block;
+  const unsigned by_blocks = config.max_blocks_per_sm;
+
+  const std::uint64_t regs_per_block =
+      static_cast<std::uint64_t>(kernel.regs_per_thread) * kernel.threads_per_block;
+  const unsigned by_regs =
+      regs_per_block == 0
+          ? config.max_blocks_per_sm
+          : static_cast<unsigned>(config.registers_per_sm / regs_per_block);
+
+  const unsigned by_shared =
+      kernel.shared_bytes_per_block == 0
+          ? config.max_blocks_per_sm
+          : config.shared_mem_per_sm / kernel.shared_bytes_per_block;
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::min({by_threads, by_blocks, by_regs, by_shared});
+  STTGPU_REQUIRE(occ.blocks_per_sm >= 1,
+                 "occupancy: kernel '" + kernel.name + "' does not fit on an SM");
+
+  if (occ.blocks_per_sm == by_regs) occ.limiter = "registers";
+  else if (occ.blocks_per_sm == by_threads) occ.limiter = "threads";
+  else if (occ.blocks_per_sm == by_blocks) occ.limiter = "blocks";
+  else occ.limiter = "shared";
+
+  // Cap resident warps at the scheduler's limit.
+  const unsigned warps_per_block = kernel.warps_per_block();
+  while (occ.blocks_per_sm * warps_per_block > config.max_warps_per_sm &&
+         occ.blocks_per_sm > 1) {
+    --occ.blocks_per_sm;
+    occ.limiter = "warp-slots";
+  }
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  return occ;
+}
+
+}  // namespace sttgpu::gpu

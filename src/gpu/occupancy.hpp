@@ -1,0 +1,25 @@
+// CUDA-style occupancy calculation: how many thread blocks of a kernel fit
+// on one SM given its register file, shared memory, thread and block limits.
+//
+// This is the mechanism behind the paper's C2/C3 configurations: spending
+// the area saved by STT-RAM density on a larger register file raises the
+// per-SM block count of register-limited kernels, adding warps that hide
+// memory latency.
+#pragma once
+
+#include "gpu/gpu_config.hpp"
+#include "workload/kernel.hpp"
+
+namespace sttgpu::gpu {
+
+struct Occupancy {
+  unsigned blocks_per_sm = 0;
+  unsigned warps_per_sm = 0;
+  /// Which resource bound first ("registers", "threads", "blocks", "shared").
+  const char* limiter = "";
+};
+
+/// Computes occupancy; throws SimError if even a single block does not fit.
+Occupancy compute_occupancy(const workload::KernelSpec& kernel, const GpuConfig& config);
+
+}  // namespace sttgpu::gpu

@@ -1,0 +1,38 @@
+// ThroughputPipe: the analytic queue primitive used to model every
+// bandwidth-limited, fixed-latency resource (interconnect ports, DRAM
+// channels). A transaction entering at time t departs at
+//
+//     depart = max(next_free, t) + latency,   next_free += service_gap
+//
+// i.e. the resource serves one transaction per `service_gap` cycles and adds
+// `latency` cycles of pipeline delay. Departures are monotone in arrival
+// order, which downstream FIFOs rely on.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace sttgpu::gpu {
+
+class ThroughputPipe {
+ public:
+  ThroughputPipe(Cycle latency, Cycle service_gap);
+
+  /// Admits a transaction arriving at @p now; returns its departure cycle.
+  Cycle admit(Cycle now) noexcept;
+
+  /// Earliest cycle at which a transaction arriving at @p now would depart.
+  Cycle peek_departure(Cycle now) const noexcept;
+
+  /// Cycles of queueing delay a transaction arriving at @p now would see.
+  Cycle backlog(Cycle now) const noexcept;
+
+  std::uint64_t admitted() const noexcept { return admitted_; }
+
+ private:
+  Cycle latency_;
+  Cycle gap_;
+  Cycle next_free_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace sttgpu::gpu

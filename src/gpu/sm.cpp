@@ -1,0 +1,289 @@
+#include "gpu/sm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+using workload::MemSpace;
+using workload::WarpInstr;
+
+namespace {
+/// Cycles from "last awaited response arrived" to the warp being schedulable.
+constexpr Cycle kWakeLatency = 4;
+}  // namespace
+
+Sm::Sm(unsigned id, const GpuConfig& config, std::uint64_t seed)
+    : id_(id), config_(&config), seed_(seed), l1_(config, seed * 7919 + id) {}
+
+void Sm::start_kernel(const workload::KernelSpec& kernel, std::deque<unsigned> block_queue,
+                      unsigned resident_blocks, std::uint64_t warps_in_grid,
+                      std::uint64_t workload_seed) {
+  STTGPU_REQUIRE(resident_blocks > 0, "Sm: need at least one resident block slot");
+  STTGPU_ASSERT_MSG(active_warps_ == 0, "Sm: previous kernel still running");
+
+  kernel_ = &kernel;
+  block_queue_ = std::move(block_queue);
+  warps_in_grid_ = warps_in_grid;
+  workload_seed_ = workload_seed;
+  warps_per_block_ = kernel.warps_per_block();
+
+  warps_.assign(static_cast<std::size_t>(resident_blocks) * warps_per_block_, WarpCtx{});
+  block_live_warps_.assign(resident_blocks, 0);
+  ready_.clear();
+  while (!sleep_heap_.empty()) sleep_heap_.pop();
+  last_issued_ = -1;
+
+  for (unsigned slot = 0; slot < resident_blocks && !block_queue_.empty(); ++slot) {
+    launch_block(slot, 0);
+  }
+}
+
+void Sm::launch_block(unsigned slot, Cycle /*now*/) {
+  STTGPU_ASSERT(!block_queue_.empty());
+  const unsigned block_id = block_queue_.front();
+  block_queue_.pop_front();
+
+  for (unsigned w = 0; w < warps_per_block_; ++w) {
+    const unsigned idx = slot * warps_per_block_ + w;
+    WarpCtx& ctx = warps_[idx];
+    const std::uint64_t warp_global =
+        static_cast<std::uint64_t>(block_id) * warps_per_block_ + w;
+    ctx.stream.emplace(*kernel_, warp_global, warps_in_grid_, workload_seed_);
+    ctx.pending.reset();
+    ctx.state = WarpState::kReady;
+    ctx.ready_at = 0;
+    ctx.awaiting = 0;
+    ctx.block_slot = slot;
+    ready_.push_back(idx);
+    ++active_warps_;
+  }
+  block_live_warps_[slot] = warps_per_block_;
+}
+
+void Sm::wake_due(Cycle now) {
+  while (!sleep_heap_.empty() && sleep_heap_.top().first <= now) {
+    const unsigned warp = sleep_heap_.top().second;
+    sleep_heap_.pop();
+    WarpCtx& ctx = warps_[warp];
+    // Stale entries can exist if a warp was re-slept; only the entry whose
+    // time matches wakes it.
+    if (ctx.state == WarpState::kSleeping && ctx.ready_at <= now) {
+      ctx.state = WarpState::kReady;
+      ready_.push_back(warp);
+    }
+  }
+}
+
+void Sm::sleep_warp(unsigned warp, Cycle until) {
+  WarpCtx& ctx = warps_[warp];
+  ctx.state = WarpState::kSleeping;
+  ctx.ready_at = until;
+  sleep_heap_.emplace(until, warp);
+}
+
+void Sm::finish_warp(unsigned warp, Cycle now) {
+  WarpCtx& ctx = warps_[warp];
+  STTGPU_ASSERT(ctx.state != WarpState::kInactive);
+  ctx.state = WarpState::kInactive;
+  ctx.stream.reset();
+  STTGPU_ASSERT(active_warps_ > 0);
+  --active_warps_;
+  STTGPU_ASSERT(block_live_warps_[ctx.block_slot] > 0);
+  if (--block_live_warps_[ctx.block_slot] == 0 && !block_queue_.empty()) {
+    launch_block(ctx.block_slot, now);
+  }
+}
+
+void Sm::cycle(Cycle now, const SendTxnFn& send) {
+  wake_due(now);
+  if (ready_.empty()) {
+    if (active_warps_ > 0) ++stats_.idle_cycles;
+    return;
+  }
+
+  // Candidate ordering per scheduler policy. NOTE: try_issue may finish a
+  // warp, which can launch a new block and push fresh warps into ready_ —
+  // hence the index-based loops below.
+  if (config_->scheduler == SchedulerKind::kLrr && last_issued_ >= 0) {
+    // Loose round-robin: rotate the priority order to start just after the
+    // last issued warp.
+    const unsigned pivot = static_cast<unsigned>(last_issued_);
+    const unsigned n = static_cast<unsigned>(warps_.size());
+    std::sort(ready_.begin(), ready_.end(), [&](unsigned a, unsigned b) {
+      return (a + n - pivot - 1) % n < (b + n - pivot - 1) % n;
+    });
+  } else {
+    // GTO: oldest-first (lowest slot); greedy preference handled below.
+    std::sort(ready_.begin(), ready_.end());
+  }
+  bool issued = false;
+
+  if (config_->scheduler == SchedulerKind::kGto && last_issued_ >= 0) {
+    const auto it = std::find(ready_.begin(), ready_.end(),
+                              static_cast<unsigned>(last_issued_));
+    if (it != ready_.end() && warps_[*it].state == WarpState::kReady &&
+        try_issue(*it, now, send)) {
+      issued = true;
+    }
+  }
+  for (std::size_t i = 0; !issued && i < ready_.size(); ++i) {
+    const unsigned warp = ready_[i];
+    if (warps_[warp].state == WarpState::kReady && try_issue(warp, now, send)) {
+      issued = true;
+      last_issued_ = static_cast<int>(warp);
+    }
+  }
+
+  // Keep whatever is still ready (stalled warps, freshly launched warps).
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    const unsigned warp = ready_[i];
+    if (warps_[warp].state == WarpState::kReady) ready_[keep++] = warp;
+  }
+  ready_.resize(keep);
+
+  if (!issued && !ready_.empty()) ++stats_.stall_cycles;
+}
+
+bool Sm::try_issue(unsigned warp, Cycle now, const SendTxnFn& send) {
+  WarpCtx& ctx = warps_[warp];
+  STTGPU_ASSERT(ctx.state == WarpState::kReady);
+
+  if (!ctx.pending) {
+    if (ctx.stream->done()) {
+      finish_warp(warp, now);
+      return false;
+    }
+    ctx.pending = ctx.stream->next();
+  }
+  const WarpInstr& instr = *ctx.pending;
+
+  if (instr.kind == WarpInstr::Kind::kCompute) {
+    ++stats_.issued_instructions;
+    ctx.pending.reset();
+    sleep_warp(warp, now + instr.latency);
+    return true;
+  }
+
+  if (instr.space == MemSpace::kShared) {
+    // Scratchpad access: entirely intra-SM; the generated latency already
+    // includes bank-conflict serialization.
+    ++stats_.issued_instructions;
+    ++stats_.shared_accesses;
+    ctx.pending.reset();
+    sleep_warp(warp, now + std::max(1u, instr.latency));
+    return true;
+  }
+
+  const unsigned l1_line = instr.space == MemSpace::kTexture ? config_->l1t_line
+                                                             : config_->l1d_line;
+  const unsigned n = static_cast<unsigned>(instr.transactions.size());
+  STTGPU_ASSERT(n >= 1);
+
+  if (instr.kind == WarpInstr::Kind::kLoad) {
+    // Structural precheck: enough load credits for the worst case (every
+    // transaction is a primary miss) and MSHR space for new entries.
+    if (inflight_loads_ + n > config_->max_outstanding_load_txn) return false;
+    if (mshr_.size() + n > config_->l1_mshr_entries) return false;
+
+    ++stats_.issued_instructions;
+    ++stats_.issued_loads;
+    unsigned awaiting = 0;
+    for (const Addr t : instr.transactions) {
+      const Addr line = align_down(t, l1_line);
+      ++stats_.load_transactions;
+      const L1Outcome out = l1_.access(line, WarpInstr::Kind::kLoad, instr.space, now);
+      if (out.hit) continue;
+      auto it = mshr_.find(line);
+      if (it != mshr_.end()) {
+        if (it->second.size() < config_->l1_mshr_merge) {
+          it->second.push_back(warp);
+          ++stats_.mshr_merges;
+          ++awaiting;
+          continue;
+        }
+        // Merge list full: fall through and issue a duplicate fetch; rare.
+      } else {
+        it = mshr_.emplace(line, std::vector<unsigned>{}).first;
+        it->second.push_back(warp);
+        ++awaiting;
+      }
+      const std::uint64_t id = send(line, /*is_store=*/false);
+      inflight_meta_[id] = TxnMeta{line, instr.space, false, false};
+      ++inflight_loads_;
+    }
+    ctx.pending.reset();
+    if (awaiting > 0) {
+      ctx.awaiting = awaiting;
+      ctx.state = WarpState::kBlocked;
+    } else {
+      sleep_warp(warp, now + config_->l1_hit_latency);
+    }
+    return true;
+  }
+
+  // Store.
+  if (inflight_stores_ + n > config_->max_outstanding_store_txn) return false;
+
+  ++stats_.issued_instructions;
+  ++stats_.issued_stores;
+  for (const Addr t : instr.transactions) {
+    const Addr line = align_down(t, l1_line);
+    ++stats_.store_transactions;
+    const L1Outcome out = l1_.access(line, WarpInstr::Kind::kStore, instr.space, now);
+    if (out.send_write) {
+      const std::uint64_t id = send(line, /*is_store=*/true);
+      inflight_meta_[id] = TxnMeta{line, instr.space, true, false};
+      ++inflight_stores_;
+    }
+    for (const Addr wb : out.writebacks) send_writeback(wb, now, send);
+  }
+  ctx.pending.reset();
+  sleep_warp(warp, now + 1);  // stores retire into the memory system
+  return true;
+}
+
+void Sm::send_writeback(Addr addr, Cycle /*now*/, const SendTxnFn& send) {
+  const std::uint64_t id = send(addr, /*is_store=*/true);
+  inflight_meta_[id] = TxnMeta{addr, MemSpace::kLocal, true, true};
+}
+
+void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& send) {
+  const auto it = inflight_meta_.find(response.id);
+  STTGPU_ASSERT_MSG(it != inflight_meta_.end(), "Sm: response for unknown request");
+  const TxnMeta meta = it->second;
+  inflight_meta_.erase(it);
+
+  if (meta.is_store) {
+    if (!meta.is_writeback) {
+      STTGPU_ASSERT(inflight_stores_ > 0);
+      --inflight_stores_;
+    }
+    return;
+  }
+
+  // Load fill: install in L1 and wake every merged waiter.
+  STTGPU_ASSERT(inflight_loads_ > 0);
+  --inflight_loads_;
+  std::vector<Addr> writebacks;
+  l1_.fill(meta.line_addr, meta.space, now, writebacks);
+  for (const Addr wb : writebacks) send_writeback(wb, now, send);
+
+  const auto mit = mshr_.find(meta.line_addr);
+  if (mit == mshr_.end()) return;  // duplicate fetch (merge overflow) case
+  const std::vector<unsigned> waiters = std::move(mit->second);
+  mshr_.erase(mit);
+  for (const unsigned warp : waiters) {
+    WarpCtx& ctx = warps_[warp];
+    STTGPU_ASSERT(ctx.state == WarpState::kBlocked && ctx.awaiting > 0);
+    if (--ctx.awaiting == 0) sleep_warp(warp, now + kWakeLatency);
+  }
+}
+
+void Sm::flush_l1(Cycle now, const SendTxnFn& send) {
+  for (const Addr wb : l1_.flush()) send_writeback(wb, now, send);
+}
+
+}  // namespace sttgpu::gpu

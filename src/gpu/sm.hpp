@@ -1,0 +1,132 @@
+// Streaming Multiprocessor model.
+//
+// The SM abstracts the SIMT ALU pipelines to an issue/latency model (one
+// warp instruction issued per cycle, compute results ready after a fixed
+// latency) and models the memory side in detail: coalesced transactions,
+// the L1 complex, MSHR merging, and credit-bounded traffic to the L2. This
+// is the level at which warp-parallelism hides memory latency — the effect
+// the paper's C2/C3 register-file configurations exploit.
+//
+// Thread blocks are assigned to the SM as a queue; `resident` slots run
+// concurrently (the occupancy limit) and a finished block slot immediately
+// launches the next queued block.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpu/gpu_config.hpp"
+#include "gpu/l1_complex.hpp"
+#include "gpu/request.hpp"
+#include "workload/stream.hpp"
+
+namespace sttgpu::gpu {
+
+/// Emits one 128B transaction toward the L2; returns the global request id.
+using SendTxnFn = std::function<std::uint64_t(Addr addr, bool is_store)>;
+
+struct SmStats {
+  std::uint64_t issued_instructions = 0;
+  std::uint64_t issued_loads = 0;
+  std::uint64_t issued_stores = 0;
+  std::uint64_t load_transactions = 0;
+  std::uint64_t store_transactions = 0;
+  std::uint64_t idle_cycles = 0;        ///< no warp ready
+  std::uint64_t stall_cycles = 0;       ///< warps ready but none issuable
+  std::uint64_t mshr_merges = 0;
+  std::uint64_t shared_accesses = 0;
+};
+
+class Sm {
+ public:
+  Sm(unsigned id, const GpuConfig& config, std::uint64_t seed);
+
+  /// Begins executing @p kernel with the given block queue and residency.
+  void start_kernel(const workload::KernelSpec& kernel, std::deque<unsigned> block_queue,
+                    unsigned resident_blocks, std::uint64_t warps_in_grid,
+                    std::uint64_t workload_seed);
+
+  /// All blocks finished and no instruction remains (memory may still be
+  /// in flight; the GPU tracks that separately).
+  bool kernel_done() const noexcept { return active_warps_ == 0 && block_queue_.empty(); }
+
+  /// One scheduler cycle: try to issue one warp instruction.
+  void cycle(Cycle now, const SendTxnFn& send);
+
+  /// Memory response delivered by the interconnect.
+  void on_response(const L2Response& response, Cycle now, const SendTxnFn& send);
+
+  /// End-of-kernel L1 flush; dirty local lines go to L2 as writes.
+  void flush_l1(Cycle now, const SendTxnFn& send);
+
+  /// In-flight transactions this SM is still waiting on (loads + stores).
+  unsigned inflight() const noexcept { return inflight_loads_ + inflight_stores_; }
+
+  const SmStats& stats() const noexcept { return stats_; }
+  const L1Complex& l1() const noexcept { return l1_; }
+  unsigned id() const noexcept { return id_; }
+
+ private:
+  enum class WarpState : std::uint8_t { kInactive, kReady, kSleeping, kBlocked };
+
+  struct WarpCtx {
+    std::optional<workload::WarpStream> stream;
+    std::optional<workload::WarpInstr> pending;
+    WarpState state = WarpState::kInactive;
+    Cycle ready_at = 0;
+    unsigned awaiting = 0;   ///< load transactions outstanding
+    unsigned block_slot = 0;
+  };
+
+  /// Bookkeeping for one in-flight L2 transaction.
+  struct TxnMeta {
+    Addr line_addr = 0;            ///< L1-line address (fill key), loads only
+    workload::MemSpace space = workload::MemSpace::kGlobal;
+    bool is_store = false;
+    bool is_writeback = false;     ///< L1 dirty eviction (uses no credit)
+  };
+
+  void launch_block(unsigned slot, Cycle now);
+  void wake_due(Cycle now);
+  bool try_issue(unsigned warp, Cycle now, const SendTxnFn& send);
+  void sleep_warp(unsigned warp, Cycle until);
+  void finish_warp(unsigned warp, Cycle now);
+  void send_writeback(Addr addr, Cycle now, const SendTxnFn& send);
+
+  unsigned id_;
+  const GpuConfig* config_;
+  std::uint64_t seed_;
+  L1Complex l1_;
+
+  // Kernel state
+  const workload::KernelSpec* kernel_ = nullptr;
+  std::deque<unsigned> block_queue_;
+  std::uint64_t warps_in_grid_ = 0;
+  std::uint64_t workload_seed_ = 0;
+  unsigned warps_per_block_ = 0;
+  std::vector<WarpCtx> warps_;
+  std::vector<unsigned> block_live_warps_;  ///< per resident slot
+  unsigned active_warps_ = 0;
+
+  // Scheduling structures
+  using SleepEntry = std::pair<Cycle, unsigned>;  // (ready_at, warp)
+  std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<>> sleep_heap_;
+  std::vector<unsigned> ready_;
+  int last_issued_ = -1;  // GTO greedy preference
+
+  // Memory-side state
+  std::unordered_map<Addr, std::vector<unsigned>> mshr_;  ///< line -> waiting warps
+  std::unordered_map<std::uint64_t, TxnMeta> inflight_meta_;  ///< req id -> meta
+  unsigned inflight_loads_ = 0;   ///< primary load transactions in flight
+  unsigned inflight_stores_ = 0;  ///< store transactions in flight
+
+  SmStats stats_;
+};
+
+}  // namespace sttgpu::gpu

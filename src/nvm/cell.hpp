@@ -1,0 +1,63 @@
+// Memory cell technology parameters consumed by the CACTI-lite array model.
+//
+// Two technologies are modelled:
+//   * 6T SRAM    — fast, leaky, ~146 F^2 per bit;
+//   * 1T1J STT   — 4x denser (the paper's density claim), near-zero cell
+//                  leakage, slow/expensive writes whose cost depends on the
+//                  retention class (MtjModel).
+//
+// All per-bit energies are stated for the data array core; peripheral
+// (decoder/wordline/sense) costs are added by power::ArrayModel as a
+// size-dependent term, matching how CACTI decomposes access energy.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "nvm/mtj.hpp"
+
+namespace sttgpu::nvm {
+
+/// The paper's Table 1 rows: three retention classes of STT-RAM cell.
+enum class RetentionClass {
+  kYears10,   ///< fully non-volatile (Δ ≈ 40.3): conventional STT-RAM
+  kMs40,      ///< ~40 ms  (Δ ≈ 17.5): the proposed HR (high-retention) part
+  kUs26,      ///< ~26.5 µs (Δ ≈ 10.2): the proposed LR (low-retention) part
+};
+
+const char* to_string(RetentionClass rc) noexcept;
+
+/// Retention time in seconds for a Table 1 class.
+double retention_seconds(RetentionClass rc) noexcept;
+
+/// Flat description of a cell technology instance.
+struct CellParams {
+  std::string name;
+
+  // Geometry / static power
+  double area_f2_per_bit = 0.0;     ///< layout area in technology-F^2 per bit
+  double leakage_nw_per_bit = 0.0;  ///< static power per bit (nW), cell + local periphery
+
+  // Data-array core access cost, per *bit* touched
+  double read_energy_pj_per_bit = 0.0;
+  double write_energy_pj_per_bit = 0.0;
+
+  // Raw cell access latencies (array periphery latency is added by ArrayModel)
+  NanoSec read_latency_ns = 0.0;
+  NanoSec write_latency_ns = 0.0;
+
+  // Volatility
+  bool needs_refresh = false;
+  double retention_s = 0.0;  ///< 0 => effectively non-volatile for our horizons
+};
+
+/// 6T SRAM at the default 40 nm node.
+CellParams sram_cell();
+
+/// STT-RAM cell of the given Table 1 retention class, derived from @p mtj.
+CellParams stt_cell(RetentionClass rc, const MtjModel& mtj = MtjModel{});
+
+/// STT-RAM cell for an arbitrary retention target (seconds).
+CellParams stt_cell_for_retention(double retention_s, const MtjModel& mtj = MtjModel{});
+
+}  // namespace sttgpu::nvm

@@ -1,0 +1,79 @@
+#include "nvm/mtj.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sttgpu::nvm {
+
+namespace {
+
+// Default calibration anchors (see header). Deltas are derived from the
+// target retention times via delta = ln(t_ret / tau0), tau0 = 1 ns:
+//   26.5 us -> ln(2.65e4)  = 10.185
+//   40 ms   -> ln(4.0e7)   = 17.504
+//   10 yr   -> ln(3.156e17)= 40.293
+// Write energy grows superlinearly with Δ: the switching current rises with
+// the thermal barrier while the pulse also lengthens (E ~ I^2 * R * t_pulse).
+// The 10-year anchor (~0.7 pJ/bit) is what makes the paper's naive
+// high-retention STT baseline *more* power hungry in total than the leaky
+// SRAM it replaces (Fig. 8c: +19%), despite near-zero leakage.
+std::vector<MtjAnchor> default_anchors() {
+  return {
+      {10.185, 2.3, 0.19},
+      {17.504, 5.0, 0.55},
+      {40.293, 10.0, 1.45},
+  };
+}
+
+}  // namespace
+
+MtjModel::MtjModel() : MtjModel(default_anchors()) {}
+
+MtjModel::MtjModel(std::vector<MtjAnchor> anchors) : anchors_(std::move(anchors)) {
+  STTGPU_REQUIRE(anchors_.size() >= 2, "MtjModel: need at least two anchors");
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    STTGPU_REQUIRE(anchors_[i].delta > anchors_[i - 1].delta,
+                   "MtjModel: anchors must be sorted by increasing delta");
+    STTGPU_REQUIRE(anchors_[i].write_pulse_ns >= anchors_[i - 1].write_pulse_ns &&
+                       anchors_[i].write_energy_nj >= anchors_[i - 1].write_energy_nj,
+                   "MtjModel: write cost must be monotone in delta");
+  }
+}
+
+double MtjModel::retention_seconds(double delta) const noexcept {
+  return tau0_s_ * std::exp(delta);
+}
+
+double MtjModel::delta_for_retention(double retention_s) const {
+  STTGPU_REQUIRE(retention_s > 0.0, "MtjModel: retention must be positive");
+  return std::log(retention_s / tau0_s_);
+}
+
+double MtjModel::interpolate(double delta, double MtjAnchor::*field) const noexcept {
+  // Locate the segment [i, i+1] containing delta; extrapolate on the ends.
+  std::size_t i = 0;
+  while (i + 2 < anchors_.size() && delta > anchors_[i + 1].delta) ++i;
+  const MtjAnchor& a = anchors_[i];
+  const MtjAnchor& b = anchors_[i + 1];
+  const double t = (delta - a.delta) / (b.delta - a.delta);
+  const double v = a.*field + t * (b.*field - a.*field);
+  // Physical floor: even the weakest cell needs a finite, positive pulse.
+  return std::max(v, 0.05 * (anchors_.front().*field));
+}
+
+NanoSec MtjModel::write_pulse_ns(double delta) const noexcept {
+  return interpolate(delta, &MtjAnchor::write_pulse_ns);
+}
+
+double MtjModel::write_energy_nj_per_line(double delta) const noexcept {
+  return interpolate(delta, &MtjAnchor::write_energy_nj);
+}
+
+double MtjModel::failure_probability(double delta, double elapsed_s) const noexcept {
+  if (elapsed_s <= 0.0) return 0.0;
+  return 1.0 - std::exp(-elapsed_s / retention_seconds(delta));
+}
+
+}  // namespace sttgpu::nvm

@@ -1,0 +1,98 @@
+#include "power/array_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace sttgpu::power {
+
+namespace {
+
+MilliMeter2 bits_area_mm2(double bits, double area_f2_per_bit, const TechConstants& tech) {
+  const double f_m = tech.feature_nm * 1e-9;
+  const double area_m2 = bits * area_f2_per_bit * f_m * f_m * tech.wiring_overhead;
+  return area_m2 * 1e6;  // m^2 -> mm^2
+}
+
+PicoJoule periph_energy_pj(double bytes, const TechConstants& tech) {
+  return tech.periph_pj_per_sqrt_kb * std::sqrt(bytes / 1024.0);
+}
+
+NanoSec periph_latency_ns(double bytes, const TechConstants& tech) {
+  return tech.periph_ns_per_sqrt_64kb * std::sqrt(bytes / 65536.0);
+}
+
+}  // namespace
+
+ArrayCosts evaluate_array(const ArraySpec& spec, const TechConstants& tech) {
+  STTGPU_REQUIRE(spec.capacity_bytes > 0, "ArraySpec: capacity must be positive");
+  STTGPU_REQUIRE(spec.line_bytes > 0 && is_pow2(spec.line_bytes),
+                 "ArraySpec: line size must be a power of two");
+  STTGPU_REQUIRE(spec.associativity > 0, "ArraySpec: associativity must be positive");
+  const std::uint64_t lines = spec.capacity_bytes / spec.line_bytes;
+  STTGPU_REQUIRE(lines % spec.associativity == 0,
+                 "ArraySpec: capacity/line must be a multiple of associativity");
+
+  ArrayCosts c;
+  c.sets = lines / spec.associativity;
+
+  // Tag entry width: address tag + state. A fully-associative array indexes
+  // nothing, so the whole line address is tag.
+  const unsigned index_bits = c.sets > 1 ? log2_floor(c.sets) : 0;
+  const unsigned offset_bits = log2_exact(spec.line_bytes);
+  STTGPU_REQUIRE(tech.address_bits > index_bits + offset_bits,
+                 "ArraySpec: address too narrow for this geometry");
+  c.tag_bits_per_line = tech.address_bits - index_bits - offset_bits +
+                        tech.state_bits_per_line + spec.extra_tag_bits_per_line;
+
+  const double data_bits = static_cast<double>(spec.capacity_bytes) * 8.0;
+  const double tag_bits = static_cast<double>(lines) * c.tag_bits_per_line;
+  c.data_area_mm2 = bits_area_mm2(data_bits, spec.data_cell.area_f2_per_bit, tech);
+  c.tag_area_mm2 = bits_area_mm2(tag_bits, spec.tag_cell.area_f2_per_bit, tech);
+  c.total_area_mm2 = c.data_area_mm2 + c.tag_area_mm2;
+
+  // --- dynamic energy ---
+  const double line_bits = spec.line_bytes * 8.0;
+  const double tag_bytes = tag_bits / 8.0;
+  // A probe reads every way's tag entry of one set.
+  c.tag_probe_pj = spec.associativity * c.tag_bits_per_line * spec.tag_cell.read_energy_pj_per_bit +
+                   periph_energy_pj(tag_bytes, tech);
+  c.tag_update_pj = c.tag_bits_per_line * spec.tag_cell.write_energy_pj_per_bit +
+                    periph_energy_pj(tag_bytes, tech);
+  c.data_read_pj = line_bits * spec.data_cell.read_energy_pj_per_bit +
+                   periph_energy_pj(static_cast<double>(spec.capacity_bytes), tech);
+  c.data_write_pj = line_bits * spec.data_cell.write_energy_pj_per_bit +
+                    periph_energy_pj(static_cast<double>(spec.capacity_bytes), tech);
+
+  // --- latency ---
+  c.tag_latency_ns = periph_latency_ns(tag_bytes, tech) + spec.tag_cell.read_latency_ns;
+  c.data_read_latency_ns =
+      periph_latency_ns(static_cast<double>(spec.capacity_bytes), tech) +
+      spec.data_cell.read_latency_ns;
+  c.data_write_latency_ns =
+      periph_latency_ns(static_cast<double>(spec.capacity_bytes), tech) +
+      spec.data_cell.write_latency_ns;
+
+  // --- leakage ---
+  const double cell_leak_w = data_bits * spec.data_cell.leakage_nw_per_bit * 1e-9 +
+                             tag_bits * spec.tag_cell.leakage_nw_per_bit * 1e-9;
+  c.leakage_w = cell_leak_w * (1.0 + tech.periph_leak_fraction) +
+                tech.periph_leak_floor_mw * 1e-3;
+  return c;
+}
+
+MilliMeter2 register_file_area_mm2(std::uint64_t num_registers, const TechConstants& tech) {
+  // Register files are SRAM-based; multiported cells are bigger than the 6T
+  // cache cell — use 1.6x the cache-SRAM cell area per bit.
+  const double bits = static_cast<double>(num_registers) * 32.0;
+  return bits_area_mm2(bits, nvm::sram_cell().area_f2_per_bit * 1.6, tech);
+}
+
+std::uint64_t registers_for_area(MilliMeter2 area_mm2, const TechConstants& tech) {
+  if (area_mm2 <= 0.0) return 0;
+  const MilliMeter2 one = register_file_area_mm2(1, tech);
+  return static_cast<std::uint64_t>(area_mm2 / one);
+}
+
+}  // namespace sttgpu::power

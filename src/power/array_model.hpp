@@ -1,0 +1,97 @@
+// CACTI-lite: an analytic area / energy / latency / leakage model for cache
+// arrays built from a given cell technology.
+//
+// The paper used CACTI 6.5 "slightly modified for STT-RAM". We reproduce the
+// quantities its evaluation depends on rather than CACTI's full internals:
+//
+//   * array area (data + SRAM tag), used for the equal-area configurations
+//     C1/C2/C3 (Table 2);
+//   * per-access dynamic energy, split into tag-probe and data-line terms so
+//     the sequential-search optimisation has something to save;
+//   * access latency = size-dependent periphery (decode + wordline + sense,
+//     scaling with sqrt of the bank size as in CACTI's H-tree) + the cell's
+//     intrinsic read/write pulse;
+//   * leakage power (per-bit dominated for SRAM, periphery-only for STT).
+//
+// All technology constants live in this header, documented, so the model is
+// auditable and unit-testable for the *relations* the paper relies on
+// (4x density, leakage-dominated SRAM, retention-dependent write cost).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "nvm/cell.hpp"
+
+namespace sttgpu::power {
+
+/// Technology constants for the 40 nm node used throughout.
+struct TechConstants {
+  double feature_nm = 40.0;       ///< feature size F
+  double wiring_overhead = 1.35;  ///< array area overhead (drivers, spacing)
+  /// Peripheral dynamic energy per access: e = periph_pj_per_sqrt_kb * sqrt(KB).
+  double periph_pj_per_sqrt_kb = 1.1;
+  /// Peripheral latency per access: t = periph_ns_per_sqrt_64kb * sqrt(bytes/64KB).
+  double periph_ns_per_sqrt_64kb = 0.8;
+  /// Peripheral leakage as a fraction of the cell-array leakage, plus a
+  /// capacity-independent floor per bank (sense amps, control).
+  double periph_leak_fraction = 0.10;
+  double periph_leak_floor_mw = 1.2;
+  /// Physical address width assumed when sizing tags.
+  unsigned address_bits = 40;
+  /// Per-line state bits beyond the tag (valid, dirty, LRU, ...).
+  unsigned state_bits_per_line = 8;
+};
+
+/// Geometry of one cache bank to be costed.
+struct ArraySpec {
+  std::uint64_t capacity_bytes = 0;
+  unsigned associativity = 1;
+  unsigned line_bytes = 256;
+  nvm::CellParams data_cell;                 ///< technology of the data array
+  nvm::CellParams tag_cell = nvm::sram_cell();  ///< tags stay SRAM (paper §5)
+  /// Extra per-line bookkeeping bits held in the tag array (e.g. the paper's
+  /// 2-bit / 4-bit retention counters); costed at tag-cell rates.
+  unsigned extra_tag_bits_per_line = 0;
+};
+
+/// Fully evaluated costs for one bank.
+struct ArrayCosts {
+  // Geometry
+  std::uint64_t sets = 0;
+  unsigned tag_bits_per_line = 0;
+
+  // Area
+  MilliMeter2 data_area_mm2 = 0.0;
+  MilliMeter2 tag_area_mm2 = 0.0;
+  MilliMeter2 total_area_mm2 = 0.0;
+
+  // Dynamic energy per event
+  PicoJoule tag_probe_pj = 0.0;    ///< read all ways' tags of one set
+  PicoJoule tag_update_pj = 0.0;   ///< write one tag entry (insert/state change)
+  PicoJoule data_read_pj = 0.0;    ///< read one full line
+  PicoJoule data_write_pj = 0.0;   ///< write one full line
+
+  // Latency per event (periphery + cell pulse)
+  NanoSec tag_latency_ns = 0.0;
+  NanoSec data_read_latency_ns = 0.0;
+  NanoSec data_write_latency_ns = 0.0;
+
+  // Static
+  Watt leakage_w = 0.0;
+};
+
+/// Evaluates the CACTI-lite model for one bank.
+ArrayCosts evaluate_array(const ArraySpec& spec, const TechConstants& tech = TechConstants{});
+
+/// Area of a register file of @p num_registers 32-bit SRAM registers (mm^2).
+/// Used for the Table 2 equal-area conversions (saved L2 area -> registers).
+MilliMeter2 register_file_area_mm2(std::uint64_t num_registers,
+                                   const TechConstants& tech = TechConstants{});
+
+/// Inverse of register_file_area_mm2: how many 32-bit registers fit in
+/// @p area_mm2 of SRAM (floored).
+std::uint64_t registers_for_area(MilliMeter2 area_mm2,
+                                 const TechConstants& tech = TechConstants{});
+
+}  // namespace sttgpu::power

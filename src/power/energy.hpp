@@ -1,0 +1,45 @@
+// Dynamic-energy accounting and power reporting.
+//
+// Components charge events to an EnergyLedger under named categories
+// ("l2.tag_probe", "l2.data_write", "l2.refresh", ...). At the end of a run
+// PowerReport converts accumulated energy plus static leakage into the
+// dynamic / leakage / total wattages the paper's Figures 8b and 8c plot.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace sttgpu::power {
+
+class EnergyLedger {
+ public:
+  void add(const std::string& category, PicoJoule pj) {
+    categories_[category] += pj;
+    total_pj_ += pj;
+  }
+
+  PicoJoule total_pj() const noexcept { return total_pj_; }
+  PicoJoule category_pj(const std::string& category) const;
+  const std::map<std::string, PicoJoule>& categories() const noexcept { return categories_; }
+
+  void merge(const EnergyLedger& other);
+  void reset();
+
+ private:
+  std::map<std::string, PicoJoule> categories_;
+  PicoJoule total_pj_ = 0.0;
+};
+
+/// Power summary over a run of known duration.
+struct PowerReport {
+  Watt dynamic_w = 0.0;
+  Watt leakage_w = 0.0;
+  Watt total_w = 0.0;
+  double runtime_s = 0.0;
+
+  static PowerReport from_run(const EnergyLedger& ledger, Watt leakage_w, double runtime_s);
+};
+
+}  // namespace sttgpu::power

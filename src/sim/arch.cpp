@@ -1,0 +1,130 @@
+#include "sim/arch.hpp"
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "nvm/cell.hpp"
+
+namespace sttgpu::sim {
+
+const char* to_string(Architecture a) noexcept {
+  switch (a) {
+    case Architecture::kSramBaseline: return "sram";
+    case Architecture::kSttBaseline: return "stt-base";
+    case Architecture::kC1: return "C1";
+    case Architecture::kC2: return "C2";
+    case Architecture::kC3: return "C3";
+  }
+  return "?";
+}
+
+Architecture architecture_from_string(const std::string& name) {
+  for (const Architecture a : all_architectures()) {
+    if (name == to_string(a)) return a;
+  }
+  throw SimError("unknown architecture: " + name);
+}
+
+std::vector<Architecture> all_architectures() {
+  return {Architecture::kSramBaseline, Architecture::kSttBaseline, Architecture::kC1,
+          Architecture::kC2, Architecture::kC3};
+}
+
+namespace {
+
+/// Data-array silicon area of an L2 of @p bytes built from @p cell.
+MilliMeter2 l2_data_area(std::uint64_t total_bytes, const nvm::CellParams& cell,
+                         unsigned line_bytes, unsigned assoc, unsigned banks) {
+  power::ArraySpec spec;
+  spec.capacity_bytes = total_bytes / banks;
+  spec.associativity = assoc;
+  spec.line_bytes = line_bytes;
+  spec.data_cell = cell;
+  return power::evaluate_array(spec).data_area_mm2 * banks;
+}
+
+/// Registers per SM bought with @p area_mm2 of SRAM, rounded down to the
+/// 64-register warp allocation granularity.
+unsigned extra_regs_per_sm(MilliMeter2 area_mm2, unsigned num_sms) {
+  const std::uint64_t total = power::registers_for_area(area_mm2);
+  const std::uint64_t per_sm = total / num_sms;
+  return static_cast<unsigned>(per_sm - per_sm % 64);
+}
+
+}  // namespace
+
+ArchSpec make_arch(Architecture arch) {
+  ArchSpec spec;
+  spec.id = arch;
+  spec.name = to_string(arch);
+  spec.gpu = gpu::GpuConfig{};  // GTX480-class baseline
+
+  const unsigned banks = spec.gpu.num_l2_banks;
+  const unsigned line = spec.gpu.l2_line_bytes;
+  const MilliMeter2 sram_area =
+      l2_data_area(kBaselineL2Bytes, nvm::sram_cell(), line, 8, banks);
+
+  const auto lr_cell_capacity = [&](std::uint64_t total_l2) {
+    // Two-part split: 1/8 of the capacity is LR, 7/8 HR — Table 2's
+    // 192/1536, 48/384 and 96/768 ratios.
+    return std::pair<std::uint64_t, std::uint64_t>{total_l2 * 7 / 8 / banks,
+                                                   total_l2 / 8 / banks};
+  };
+
+  const auto setup_two_part = [&](std::uint64_t total_l2) {
+    spec.two_part = true;
+    auto [hr, lr] = lr_cell_capacity(total_l2);
+    spec.two_part_cfg = sttl2::TwoPartBankConfig{};
+    spec.two_part_cfg.hr_bytes = hr;
+    spec.two_part_cfg.lr_bytes = lr;
+    spec.two_part_cfg.line_bytes = line;
+    spec.l2_data_area_mm2 =
+        l2_data_area(total_l2 * 7 / 8, nvm::stt_cell(nvm::RetentionClass::kMs40), line, 7,
+                     banks) +
+        l2_data_area(total_l2 / 8, nvm::stt_cell(nvm::RetentionClass::kUs26), line, 2, banks);
+  };
+
+  switch (arch) {
+    case Architecture::kSramBaseline: {
+      spec.two_part = false;
+      spec.uniform = sttl2::UniformBankConfig{};
+      spec.uniform.capacity_bytes = kBaselineL2Bytes / banks;
+      spec.uniform.associativity = 8;
+      spec.uniform.line_bytes = line;
+      spec.uniform.cell = nvm::sram_cell();
+      spec.l2_data_area_mm2 = sram_area;
+      break;
+    }
+    case Architecture::kSttBaseline: {
+      // Same area as the SRAM baseline: 4x capacity of 10-year cells.
+      spec.two_part = false;
+      spec.uniform = sttl2::UniformBankConfig{};
+      spec.uniform.capacity_bytes = 4 * kBaselineL2Bytes / banks;
+      spec.uniform.associativity = 8;
+      spec.uniform.line_bytes = line;
+      spec.uniform.cell = nvm::stt_cell(nvm::RetentionClass::kYears10);
+      spec.l2_data_area_mm2 =
+          l2_data_area(4 * kBaselineL2Bytes, spec.uniform.cell, line, 8, banks);
+      break;
+    }
+    case Architecture::kC1:
+      setup_two_part(4 * kBaselineL2Bytes);  // 1344KB HR + 192KB LR
+      break;
+    case Architecture::kC2: {
+      setup_two_part(kBaselineL2Bytes);  // 336KB HR + 48KB LR
+      spec.regfile_extra_mm2 = sram_area - spec.l2_data_area_mm2;
+      spec.extra_regs_per_sm = extra_regs_per_sm(spec.regfile_extra_mm2, spec.gpu.num_sms);
+      spec.gpu.registers_per_sm += spec.extra_regs_per_sm;
+      break;
+    }
+    case Architecture::kC3: {
+      setup_two_part(2 * kBaselineL2Bytes);  // 672KB HR + 96KB LR
+      spec.regfile_extra_mm2 = sram_area - spec.l2_data_area_mm2;
+      spec.extra_regs_per_sm = extra_regs_per_sm(spec.regfile_extra_mm2, spec.gpu.num_sms);
+      spec.gpu.registers_per_sm += spec.extra_regs_per_sm;
+      break;
+    }
+  }
+  return spec;
+}
+
+}  // namespace sttgpu::sim

@@ -1,0 +1,60 @@
+// The evaluated architectures (paper Table 2).
+//
+//   * SRAM baseline — 384KB 8-way SRAM L2 (64KB per bank), 32K regs/SM.
+//   * STT baseline  — naive replacement: 4x capacity (1536KB) of 10-year
+//     high-retention STT-RAM, same area as the SRAM L2, 32K regs/SM.
+//   * C1 — two-part STT L2 using all saved area for capacity:
+//     1344KB 7-way HR + 192KB 2-way LR (4x the SRAM capacity).
+//   * C2 — same-capacity two-part STT L2 (336KB HR + 48KB LR); the saved
+//     area becomes extra registers per SM.
+//   * C3 — 2x capacity (672KB HR + 96KB LR) plus a smaller register boost.
+//
+// Register counts for C2/C3 are *derived* from the stated area rule (the
+// saved SRAM area, at SRAM register-file density, split across 15 SMs and
+// rounded down to the 64-register allocation granularity); the source text
+// of the paper's Table 2 dropped these digits (see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/gpu_config.hpp"
+#include "power/array_model.hpp"
+#include "sttl2/config.hpp"
+
+namespace sttgpu::sim {
+
+enum class Architecture { kSramBaseline, kSttBaseline, kC1, kC2, kC3 };
+
+const char* to_string(Architecture a) noexcept;
+Architecture architecture_from_string(const std::string& name);
+std::vector<Architecture> all_architectures();
+
+/// Fully resolved description of one architecture.
+struct ArchSpec {
+  Architecture id = Architecture::kSramBaseline;
+  std::string name;
+  gpu::GpuConfig gpu;
+
+  bool two_part = false;
+  sttl2::UniformBankConfig uniform;       ///< valid when !two_part
+  sttl2::TwoPartBankConfig two_part_cfg;  ///< valid when two_part
+
+  // Area bookkeeping (Table 2 / fairness check)
+  MilliMeter2 l2_data_area_mm2 = 0.0;
+  MilliMeter2 regfile_extra_mm2 = 0.0;
+  unsigned extra_regs_per_sm = 0;
+
+  std::uint64_t l2_total_bytes() const noexcept {
+    return two_part ? (two_part_cfg.hr_bytes + two_part_cfg.lr_bytes) * gpu.num_l2_banks
+                    : uniform.capacity_bytes * gpu.num_l2_banks;
+  }
+};
+
+/// Baseline L2 capacity the whole Table 2 is scaled from (total, bytes).
+inline constexpr std::uint64_t kBaselineL2Bytes = 384 * 1024;
+
+/// Builds the spec for @p arch with the default (GTX480-class) GPU model.
+ArchSpec make_arch(Architecture arch);
+
+}  // namespace sttgpu::sim

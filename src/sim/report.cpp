@@ -1,0 +1,81 @@
+#include "sim/report.hpp"
+
+#include "common/json.hpp"
+
+namespace sttgpu::sim {
+
+namespace {
+
+void metrics_fields(JsonWriter& w, const Metrics& m) {
+  w.key("arch").value(m.arch);
+  w.key("benchmark").value(m.benchmark);
+  w.key("ipc").value(m.ipc);
+  w.key("cycles").value(m.cycles);
+  w.key("dynamic_w").value(m.dynamic_w);
+  w.key("leakage_w").value(m.leakage_w);
+  w.key("total_w").value(m.total_w);
+  w.key("l2_write_share").value(m.l2_write_share);
+  w.key("l2_miss_rate").value(m.l2_miss_rate);
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const Metrics& metrics) {
+  JsonWriter w(os);
+  w.begin_object();
+  metrics_fields(w, metrics);
+  w.end_object();
+}
+
+void write_matrix_json(std::ostream& os, const std::vector<Metrics>& rows) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("runs").begin_array();
+  for (const Metrics& m : rows) {
+    w.begin_object();
+    metrics_fields(w, m);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("metrics").begin_object();
+  metrics_fields(w, metrics);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : run.l2_counters.all()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+
+  w.key("energy_pj").begin_object();
+  for (const auto& [category, pj] : run.l2_energy.categories()) {
+    w.key(category).value(pj);
+  }
+  w.end_object();
+
+  w.key("l2").begin_object();
+  w.key("read_hits").value(run.l2.read_hits);
+  w.key("read_misses").value(run.l2.read_misses);
+  w.key("write_hits").value(run.l2.write_hits);
+  w.key("write_misses").value(run.l2.write_misses);
+  w.key("dram_reads").value(run.l2.dram_reads);
+  w.key("dram_writebacks").value(run.l2.dram_writebacks);
+  w.end_object();
+
+  w.key("sm").begin_object();
+  w.key("instructions").value(run.sm.issued_instructions);
+  w.key("loads").value(run.sm.issued_loads);
+  w.key("stores").value(run.sm.issued_stores);
+  w.key("idle_cycles").value(run.sm.idle_cycles);
+  w.key("stall_cycles").value(run.sm.stall_cycles);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace sttgpu::sim

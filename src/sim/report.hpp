@@ -1,0 +1,23 @@
+// Machine-readable result export: metrics and bank counters as JSON, for
+// plotting / regression tooling outside the repo.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "sim/runner.hpp"
+
+namespace sttgpu::sim {
+
+/// One metrics row as a JSON object.
+void write_metrics_json(std::ostream& os, const Metrics& metrics);
+
+/// A matrix of runs: {"runs": [ {...}, ... ]}.
+void write_matrix_json(std::ostream& os, const std::vector<Metrics>& rows);
+
+/// A full run with the implementation counters and per-category energy:
+/// {"arch": ..., "benchmark": ..., "metrics": {...}, "counters": {...},
+///  "energy_pj": {...}}.
+void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run);
+
+}  // namespace sttgpu::sim

@@ -1,0 +1,159 @@
+#include "sim/runner.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sttl2/factories.hpp"
+
+namespace sttgpu::sim {
+
+namespace {
+
+std::unique_ptr<gpu::L2BankFactory> make_factory(const ArchSpec& spec) {
+  const Clock clock = spec.gpu.clock();
+  if (spec.two_part) {
+    return std::make_unique<sttl2::TwoPartBankFactory>(spec.two_part_cfg, clock);
+  }
+  return std::make_unique<sttl2::UniformBankFactory>(spec.uniform, clock);
+}
+
+}  // namespace
+
+namespace {
+
+Metrics metrics_from(const ArchSpec& spec, const workload::Workload& workload,
+                     const gpu::RunResult& r);
+
+}  // namespace
+
+Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
+                const BankInspector& inspect) {
+  auto factory = make_factory(spec);
+  gpu::Gpu g(spec.gpu, *factory);
+  const gpu::RunResult r = g.run(workload);
+  const Metrics m = metrics_from(spec, workload, r);
+  if (inspect) inspect(g);
+  return m;
+}
+
+Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
+                         gpu::RunResult& out_run) {
+  auto factory = make_factory(spec);
+  gpu::Gpu g(spec.gpu, *factory);
+  out_run = g.run(workload);
+  return metrics_from(spec, workload, out_run);
+}
+
+namespace {
+
+Metrics metrics_from(const ArchSpec& spec, const workload::Workload& workload,
+                     const gpu::RunResult& r) {
+  Metrics m;
+  m.arch = spec.name;
+  m.benchmark = workload.name;
+  m.ipc = r.ipc;
+  m.cycles = r.cycles;
+  m.leakage_w = r.l2_leakage_w;
+  m.dynamic_w = r.runtime_s > 0.0 ? r.l2_energy.total_pj() * 1e-12 / r.runtime_s : 0.0;
+  m.total_w = m.dynamic_w + m.leakage_w;
+  m.l2_write_share = r.l2.write_share();
+  m.l2_miss_rate = r.l2.miss_rate();
+  return m;
+}
+
+}  // namespace
+
+Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
+                const BankInspector& inspect) {
+  const ArchSpec spec = make_arch(arch);
+  const workload::Workload w = workload::make_benchmark(benchmark, scale);
+  return run_one(spec, w, inspect);
+}
+
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path) {
+  std::map<std::pair<std::string, std::string>, Metrics> cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string header;
+  std::getline(in, header);
+  std::string row;
+  while (std::getline(in, row)) {
+    std::istringstream ss(row);
+    Metrics m;
+    std::string cell;
+    const auto next = [&]() -> std::string {
+      std::getline(ss, cell, ',');
+      return cell;
+    };
+    m.arch = next();
+    m.benchmark = next();
+    m.ipc = std::stod(next());
+    m.cycles = std::stoull(next());
+    m.dynamic_w = std::stod(next());
+    m.leakage_w = std::stod(next());
+    m.total_w = std::stod(next());
+    m.l2_write_share = std::stod(next());
+    m.l2_miss_rate = std::stod(next());
+    cache[{m.arch, m.benchmark}] = m;
+  }
+  return cache;
+}
+
+void save_cache(const std::string& path, const std::vector<Metrics>& rows) {
+  std::ofstream out(path);
+  if (!out) return;
+  out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n";
+  for (const Metrics& m : rows) {
+    out << m.arch << ',' << m.benchmark << ',' << m.ipc << ',' << m.cycles << ','
+        << m.dynamic_w << ',' << m.leakage_w << ',' << m.total_w << ','
+        << m.l2_write_share << ',' << m.l2_miss_rate << '\n';
+  }
+}
+
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
+                                const std::string& cache_path) {
+  auto cache = cache_path.empty()
+                   ? std::map<std::pair<std::string, std::string>, Metrics>{}
+                   : load_cache(cache_path);
+  std::vector<Metrics> rows;
+  bool ran_anything = false;
+
+  for (const Architecture arch : archs) {
+    const ArchSpec spec = make_arch(arch);
+    for (const std::string& name : workload::benchmark_names()) {
+      const auto key = std::make_pair(spec.name, name);
+      if (const auto it = cache.find(key); it != cache.end()) {
+        rows.push_back(it->second);
+        continue;
+      }
+      std::cerr << "[run] " << spec.name << " / " << name << " ..." << std::flush;
+      const workload::Workload w = workload::make_benchmark(name, scale);
+      Metrics m = run_one(spec, w);
+      std::cerr << " ipc=" << m.ipc << " cycles=" << m.cycles << '\n';
+      cache[key] = m;
+      rows.push_back(std::move(m));
+      ran_anything = true;
+    }
+  }
+
+  if (ran_anything && !cache_path.empty()) {
+    std::vector<Metrics> all;
+    all.reserve(cache.size());
+    for (const auto& [k, v] : cache) all.push_back(v);
+    save_cache(cache_path, all);
+  }
+  return rows;
+}
+
+std::map<std::string, Metrics> by_benchmark(const std::vector<Metrics>& rows,
+                                            const std::string& arch) {
+  std::map<std::string, Metrics> out;
+  for (const Metrics& m : rows) {
+    if (m.arch == arch) out[m.benchmark] = m;
+  }
+  return out;
+}
+
+}  // namespace sttgpu::sim

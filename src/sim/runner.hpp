@@ -1,0 +1,62 @@
+// Experiment runner: builds a GPU for an architecture, runs one workload,
+// and extracts the metrics the paper's figures plot. Also provides the
+// shared Fig. 8 (arch x benchmark) matrix with a CSV result cache so the
+// three Fig. 8 bench binaries do not re-simulate the same 80 runs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hpp"
+#include "sim/arch.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace sttgpu::sim {
+
+struct Metrics {
+  std::string arch;
+  std::string benchmark;
+  double ipc = 0.0;
+  std::uint64_t cycles = 0;
+  double dynamic_w = 0.0;   ///< L2 dynamic power over the run
+  double leakage_w = 0.0;   ///< L2 leakage
+  double total_w = 0.0;
+  double l2_write_share = 0.0;
+  double l2_miss_rate = 0.0;
+};
+
+/// Hook type: runs with the live Gpu after simulation, before teardown —
+/// used by benches that need bank internals (histograms, utilizations).
+using BankInspector = std::function<void(gpu::Gpu&)>;
+
+/// Runs @p workload on @p spec. @p inspect (optional) sees the finished GPU.
+Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
+                const BankInspector& inspect = {});
+
+/// Convenience: build + run by ids.
+Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
+                const BankInspector& inspect = {});
+
+/// Like run_one, but also hands back the full gpu::RunResult (counters,
+/// per-category energy, SM stats) for detailed reporting.
+Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
+                         gpu::RunResult& out_run);
+
+/// The Fig. 8 matrix: every benchmark on every listed architecture.
+/// Results are cached in @p cache_path (CSV) keyed by (arch, benchmark);
+/// pass an empty path to disable caching. Progress lines go to stderr.
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
+                                const std::string& cache_path);
+
+/// Cache helpers (exposed for tests).
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path);
+void save_cache(const std::string& path, const std::vector<Metrics>& rows);
+
+/// Index @p rows by benchmark for one architecture.
+std::map<std::string, Metrics> by_benchmark(const std::vector<Metrics>& rows,
+                                            const std::string& arch);
+
+}  // namespace sttgpu::sim

@@ -1,0 +1,106 @@
+#include "sttl2/bank_base.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sttl2 {
+
+namespace {
+struct ReadyLater {
+  bool operator()(const gpu::L2Response& a, const gpu::L2Response& b) const noexcept {
+    return a.ready > b.ready;  // min-heap on ready
+  }
+};
+}  // namespace
+
+BankBase::BankBase(unsigned bank_id, unsigned line_bytes, unsigned input_queue_limit,
+                   gpu::DramChannel& dram)
+    : bank_id_(bank_id),
+      line_bytes_(line_bytes),
+      input_queue_limit_(input_queue_limit),
+      dram_(&dram) {
+  STTGPU_REQUIRE(is_pow2(line_bytes), "BankBase: line size must be a power of two");
+  STTGPU_REQUIRE(input_queue_limit > 0, "BankBase: need a positive input queue limit");
+}
+
+bool BankBase::accepting() const { return input_.size() < input_queue_limit_; }
+
+void BankBase::enqueue(const gpu::L2Request& request, Cycle /*now*/) {
+  STTGPU_ASSERT_MSG(accepting(), "BankBase: enqueue on full input queue");
+  input_.push_back(request);
+}
+
+void BankBase::on_dram_read_done(std::uint64_t cookie, Cycle /*now*/) {
+  fills_ready_.push_back(static_cast<Addr>(cookie));
+}
+
+void BankBase::tick(Cycle now) {
+  if (!fills_ready_.empty()) {
+    // Swap out first: process_fill may trigger new DRAM reads that complete
+    // on later ticks only (DRAM latency > 0), so no reentrancy hazard.
+    std::vector<Addr> fills;
+    fills.swap(fills_ready_);
+    for (const Addr line : fills) process_fill(line, now);
+  }
+  while (!input_.empty()) {
+    const gpu::L2Request req = input_.front();
+    input_.pop_front();
+    process_request(req, now);
+  }
+  maintenance(now);
+}
+
+void BankBase::drain_responses(Cycle now, std::vector<gpu::L2Response>& out) {
+  while (!responses_.empty() && responses_.front().ready <= now) {
+    std::pop_heap(responses_.begin(), responses_.end(), ReadyLater{});
+    out.push_back(responses_.back());
+    responses_.pop_back();
+  }
+}
+
+bool BankBase::idle() const {
+  return input_.empty() && responses_.empty() && pending_.empty() &&
+         fills_ready_.empty() && impl_idle();
+}
+
+void BankBase::request_fill(Addr line, const gpu::L2Request& request, Cycle now) {
+  auto it = pending_.find(line);
+  const bool fresh = it == pending_.end();
+  if (fresh) it = pending_.emplace(line, Waiters{}).first;
+  if (request.is_store) {
+    it->second.writes.push_back(request);
+  } else {
+    it->second.reads.push_back(request);
+  }
+  if (fresh) {
+    dram_->read(line, static_cast<std::uint64_t>(line), now);
+    ++stats_.dram_reads;
+  }
+}
+
+BankBase::Waiters BankBase::take_waiters(Addr line) {
+  const auto it = pending_.find(line);
+  STTGPU_ASSERT_MSG(it != pending_.end(), "BankBase: fill without waiters entry");
+  Waiters w = std::move(it->second);
+  pending_.erase(it);
+  return w;
+}
+
+void BankBase::respond(const gpu::L2Request& request, Cycle ready) {
+  gpu::L2Response resp;
+  resp.id = request.id;
+  resp.addr = request.addr;
+  resp.is_store = request.is_store;
+  resp.sm_id = request.sm_id;
+  resp.ready = ready;
+  responses_.push_back(resp);
+  std::push_heap(responses_.begin(), responses_.end(), ReadyLater{});
+}
+
+void BankBase::dram_writeback(Addr line, Cycle now) {
+  dram_->write(line, now);
+  ++stats_.dram_writebacks;
+}
+
+}  // namespace sttgpu::sttl2

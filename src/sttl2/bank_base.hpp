@@ -1,0 +1,148 @@
+// Shared plumbing for L2 bank implementations: input queue, fill (MSHR)
+// table, DRAM interplay, response emission, energy ledger and a single-
+// server occupancy model per data array.
+//
+// Timing model: each data array is a FIFO single server. An operation
+// starting at `now` begins at max(now, server.free), occupies the array for
+// its access latency, and the server's free time advances — so long
+// STT-RAM writes delay everything queued behind them, which is the paper's
+// performance mechanism for both the naive STT baseline's regressions and
+// the LR part's recovery of them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "gpu/dram.hpp"
+#include "gpu/l2_bank.hpp"
+#include "power/energy.hpp"
+
+namespace sttgpu::sttl2 {
+
+/// FIFO single-server resource (a data array port).
+class ArrayServer {
+ public:
+  /// Starts an operation of @p occupancy cycles at or after @p now; returns
+  /// the completion cycle.
+  Cycle occupy(Cycle now, Cycle occupancy) noexcept {
+    const Cycle start = free_ > now ? free_ : now;
+    free_ = start + occupancy;
+    return free_;
+  }
+  Cycle free_at() const noexcept { return free_; }
+  Cycle backlog(Cycle now) const noexcept { return free_ > now ? free_ - now : 0; }
+
+ private:
+  Cycle free_ = 0;
+};
+
+/// A data array split into independently ported subarrays (as CACTI mats):
+/// operations on different subbanks overlap; the subbank is selected by a
+/// hash of the line address. Models the internal banking of large caches,
+/// without which long STT-RAM write pulses would serialize the whole bank.
+class SubbankedServer {
+ public:
+  explicit SubbankedServer(unsigned subbanks) : servers_(subbanks ? subbanks : 1) {}
+
+  Cycle occupy(Addr line_addr, Cycle now, Cycle occupancy) noexcept {
+    return servers_[index(line_addr)].occupy(now, occupancy);
+  }
+  Cycle backlog(Addr line_addr, Cycle now) const noexcept {
+    return servers_[index(line_addr)].backlog(now);
+  }
+  unsigned subbanks() const noexcept { return static_cast<unsigned>(servers_.size()); }
+
+ private:
+  std::size_t index(Addr line_addr) const noexcept {
+    // Multiplicative hash decorrelates the subbank from the L2-bank
+    // interleaving bits (which are also low line-number bits).
+    const std::uint64_t h = (line_addr >> 6) * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> 32) % servers_.size();
+  }
+  std::vector<ArrayServer> servers_;
+};
+
+class BankBase : public gpu::L2Bank {
+ public:
+  BankBase(unsigned bank_id, unsigned line_bytes, unsigned input_queue_limit,
+           gpu::DramChannel& dram);
+
+  // --- gpu::L2Bank ---
+  bool accepting() const final;
+  void enqueue(const gpu::L2Request& request, Cycle now) final;
+  void tick(Cycle now) final;
+  void drain_responses(Cycle now, std::vector<gpu::L2Response>& out) final;
+  void on_dram_read_done(std::uint64_t cookie, Cycle now) final;
+  bool idle() const final;
+  const gpu::L2BankStats& stats() const final { return stats_; }
+  const power::EnergyLedger& energy() const final { return energy_; }
+
+  /// Implementation-specific counters for reports.
+  const CounterSet& counters() const noexcept { return counters_; }
+
+ protected:
+  /// One demand request ready to be serviced (input queue head).
+  virtual void process_request(const gpu::L2Request& request, Cycle now) = 0;
+
+  /// A previously requested DRAM line arrived.
+  virtual void process_fill(Addr line_addr, Cycle now) = 0;
+
+  /// Per-tick housekeeping (refresh, expiry, buffer drains).
+  virtual void maintenance(Cycle /*now*/) {}
+
+  /// Implementation has in-flight work beyond the shared queues.
+  virtual bool impl_idle() const { return true; }
+
+  // --- helpers for implementations ---
+
+  Addr line_base(Addr addr) const noexcept { return align_down(addr, line_bytes_); }
+
+  /// Registers a demand miss on @p line: merges with an outstanding fill or
+  /// issues a new DRAM read. Store requests are replayed as writes when the
+  /// line arrives (fetch-on-write).
+  void request_fill(Addr line, const gpu::L2Request& request, Cycle now);
+
+  /// True if a fill for @p line is already outstanding.
+  bool fill_outstanding(Addr line) const noexcept { return pending_.count(line) != 0; }
+
+  /// Takes the requests waiting on @p line (fill arrived).
+  struct Waiters {
+    std::vector<gpu::L2Request> reads;
+    std::vector<gpu::L2Request> writes;
+  };
+  Waiters take_waiters(Addr line);
+
+  /// Emits the response for @p request at completion time @p ready.
+  void respond(const gpu::L2Request& request, Cycle ready);
+
+  /// Issues a DRAM writeback (dirty eviction / forced writeback).
+  void dram_writeback(Addr line, Cycle now);
+
+  power::EnergyLedger& ledger() noexcept { return energy_; }
+  CounterSet& mutable_counters() noexcept { return counters_; }
+  gpu::L2BankStats& mutable_stats() noexcept { return stats_; }
+  unsigned bank_id() const noexcept { return bank_id_; }
+  unsigned line_bytes() const noexcept { return line_bytes_; }
+
+ private:
+  unsigned bank_id_;
+  unsigned line_bytes_;
+  unsigned input_queue_limit_;
+  gpu::DramChannel* dram_;
+
+  std::deque<gpu::L2Request> input_;
+  std::vector<gpu::L2Response> responses_;  // min-heap keyed by ready cycle
+  std::unordered_map<Addr, Waiters> pending_;
+  std::vector<Addr> fills_ready_;  // lines whose DRAM read completed
+
+  gpu::L2BankStats stats_;
+  power::EnergyLedger energy_;
+  CounterSet counters_;
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,94 @@
+// Configuration structures for the L2 bank implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "nvm/cell.hpp"
+
+namespace sttgpu::sttl2 {
+
+/// How the two tag arrays of the two-part cache are probed (paper Section 5:
+/// "Two possible approaches include parallel and sequential searches").
+enum class SearchPolicy : std::uint8_t {
+  /// Probe both parts at once: lowest latency, both tag arrays burn energy.
+  kParallel,
+  /// Probe the likely part first (writes: LR first; reads: HR first); probe
+  /// the other only on a miss. Saves tag energy, may add tag latency.
+  kSequential,
+};
+
+const char* to_string(SearchPolicy p) noexcept;
+
+/// A conventional single-array L2 bank (SRAM baseline or naive STT baseline).
+struct UniformBankConfig {
+  std::uint64_t capacity_bytes = 64 * 1024;  ///< per bank
+  unsigned associativity = 8;
+  unsigned line_bytes = 256;
+  nvm::CellParams cell = nvm::sram_cell();
+  /// Early write termination (see TwoPartBankConfig): scales write energy
+  /// by ewt_flip_fraction when enabled.
+  bool early_write_termination = false;
+  double ewt_flip_fraction = 0.35;
+  /// Extra response latency of the bank pipeline (queues, ECC, controller).
+  unsigned pipeline_cycles = 16;
+  unsigned input_queue = 32;
+  /// Independently ported subarrays within the data array.
+  unsigned subbanks = 2;
+};
+
+/// The paper's proposed two-part bank.
+struct TwoPartBankConfig {
+  // High-retention part (per bank)
+  std::uint64_t hr_bytes = 224 * 1024;  ///< C1: 1344KB / 6 banks
+  unsigned hr_assoc = 7;
+  double hr_retention_s = 40e-3;
+  unsigned hr_counter_bits = 2;  ///< per-line retention counter (Section 5)
+
+  // Low-retention part (per bank)
+  std::uint64_t lr_bytes = 32 * 1024;  ///< C1: 192KB / 6 banks
+  unsigned lr_assoc = 2;               ///< 0 => fully associative
+  double lr_retention_s = 26.5e-6;
+  unsigned lr_counter_bits = 4;
+
+  unsigned line_bytes = 256;
+
+  /// Writes to an HR line whose write counter has already reached this value
+  /// migrate the line to LR. 1 == the conventional modified bit (the paper's
+  /// TH1, shown optimal in Fig. 4).
+  unsigned write_threshold = 1;
+
+  /// Extension (beyond the paper): adapt the write threshold at runtime.
+  /// Every adapt_interval cycles the bank inspects its LR churn (evictions
+  /// per migration): heavy churn means the WWS exceeds the LR capacity, so
+  /// the monitor becomes pickier (threshold up, toward max_threshold); calm
+  /// intervals relax it back toward write_threshold.
+  bool adaptive_threshold = false;
+  unsigned adapt_interval = 8192;
+  unsigned max_threshold = 8;
+
+  /// Extension (i2WAP-flavoured, the paper's ref [15]): periodically rotate
+  /// the LR set mapping to level inter-set write wear. A rotation flushes
+  /// the LR part back to HR (through the normal eviction path, so the cost
+  /// is modelled) and shifts the index by one set.
+  bool lr_wear_leveling = false;
+  std::uint64_t wear_level_period = 100000;  ///< LR writes between rotations
+
+  /// Extension: early write termination (Zhou et al., ICCAD'09 — the
+  /// paper's ref [17]): bit-writes matching the stored value abort early,
+  /// scaling write energy by the expected flipped-bit fraction.
+  bool early_write_termination = false;
+  double ewt_flip_fraction = 0.35;
+
+  /// Capacity of each swap buffer (HR->LR and LR->HR), in cache lines.
+  unsigned buffer_lines = 10;
+
+  SearchPolicy search = SearchPolicy::kSequential;
+
+  unsigned pipeline_cycles = 16;
+  unsigned input_queue = 32;
+  /// Independently ported subarrays within each part's data array.
+  unsigned hr_subbanks = 2;
+  unsigned lr_subbanks = 2;
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,27 @@
+#include "sttl2/factories.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::sttl2 {
+
+const char* to_string(SearchPolicy p) noexcept {
+  switch (p) {
+    case SearchPolicy::kParallel: return "parallel";
+    case SearchPolicy::kSequential: return "sequential";
+  }
+  return "?";
+}
+
+void UniformBankFactory::collect(const gpu::L2Bank& bank, CounterSet& out) const {
+  const auto* base = dynamic_cast<const BankBase*>(&bank);
+  STTGPU_ASSERT(base != nullptr);
+  out.merge(base->counters());
+}
+
+void TwoPartBankFactory::collect(const gpu::L2Bank& bank, CounterSet& out) const {
+  const auto* base = dynamic_cast<const BankBase*>(&bank);
+  STTGPU_ASSERT(base != nullptr);
+  out.merge(base->counters());
+}
+
+}  // namespace sttgpu::sttl2

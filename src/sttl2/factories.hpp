@@ -1,0 +1,48 @@
+// L2BankFactory implementations wiring the bank types into gpu::Gpu.
+#pragma once
+
+#include "common/units.hpp"
+#include "gpu/gpu.hpp"
+#include "sttl2/config.hpp"
+#include "sttl2/two_part_bank.hpp"
+#include "sttl2/uniform_bank.hpp"
+
+namespace sttgpu::sttl2 {
+
+/// Builds identical UniformBank instances (SRAM or naive STT baseline).
+class UniformBankFactory final : public gpu::L2BankFactory {
+ public:
+  UniformBankFactory(UniformBankConfig per_bank, Clock clock)
+      : config_(per_bank), clock_(clock) {}
+
+  std::unique_ptr<gpu::L2Bank> make_bank(unsigned bank_id, gpu::DramChannel& dram) override {
+    return std::make_unique<UniformBank>(bank_id, config_, clock_, dram);
+  }
+  void collect(const gpu::L2Bank& bank, CounterSet& out) const override;
+
+  const UniformBankConfig& config() const noexcept { return config_; }
+
+ private:
+  UniformBankConfig config_;
+  Clock clock_;
+};
+
+/// Builds identical TwoPartBank instances (the proposed architecture).
+class TwoPartBankFactory final : public gpu::L2BankFactory {
+ public:
+  TwoPartBankFactory(TwoPartBankConfig per_bank, Clock clock)
+      : config_(per_bank), clock_(clock) {}
+
+  std::unique_ptr<gpu::L2Bank> make_bank(unsigned bank_id, gpu::DramChannel& dram) override {
+    return std::make_unique<TwoPartBank>(bank_id, config_, clock_, dram);
+  }
+  void collect(const gpu::L2Bank& bank, CounterSet& out) const override;
+
+  const TwoPartBankConfig& config() const noexcept { return config_; }
+
+ private:
+  TwoPartBankConfig config_;
+  Clock clock_;
+};
+
+}  // namespace sttgpu::sttl2

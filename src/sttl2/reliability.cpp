@@ -1,0 +1,55 @@
+#include "sttl2/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sttgpu::sttl2 {
+
+ReliabilityReport analyze_reliability(const Histogram& lifetimes_ns, double retention_s,
+                                      double refresh_period_s,
+                                      double overflow_lifetime_ns, double spec_margin,
+                                      const nvm::MtjModel& mtj) {
+  STTGPU_REQUIRE(retention_s > 0.0, "analyze_reliability: retention must be positive");
+  STTGPU_REQUIRE(overflow_lifetime_ns > 0.0,
+                 "analyze_reliability: overflow lifetime must be positive");
+  STTGPU_REQUIRE(spec_margin >= 1.0, "analyze_reliability: spec margin must be >= 1");
+
+  ReliabilityReport r;
+  r.retention_s = retention_s;
+  r.spec_margin = spec_margin;
+  r.refresh_period_s = refresh_period_s;
+  r.lifetimes = lifetimes_ns.total();
+  // Mean thermal life = quoted retention x guard band.
+  const double delta = mtj.delta_for_retention(retention_s * spec_margin);
+
+  const auto lifetime_of_bucket = [&](std::size_t i) -> double {
+    // Bucket midpoint as the representative lifetime; the caller-provided
+    // value stands in for the unbounded overflow bucket.
+    double raw;
+    if (i + 1 < lifetimes_ns.bucket_count()) {
+      const double lower = i == 0 ? 0.0 : lifetimes_ns.upper_edge(i - 1);
+      raw = 0.5 * (lower + lifetimes_ns.upper_edge(i));
+    } else {
+      raw = overflow_lifetime_ns;
+    }
+    // Refresh rewrites the cell every refresh period, so no stored datum
+    // decays for longer than that.
+    if (refresh_period_s > 0.0) {
+      return std::min(raw, seconds_to_ns(refresh_period_s));
+    }
+    return raw;
+  };
+
+  for (std::size_t i = 0; i < lifetimes_ns.bucket_count(); ++i) {
+    const double t_s = ns_to_seconds(lifetime_of_bucket(i));
+    r.expected_failures +=
+        static_cast<double>(lifetimes_ns.bucket(i)) * mtj.failure_probability(delta, t_s);
+  }
+  r.failure_rate =
+      r.lifetimes ? r.expected_failures / static_cast<double>(r.lifetimes) : 0.0;
+  return r;
+}
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,28 @@
+#include "sttl2/retention.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::sttl2 {
+
+RetentionClock::RetentionClock(double retention_s, unsigned counter_bits,
+                               const Clock& clock)
+    : bits_(counter_bits) {
+  STTGPU_REQUIRE(retention_s > 0.0, "RetentionClock: retention must be positive");
+  STTGPU_REQUIRE(counter_bits >= 1 && counter_bits <= 16,
+                 "RetentionClock: counter bits out of range");
+  retention_cycles_ = clock.cycles_for_ns(seconds_to_ns(retention_s));
+  const Cycle ticks = Cycle{1} << bits_;
+  tick_cycles_ = retention_cycles_ / ticks;
+  STTGPU_REQUIRE(tick_cycles_ >= 1,
+                 "RetentionClock: counter too wide for this retention time");
+}
+
+unsigned RetentionClock::counter_value(Cycle written_at, Cycle now) const noexcept {
+  if (now <= written_at) return 0;
+  const Cycle age = now - written_at;
+  const Cycle ticks = age / tick_cycles_;
+  const Cycle max = (Cycle{1} << bits_) - 1;
+  return static_cast<unsigned>(ticks > max ? max : ticks);
+}
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,47 @@
+// Retention-counter bookkeeping (after Cache Revive [7] / the paper's
+// Section 5): each line in a volatile STT-RAM array carries an n-bit counter
+// clocked at retention_time / 2^n. The counter value approximates the age of
+// the line's data; refresh is postponed to the last counter period before
+// expiry ("postpone refresh of data blocks to the last cycles of retention
+// period").
+//
+// RetentionClock converts between the device retention time and core cycles
+// and answers, for a line (re)written at cycle W:
+//   * deadline(W)     — the cycle at which data becomes unreliable;
+//   * refresh_due(W)  — the cycle at which the refresh must be performed
+//                       (one counter tick before the deadline).
+#pragma once
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace sttgpu::sttl2 {
+
+class RetentionClock {
+ public:
+  /// @p retention_s device retention time; @p counter_bits per-line counter
+  /// width; @p clock the core clock the cycle numbers are expressed in.
+  RetentionClock(double retention_s, unsigned counter_bits, const Clock& clock);
+
+  Cycle retention_cycles() const noexcept { return retention_cycles_; }
+  Cycle tick_cycles() const noexcept { return tick_cycles_; }
+  unsigned counter_bits() const noexcept { return bits_; }
+
+  Cycle deadline(Cycle written_at) const noexcept { return written_at + retention_cycles_; }
+
+  /// Refresh must happen in the last counter period before the deadline.
+  Cycle refresh_due(Cycle written_at) const noexcept {
+    return written_at + retention_cycles_ - tick_cycles_;
+  }
+
+  /// Counter value an observer would read at @p now for data written at
+  /// @p written_at (saturates at 2^bits - 1 == expired).
+  unsigned counter_value(Cycle written_at, Cycle now) const noexcept;
+
+ private:
+  unsigned bits_;
+  Cycle retention_cycles_;
+  Cycle tick_cycles_;
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,34 @@
+#include "sttl2/rewrite_tracker.hpp"
+
+namespace sttgpu::sttl2 {
+
+namespace {
+// Fig. 6 bucket upper edges, in nanoseconds.
+std::vector<double> fig6_edges() {
+  return {us_to_ns(10.0), us_to_ns(50.0), us_to_ns(100.0), ms_to_ns(1.0), ms_to_ns(2.5)};
+}
+}  // namespace
+
+RewriteTracker::RewriteTracker(const Clock& clock) : clock_(clock), hist_(fig6_edges()) {}
+
+RewriteTracker::RewriteTracker(const Clock& clock, std::vector<double> edges_ns)
+    : clock_(clock), hist_(std::move(edges_ns)) {}
+
+void RewriteTracker::record(Cycle previous, Cycle now) {
+  if (previous == kNoCycle || now < previous) return;
+  hist_.add(clock_.ns_for_cycles(now - previous));
+}
+
+double RewriteTracker::fraction_within_ns(double ns) const {
+  if (hist_.total() == 0) return 0.0;
+  std::uint64_t within = 0;
+  for (std::size_t i = 0; i < hist_.bucket_count(); ++i) {
+    const bool bounded = i + 1 < hist_.bucket_count();
+    if (bounded && hist_.upper_edge(i) <= ns) {
+      within += hist_.bucket(i);
+    }
+  }
+  return static_cast<double>(within) / static_cast<double>(hist_.total());
+}
+
+}  // namespace sttgpu::sttl2

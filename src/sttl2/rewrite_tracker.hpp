@@ -1,0 +1,40 @@
+// Rewrite-interval tracking for the paper's Figure 6 (distribution of the
+// time between successive writes to the same resident line in the LR part)
+// and the Section 4 claim that a 40ms HR retention covers >90% of HR
+// rewrites.
+#pragma once
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace sttgpu::sttl2 {
+
+class RewriteTracker {
+ public:
+  /// @p clock converts cycle intervals to wall time for the histogram.
+  /// Default bucket edges are the Fig. 6 ones; pass custom @p edges_ns
+  /// (strictly increasing, in nanoseconds) for other analyses, e.g. a 40ms
+  /// edge for the HR-retention claim.
+  explicit RewriteTracker(const Clock& clock);
+  RewriteTracker(const Clock& clock, std::vector<double> edges_ns);
+
+  /// Records a write at @p now to a line whose previous write (while
+  /// resident in the same part) was at @p previous. kNoCycle previous means
+  /// first write — not an interval.
+  void record(Cycle previous, Cycle now);
+
+  /// Fig. 6 buckets: <=10us, <=50us, <=100us, <=1ms, <=2.5ms, >2.5ms.
+  const Histogram& histogram() const noexcept { return hist_; }
+
+  /// Fraction of rewrite intervals at or below @p ns.
+  double fraction_within_ns(double ns) const;
+
+  std::uint64_t intervals() const noexcept { return hist_.total(); }
+
+ private:
+  Clock clock_;
+  Histogram hist_;
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,447 @@
+#include "sttl2/two_part_bank.hpp"
+
+#include "common/error.hpp"
+#include "nvm/cell.hpp"
+
+namespace sttgpu::sttl2 {
+
+namespace {
+
+power::ArrayCosts cost_hr(const TwoPartBankConfig& c) {
+  power::ArraySpec spec;
+  spec.capacity_bytes = c.hr_bytes;
+  spec.associativity = c.hr_assoc;
+  spec.line_bytes = c.line_bytes;
+  spec.data_cell = nvm::stt_cell_for_retention(c.hr_retention_s);
+  spec.extra_tag_bits_per_line = c.hr_counter_bits;  // RC; WC is the dirty bit
+  return power::evaluate_array(spec);
+}
+
+power::ArrayCosts cost_lr(const TwoPartBankConfig& c) {
+  power::ArraySpec spec;
+  spec.capacity_bytes = c.lr_bytes;
+  const unsigned lines = static_cast<unsigned>(c.lr_bytes / c.line_bytes);
+  spec.associativity = c.lr_assoc == 0 ? lines : c.lr_assoc;
+  spec.line_bytes = c.line_bytes;
+  spec.data_cell = nvm::stt_cell_for_retention(c.lr_retention_s);
+  spec.extra_tag_bits_per_line = c.lr_counter_bits;
+  return power::evaluate_array(spec);
+}
+
+cache::CacheGeometry lr_geometry(const TwoPartBankConfig& c) {
+  const unsigned lines = static_cast<unsigned>(c.lr_bytes / c.line_bytes);
+  const unsigned assoc = c.lr_assoc == 0 ? lines : c.lr_assoc;
+  return {c.lr_bytes, assoc, c.line_bytes};
+}
+
+}  // namespace
+
+TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
+                         const Clock& clock, gpu::DramChannel& dram)
+    : BankBase(bank_id, config.line_bytes, config.input_queue, dram),
+      config_(config),
+      clock_(clock),
+      hr_costs_(cost_hr(config)),
+      lr_costs_(cost_lr(config)),
+      hr_tags_({config.hr_bytes, config.hr_assoc, config.line_bytes},
+               cache::ReplacementKind::kLru, bank_id + 31),
+      lr_tags_(lr_geometry(config), cache::ReplacementKind::kLru, bank_id + 37),
+      hr_retention_(config.hr_retention_s, config.hr_counter_bits, clock),
+      lr_retention_(config.lr_retention_s, config.lr_counter_bits, clock),
+      hr_data_(config.hr_subbanks),
+      lr_data_(config.lr_subbanks),
+      hr2lr_(config.buffer_lines),
+      lr2hr_(config.buffer_lines),
+      lr_rewrites_(clock),
+      hr_rewrites_(clock, {ms_to_ns(1.0), ms_to_ns(10.0), ms_to_ns(40.0), ms_to_ns(100.0)}),
+      lr_wear_(lr_tags_.geometry().num_sets(), lr_tags_.geometry().associativity()),
+      hr_wear_(hr_tags_.geometry().num_sets(), hr_tags_.geometry().associativity()),
+      threshold_(config.write_threshold) {
+  STTGPU_REQUIRE(config.lr_retention_s < config.hr_retention_s,
+                 "TwoPartBank: LR retention must be below HR retention");
+  hr_tag_lat_ = clock_.cycles_for_ns(hr_costs_.tag_latency_ns);
+  lr_tag_lat_ = clock_.cycles_for_ns(lr_costs_.tag_latency_ns);
+  hr_read_occ_ = clock_.cycles_for_ns(hr_costs_.data_read_latency_ns);
+  hr_write_occ_ = clock_.cycles_for_ns(hr_costs_.data_write_latency_ns);
+  lr_read_occ_ = clock_.cycles_for_ns(lr_costs_.data_read_latency_ns);
+  lr_write_occ_ = clock_.cycles_for_ns(lr_costs_.data_write_latency_ns);
+  // Swap-buffer entries are small SRAM: one line read in + one read out.
+  const auto sram = nvm::sram_cell();
+  buffer_entry_pj_ = config.line_bytes * 8.0 *
+                     (sram.read_energy_pj_per_bit + sram.write_energy_pj_per_bit);
+  if (config_.early_write_termination) {
+    STTGPU_REQUIRE(config_.ewt_flip_fraction > 0.0 && config_.ewt_flip_fraction <= 1.0,
+                   "TwoPartBank: ewt_flip_fraction must be in (0, 1]");
+    write_energy_scale_ = config_.ewt_flip_fraction;
+  }
+  next_adapt_ = config_.adapt_interval;
+}
+
+void TwoPartBank::charge_lr_write(Addr addr) {
+  ++lr_writes_since_rotation_;
+  ledger().add("l2.lr.data_write", lr_costs_.data_write_pj * write_energy_scale_);
+  ledger().add("l2.lr.tag_update", lr_costs_.tag_update_pj);
+  mutable_counters()["lr_phys_writes"] += 1;
+  const std::uint64_t set = lr_tags_.geometry().set_index(addr);
+  if (const auto way = lr_tags_.probe(addr)) lr_wear_.record_write(set, *way);
+}
+
+void TwoPartBank::charge_hr_write(Addr addr) {
+  ledger().add("l2.hr.data_write", hr_costs_.data_write_pj * write_energy_scale_);
+  ledger().add("l2.hr.tag_update", hr_costs_.tag_update_pj);
+  mutable_counters()["hr_phys_writes"] += 1;
+  const std::uint64_t set = hr_tags_.geometry().set_index(addr);
+  if (const auto way = hr_tags_.probe(addr)) hr_wear_.record_write(set, *way);
+}
+
+double TwoPartBank::lr_write_utilization() const noexcept {
+  const std::uint64_t demand = counters().get("w_demand");
+  if (demand == 0) return 0.0;
+  // Direct LR write hits only: a migration means the previous write working
+  // set placement failed to keep the block resident in LR, so the paper's
+  // "write utilization of the LR part" penalizes it.
+  return static_cast<double>(counters().get("w_lr_hit")) / static_cast<double>(demand);
+}
+
+void TwoPartBank::process_request(const gpu::L2Request& request, Cycle now) {
+  service(request, now, /*replay=*/false);
+}
+
+void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay) {
+  const Addr line_addr = line_base(request.addr);
+  auto& s = mutable_stats();
+
+  if (fill_outstanding(line_addr)) {
+    if (!replay) {
+      request.is_store ? ++s.write_misses : ++s.read_misses;
+      if (request.is_store) mutable_counters()["w_demand"] += 1;
+    }
+    request_fill(line_addr, request, now);
+    return;
+  }
+
+  // --- cache search (Section 5's search selector) ---
+  bool in_lr = false, in_hr = false;
+  std::optional<unsigned> way;
+  Cycle search_lat = 0;
+  const Addr lr_key = to_lr(line_addr);
+  const auto probe_lr = [&] {
+    mutable_counters()["tag_probes_lr"] += 1;
+    ledger().add("l2.lr.tag_probe", lr_costs_.tag_probe_pj);
+    way = lr_tags_.probe(lr_key);
+    in_lr = way.has_value();
+  };
+  const auto probe_hr = [&] {
+    mutable_counters()["tag_probes_hr"] += 1;
+    ledger().add("l2.hr.tag_probe", hr_costs_.tag_probe_pj);
+    way = hr_tags_.probe(line_addr);
+    in_hr = way.has_value();
+  };
+
+  if (config_.search == SearchPolicy::kParallel) {
+    probe_lr();
+    const auto lr_way = way;
+    probe_hr();
+    if (in_lr) {
+      way = lr_way;
+      in_hr = false;  // invariant: a line lives in exactly one part
+    }
+    search_lat = std::max(hr_tag_lat_, lr_tag_lat_);
+  } else if (request.is_store) {
+    probe_lr();
+    search_lat = lr_tag_lat_;
+    if (!in_lr) {
+      probe_hr();
+      search_lat += hr_tag_lat_;
+    }
+  } else {
+    probe_hr();
+    search_lat = hr_tag_lat_;
+    if (!in_hr) {
+      probe_lr();
+      search_lat += lr_tag_lat_;
+    }
+  }
+
+  const Cycle start = now + search_lat;
+
+  if (request.is_store) {
+    if (!replay) mutable_counters()["w_demand"] += 1;
+    if (in_lr) {
+      if (!replay) ++s.write_hits;
+      const Cycle done = lr_write_hit(lr_key, *way, start);
+      respond(request, done + config_.pipeline_cycles);
+      return;
+    }
+    if (in_hr) {
+      if (!replay) ++s.write_hits;
+      const Cycle done = hr_write_hit(line_addr, *way, start);
+      respond(request, done + config_.pipeline_cycles);
+      return;
+    }
+    if (!replay) ++s.write_misses;
+    request_fill(line_addr, request, now);
+    return;
+  }
+
+  // Loads.
+  if (in_hr) {
+    if (!replay) ++s.read_hits;
+    hr_tags_.touch(line_addr, *way);
+    const Cycle done = hr_data_.occupy(line_addr, start, hr_read_occ_);
+    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+    respond(request, done + config_.pipeline_cycles);
+    return;
+  }
+  if (in_lr) {
+    if (!replay) ++s.read_hits;
+    lr_tags_.touch(lr_key, *way);
+    const Cycle done = lr_data_.occupy(lr_key, start, lr_read_occ_);
+    ledger().add("l2.lr.data_read", lr_costs_.data_read_pj);
+    respond(request, done + config_.pipeline_cycles);
+    return;
+  }
+  if (!replay) ++s.read_misses;
+  request_fill(line_addr, request, now);
+}
+
+Cycle TwoPartBank::lr_write_hit(Addr lr_key, unsigned way, Cycle start) {
+  const Addr line_addr = lr_key;  // already in LR key space
+  const std::uint64_t set = lr_tags_.geometry().set_index(line_addr);
+  cache::LineMeta& line = lr_tags_.line(set, way);
+  lr_tags_.touch(line_addr, way);
+  lr_rewrites_.record(line.last_write_cycle, start);
+  line.dirty = true;
+  line.write_count += 1;
+  line.last_write_cycle = start;
+  line.retention_deadline = lr_retention_.deadline(start);
+  refresh_q_.push({lr_retention_.refresh_due(start), set, way, line.retention_deadline});
+
+  const Cycle done = lr_data_.occupy(line_addr, start, lr_write_occ_);
+  charge_lr_write(line_addr);
+  mutable_counters()["w_lr"] += 1;
+  mutable_counters()["w_lr_hit"] += 1;  // served directly by an LR hit
+  return done;
+}
+
+Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
+  const std::uint64_t set = hr_tags_.geometry().set_index(line_addr);
+  cache::LineMeta& line = hr_tags_.line(set, way);
+  hr_rewrites_.record(line.last_write_cycle, start);
+
+  if (line.write_count >= threshold_ && !hr2lr_.full(start)) {
+    // WWS monitor fired: migrate this block to LR and perform the write there.
+    mutable_counters()["migrations"] += 1;
+    ++interval_migrations_;
+    const std::uint32_t wc = line.write_count + 1;
+    hr_data_.occupy(line_addr, start, hr_read_occ_);  // read the block out of HR
+    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+    ledger().add("l2.hr.tag_update", hr_costs_.tag_update_pj);
+    ledger().add("l2.buffer", buffer_entry_pj_);
+    hr_tags_.invalidate(line_addr, way);
+
+    const Cycle done = lr_install(line_addr, /*dirty=*/true, wc, start, start);
+    hr2lr_.add(done);
+    return done;
+  }
+
+  if (line.write_count >= threshold_) mutable_counters()["migrations_blocked"] += 1;
+
+  hr_tags_.touch(line_addr, way);
+  line.dirty = true;
+  line.write_count += 1;
+  line.last_write_cycle = start;
+  line.retention_deadline = hr_retention_.deadline(start);
+  hr_expiry_q_.push({line.retention_deadline, set, way, line.retention_deadline});
+
+  const Cycle done = hr_data_.occupy(line_addr, start, hr_write_occ_);
+  charge_hr_write(line_addr);
+  mutable_counters()["w_hr"] += 1;
+  return done;
+}
+
+Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
+                              Cycle last_write, Cycle now) {
+  const Addr key = to_lr(addr);
+  const unsigned way = lr_tags_.pick_victim(key);
+  const std::uint64_t set = lr_tags_.geometry().set_index(key);
+  if (lr_tags_.line(set, way).valid) lr_evict(set, way, now);
+
+  cache::LineMeta& line = lr_tags_.fill(key, way, now);
+  line.dirty = dirty;
+  line.write_count = write_count;
+  line.last_write_cycle = last_write;
+  line.retention_deadline = lr_retention_.deadline(now);
+  refresh_q_.push({lr_retention_.refresh_due(now), set, way, line.retention_deadline});
+
+  const Cycle done = lr_data_.occupy(key, now, lr_write_occ_);
+  charge_lr_write(key);
+  mutable_counters()["w_lr"] += 1;
+  return done;
+}
+
+void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
+  const cache::LineMeta old = lr_tags_.line(set, way);
+  const Addr key = lr_tags_.geometry().addr_of_tag(old.tag);
+  const Addr addr = from_lr(key);  // back to true address space
+  mutable_counters()["lr_evictions"] += 1;
+  ++interval_evictions_;
+
+  lr_data_.occupy(key, now, lr_read_occ_);  // read the block out of LR
+  ledger().add("l2.lr.data_read", lr_costs_.data_read_pj);
+  lr_tags_.invalidate(key, way);
+
+  if (!lr2hr_.full(now)) {
+    ledger().add("l2.buffer", buffer_entry_pj_);
+    // The write counter counts writes since (re)insertion into HR and
+    // restarts here. With TH1 the monitor is the modified bit, which a
+    // dirty block naturally carries back into HR (the paper's free WWS
+    // monitor); higher thresholds make returning blocks re-earn migration.
+    const std::uint32_t wc = (threshold_ == 1 && old.dirty) ? 1 : 0;
+    const Cycle done = hr_install(addr, old.dirty, wc, now);
+    lr2hr_.add(done);
+    return;
+  }
+  // Paper: on buffer full, dirty lines are forced to main memory.
+  if (old.dirty) {
+    dram_writeback(addr, now);
+    mutable_counters()["lr_forced_wb"] += 1;
+  } else {
+    mutable_counters()["lr_forced_drop"] += 1;
+  }
+}
+
+Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, Cycle now) {
+  const unsigned victim = hr_tags_.pick_victim(addr);
+  const std::uint64_t set = hr_tags_.geometry().set_index(addr);
+  const cache::LineMeta& old = hr_tags_.line(set, victim);
+  if (old.valid && old.dirty) {
+    hr_data_.occupy(hr_tags_.geometry().addr_of_tag(old.tag), now, hr_read_occ_);
+    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+    dram_writeback(hr_tags_.geometry().addr_of_tag(old.tag), now);
+    mutable_counters()["hr_evict_dirty"] += 1;
+  } else if (old.valid) {
+    mutable_counters()["hr_evict_clean"] += 1;
+  }
+
+  cache::LineMeta& line = hr_tags_.fill(addr, victim, now);
+  line.dirty = dirty;
+  line.write_count = write_count;
+  line.last_write_cycle = write_count != 0 ? now : kNoCycle;
+  line.retention_deadline = hr_retention_.deadline(now);
+  hr_expiry_q_.push({line.retention_deadline, set, victim, line.retention_deadline});
+
+  const Cycle done = hr_data_.occupy(addr, now, hr_write_occ_);
+  charge_hr_write(addr);
+  return done;
+}
+
+void TwoPartBank::process_fill(Addr line_addr, Cycle now) {
+  const Cycle done = hr_install(line_addr, /*dirty=*/false, /*write_count=*/0, now);
+
+  Waiters w = take_waiters(line_addr);
+  for (const auto& req : w.reads) {
+    respond(req, done + hr_tag_lat_ + config_.pipeline_cycles);
+  }
+  // Fetch-on-write: replay the merged stores against the now-present line.
+  for (const auto& req : w.writes) service(req, now, /*replay=*/true);
+}
+
+void TwoPartBank::maintenance(Cycle now) {
+  do_refresh(now);
+  do_hr_expiry(now);
+  if (config_.adaptive_threshold) adapt_threshold(now);
+  if (config_.lr_wear_leveling && lr_writes_since_rotation_ >= config_.wear_level_period) {
+    rotate_lr_mapping(now);
+  }
+}
+
+void TwoPartBank::rotate_lr_mapping(Cycle now) {
+  // Flush the LR part back to HR through the normal eviction path (the
+  // swap buffer and write costs are charged as usual), then shift the
+  // index mapping by one set so hot lines land on fresh cells.
+  for (std::uint64_t set = 0; set < lr_tags_.geometry().num_sets(); ++set) {
+    for (unsigned way = 0; way < lr_tags_.geometry().associativity(); ++way) {
+      if (lr_tags_.line(set, way).valid) lr_evict(set, way, now);
+    }
+  }
+  lr_offset_ = (lr_offset_ + 1) % lr_tags_.geometry().num_sets();
+  lr_writes_since_rotation_ = 0;
+  mutable_counters()["wear_rotations"] += 1;
+}
+
+void TwoPartBank::adapt_threshold(Cycle now) {
+  if (now < next_adapt_) return;
+  next_adapt_ = now + config_.adapt_interval;
+  // Churn = LR evictions per migration over the last interval. High churn
+  // means migrated blocks bounce straight back out: the LR is oversubscribed
+  // and the monitor should demand more rewrites before migrating.
+  if (interval_migrations_ >= 8) {
+    const double churn = static_cast<double>(interval_evictions_) /
+                         static_cast<double>(interval_migrations_);
+    if (churn > 0.5 && threshold_ < config_.max_threshold) {
+      ++threshold_;
+      mutable_counters()["threshold_up"] += 1;
+    } else if (churn < 0.25 && threshold_ > config_.write_threshold) {
+      --threshold_;
+      mutable_counters()["threshold_down"] += 1;
+    }
+  }
+  interval_migrations_ = 0;
+  interval_evictions_ = 0;
+}
+
+void TwoPartBank::do_refresh(Cycle now) {
+  while (!refresh_q_.empty() && refresh_q_.top().when <= now) {
+    const TimedLineRef e = refresh_q_.top();
+    refresh_q_.pop();
+    cache::LineMeta& line = lr_tags_.line(e.set, e.way);
+    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
+
+    if (!lr2hr_.full(now)) {
+      // In-place refresh staged through the LR->HR buffer: read + rewrite.
+      const Addr raddr = lr_tags_.geometry().addr_of_tag(line.tag);
+      lr_data_.occupy(raddr, now, lr_read_occ_);
+      const Cycle done = lr_data_.occupy(raddr, now, lr_write_occ_);
+      ledger().add("l2.lr.refresh",
+                   lr_costs_.data_read_pj + lr_costs_.data_write_pj * write_energy_scale_);
+      mutable_counters()["refreshes"] += 1;
+      mutable_counters()["lr_phys_writes"] += 1;
+      lr_wear_.record_write(e.set, e.way);
+      line.retention_deadline = lr_retention_.deadline(now);
+      refresh_q_.push({lr_retention_.refresh_due(now), e.set, e.way, line.retention_deadline});
+      lr2hr_.add(done);
+      continue;
+    }
+    // No buffer slot: avoid data loss by writing back (dirty) / dropping.
+    const Addr key = lr_tags_.geometry().addr_of_tag(line.tag);
+    if (line.dirty) {
+      dram_writeback(from_lr(key), now);
+      mutable_counters()["refresh_forced_wb"] += 1;
+    } else {
+      mutable_counters()["refresh_forced_drop"] += 1;
+    }
+    lr_tags_.invalidate(key, e.way);
+  }
+}
+
+void TwoPartBank::do_hr_expiry(Cycle now) {
+  while (!hr_expiry_q_.empty() && hr_expiry_q_.top().when <= now) {
+    const TimedLineRef e = hr_expiry_q_.top();
+    hr_expiry_q_.pop();
+    cache::LineMeta& line = hr_tags_.line(e.set, e.way);
+    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
+    const Addr addr = hr_tags_.geometry().addr_of_tag(line.tag);
+    if (line.dirty) {
+      hr_data_.occupy(addr, now, hr_read_occ_);
+      ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+      dram_writeback(addr, now);
+      mutable_counters()["hr_expired_dirty"] += 1;
+    } else {
+      mutable_counters()["hr_expired_clean"] += 1;
+    }
+    hr_tags_.invalidate(addr, e.way);
+  }
+}
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,185 @@
+// The paper's proposed two-part STT-RAM L2 bank (Section 5, Figure 7).
+//
+// Two parallel arrays with independent ports:
+//   * LR — small, low-retention (default 26.5us), 2-way: fast/cheap writes,
+//     holds the running application's write working set. Needs refresh,
+//     tracked by 4-bit per-line retention counters; the refresh is postponed
+//     to the last counter period and staged through the LR->HR buffer.
+//   * HR — large, high-retention (default 40ms), 7-way: read-mostly data.
+//     Expired lines are invalidated (clean) or written back (dirty) — no
+//     refresh in HR.
+//
+// WWS monitor: a per-line saturating write counter in HR; a write arriving
+// at a line whose counter has already reached the threshold migrates the
+// line to LR (threshold 1 == the conventional modified bit, the paper's
+// free monitor). Fills always install into HR; LR is populated exclusively
+// by migration, so one-shot streaming writes never pollute it.
+//
+// Swap buffers: HR->LR (migrations) and LR->HR (LR evictions + refresh
+// staging) of `buffer_lines` entries each. A full LR->HR buffer forces
+// dirty lines straight to DRAM (the paper's worst case: ~1% of writes).
+//
+// Search: sequential (writes probe LR tags first, reads probe HR first;
+// miss probes the other serially) or parallel (both probed at once).
+#pragma once
+
+#include <queue>
+
+#include "cache/tag_array.hpp"
+#include "cache/write_stats.hpp"
+#include "power/array_model.hpp"
+#include "sttl2/bank_base.hpp"
+#include "sttl2/config.hpp"
+#include "sttl2/retention.hpp"
+#include "sttl2/rewrite_tracker.hpp"
+
+namespace sttgpu::sttl2 {
+
+/// Sliding-window occupancy model of a small swap buffer: each staged line
+/// occupies a slot until the cycle its destination write completes.
+class BufferWindow {
+ public:
+  explicit BufferWindow(unsigned capacity) : capacity_(capacity) {}
+
+  bool full(Cycle now) noexcept {
+    prune(now);
+    return busy_until_.size() >= capacity_;
+  }
+  void add(Cycle done) { busy_until_.push_back(done); }
+  std::size_t in_use(Cycle now) noexcept {
+    prune(now);
+    return busy_until_.size();
+  }
+  unsigned capacity() const noexcept { return capacity_; }
+
+ private:
+  void prune(Cycle now) noexcept {
+    std::erase_if(busy_until_, [now](Cycle c) { return c <= now; });
+  }
+  unsigned capacity_;
+  std::vector<Cycle> busy_until_;
+};
+
+class TwoPartBank final : public BankBase {
+ public:
+  TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config, const Clock& clock,
+              gpu::DramChannel& dram);
+
+  Watt leakage_w() const override { return hr_costs_.leakage_w + lr_costs_.leakage_w; }
+
+  // --- figure hooks ---
+  const RewriteTracker& lr_rewrites() const noexcept { return lr_rewrites_; }
+  const RewriteTracker& hr_rewrites() const noexcept { return hr_rewrites_; }
+
+  /// Fraction of demand stores served directly by an LR write hit (a
+  /// migration does not count: it means the block had fallen out of LR).
+  /// The quantity of Figs. 4/5.
+  double lr_write_utilization() const noexcept;
+
+  const TwoPartBankConfig& config() const noexcept { return config_; }
+  const power::ArrayCosts& hr_costs() const noexcept { return hr_costs_; }
+  const power::ArrayCosts& lr_costs() const noexcept { return lr_costs_; }
+  const cache::TagArray& lr_tags() const noexcept { return lr_tags_; }
+  const cache::TagArray& hr_tags() const noexcept { return hr_tags_; }
+
+  /// Physical-write (wear) distribution over each part's cells, including
+  /// fills, migrations and refreshes — the endurance view of i2WAP.
+  const cache::WriteVariationTracker& lr_wear() const noexcept { return lr_wear_; }
+  const cache::WriteVariationTracker& hr_wear() const noexcept { return hr_wear_; }
+
+  /// Current (possibly adapted) migration threshold.
+  unsigned current_threshold() const noexcept { return threshold_; }
+
+  /// Current LR index rotation (wear-leveling extension).
+  std::uint64_t lr_rotation_offset() const noexcept { return lr_offset_; }
+
+ protected:
+  void process_request(const gpu::L2Request& request, Cycle now) override;
+  void process_fill(Addr line_addr, Cycle now) override;
+  void maintenance(Cycle now) override;
+
+ private:
+  struct TimedLineRef {
+    Cycle when;
+    std::uint64_t set;
+    unsigned way;
+    Cycle deadline;  ///< entry valid only if it matches the line's deadline
+    bool operator>(const TimedLineRef& o) const noexcept { return when > o.when; }
+  };
+
+  void service(const gpu::L2Request& request, Cycle now, bool replay);
+  /// Write into an LR-resident line (way known).
+  Cycle lr_write_hit(Addr line_addr, unsigned way, Cycle now);
+  /// Write into an HR-resident line; may trigger migration. Returns the
+  /// completion cycle for the triggering store's ack.
+  Cycle hr_write_hit(Addr line_addr, unsigned way, Cycle now);
+  /// Installs @p addr into LR (migration target), evicting as needed.
+  Cycle lr_install(Addr addr, bool dirty, std::uint32_t write_count, Cycle last_write,
+                   Cycle now);
+  /// Evicts the LR line at (set, way) toward HR via the LR->HR buffer (or
+  /// forces it to DRAM if the buffer is full).
+  void lr_evict(std::uint64_t set, unsigned way, Cycle now);
+  /// Installs a line into HR (fills and LR evictions land here).
+  Cycle hr_install(Addr addr, bool dirty, std::uint32_t write_count, Cycle now);
+
+  void do_refresh(Cycle now);
+  void do_hr_expiry(Cycle now);
+  void adapt_threshold(Cycle now);
+  void rotate_lr_mapping(Cycle now);
+
+  /// LR set-mapping rotation (wear leveling): the LR tag array is keyed by
+  /// a shifted address so the same line lands in a different physical set
+  /// after each rotation.
+  Addr to_lr(Addr a) const noexcept { return a + lr_offset_ * config_.line_bytes; }
+  Addr from_lr(Addr a) const noexcept { return a - lr_offset_ * config_.line_bytes; }
+
+  /// Charges one physical line write in the given part, honouring EWT.
+  void charge_lr_write(Addr addr);
+  void charge_hr_write(Addr addr);
+
+  TwoPartBankConfig config_;
+  Clock clock_;
+
+  power::ArrayCosts hr_costs_;
+  power::ArrayCosts lr_costs_;
+  cache::TagArray hr_tags_;
+  cache::TagArray lr_tags_;
+
+  RetentionClock hr_retention_;
+  RetentionClock lr_retention_;
+
+  SubbankedServer hr_data_;
+  SubbankedServer lr_data_;
+
+  // cycles, precomputed from the array models
+  Cycle hr_tag_lat_, lr_tag_lat_;
+  Cycle hr_read_occ_, hr_write_occ_;
+  Cycle lr_read_occ_, lr_write_occ_;
+  PicoJoule buffer_entry_pj_;
+
+  BufferWindow hr2lr_;
+  BufferWindow lr2hr_;
+
+  std::priority_queue<TimedLineRef, std::vector<TimedLineRef>, std::greater<>> refresh_q_;
+  std::priority_queue<TimedLineRef, std::vector<TimedLineRef>, std::greater<>> hr_expiry_q_;
+
+  RewriteTracker lr_rewrites_;
+  RewriteTracker hr_rewrites_;
+
+  cache::WriteVariationTracker lr_wear_;
+  cache::WriteVariationTracker hr_wear_;
+
+  // Adaptive-threshold state (extension; inert when disabled).
+  unsigned threshold_;
+  Cycle next_adapt_ = 0;
+  std::uint64_t interval_migrations_ = 0;
+  std::uint64_t interval_evictions_ = 0;
+
+  double write_energy_scale_ = 1.0;  ///< EWT factor (1.0 when disabled)
+
+  // Wear-leveling state (extension; inert when disabled).
+  std::uint64_t lr_offset_ = 0;
+  std::uint64_t lr_writes_since_rotation_ = 0;
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,157 @@
+#include "sttl2/uniform_bank.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::sttl2 {
+
+namespace {
+
+power::ArrayCosts cost_array(const UniformBankConfig& c) {
+  power::ArraySpec spec;
+  spec.capacity_bytes = c.capacity_bytes;
+  spec.associativity = c.associativity;
+  spec.line_bytes = c.line_bytes;
+  spec.data_cell = c.cell;
+  spec.extra_tag_bits_per_line = c.cell.needs_refresh ? 2 : 0;  // retention counter
+  return power::evaluate_array(spec);
+}
+
+}  // namespace
+
+UniformBank::UniformBank(unsigned bank_id, const UniformBankConfig& config,
+                         const Clock& clock, gpu::DramChannel& dram)
+    : BankBase(bank_id, config.line_bytes, config.input_queue, dram),
+      config_(config),
+      clock_(clock),
+      costs_(cost_array(config)),
+      tags_({config.capacity_bytes, config.associativity, config.line_bytes},
+            cache::ReplacementKind::kLru, /*seed=*/bank_id + 17),
+      data_(config.subbanks),
+      rewrites_(clock),
+      write_var_(tags_.geometry().num_sets(), tags_.geometry().associativity()) {
+  tag_lat_ = clock_.cycles_for_ns(costs_.tag_latency_ns);
+  read_occ_ = clock_.cycles_for_ns(costs_.data_read_latency_ns);
+  write_occ_ = clock_.cycles_for_ns(costs_.data_write_latency_ns);
+  if (config_.cell.retention_s > 0.0 && config_.cell.needs_refresh) {
+    retention_cycles_ = clock_.cycles_for_ns(seconds_to_ns(config_.cell.retention_s));
+  }
+  if (config_.early_write_termination) {
+    STTGPU_REQUIRE(config_.ewt_flip_fraction > 0.0 && config_.ewt_flip_fraction <= 1.0,
+                   "UniformBank: ewt_flip_fraction must be in (0, 1]");
+    write_energy_scale_ = config_.ewt_flip_fraction;
+  }
+}
+
+void UniformBank::schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline) {
+  if (retention_cycles_ == 0) return;
+  expiry_.push({deadline, set, way});
+}
+
+void UniformBank::write_line(cache::LineMeta& line, std::uint64_t set, unsigned way,
+                             Cycle now) {
+  write_var_.record_write(set, way);
+  line.dirty = true;
+  rewrites_.record(line.last_write_cycle, now);
+  line.write_count += 1;
+  line.last_write_cycle = now;
+  if (retention_cycles_ != 0) {
+    line.retention_deadline = now + retention_cycles_;
+    schedule_expiry(set, way, line.retention_deadline);
+  }
+}
+
+void UniformBank::process_request(const gpu::L2Request& request, Cycle now) {
+  const Addr line_addr = line_base(request.addr);
+  auto& s = mutable_stats();
+
+  ledger().add("l2.tag_probe", costs_.tag_probe_pj);
+
+  // A line with an outstanding fill is not yet present; merge.
+  if (fill_outstanding(line_addr)) {
+    request.is_store ? ++s.write_misses : ++s.read_misses;
+    request_fill(line_addr, request, now);
+    return;
+  }
+
+  const auto way = tags_.probe(line_addr);
+  if (way) {
+    const std::uint64_t set = tags_.geometry().set_index(line_addr);
+    cache::LineMeta& line = tags_.line(set, *way);
+    tags_.touch(line_addr, *way);
+    if (request.is_store) {
+      ++s.write_hits;
+      const Cycle done = data_.occupy(line_addr, now, write_occ_);
+      ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
+      ledger().add("l2.tag_update", costs_.tag_update_pj);
+      write_line(line, set, *way, now);
+      respond(request, done + tag_lat_ + config_.pipeline_cycles);
+    } else {
+      ++s.read_hits;
+      const Cycle done = data_.occupy(line_addr, now, read_occ_);
+      ledger().add("l2.data_read", costs_.data_read_pj);
+      respond(request, done + tag_lat_ + config_.pipeline_cycles);
+    }
+    return;
+  }
+
+  request.is_store ? ++s.write_misses : ++s.read_misses;
+  request_fill(line_addr, request, now);
+}
+
+void UniformBank::process_fill(Addr line_addr, Cycle now) {
+  // Victim handling.
+  const unsigned victim = tags_.pick_victim(line_addr);
+  const std::uint64_t set = tags_.geometry().set_index(line_addr);
+  const cache::LineMeta& old = tags_.line(set, victim);
+  if (old.valid && old.dirty) {
+    const Addr victim_addr = tags_.geometry().addr_of_tag(old.tag);
+    data_.occupy(victim_addr, now, read_occ_);  // read the victim out
+    ledger().add("l2.data_read", costs_.data_read_pj);
+    dram_writeback(victim_addr, now);
+    mutable_counters()["evict_dirty"] += 1;
+  } else if (old.valid) {
+    mutable_counters()["evict_clean"] += 1;
+  }
+
+  // Install the line (a full-line write into the data array).
+  cache::LineMeta& line = tags_.fill(line_addr, victim, now);
+  Cycle done = data_.occupy(line_addr, now, write_occ_);
+  ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
+  ledger().add("l2.tag_update", costs_.tag_update_pj);
+  if (retention_cycles_ != 0) {
+    line.retention_deadline = now + retention_cycles_;
+    schedule_expiry(set, victim, line.retention_deadline);
+  }
+
+  // Wake the merged requests: reads complete with the fill; stores are then
+  // applied (fetch-on-write) and complete after their write.
+  Waiters w = take_waiters(line_addr);
+  for (const auto& req : w.reads) respond(req, done + tag_lat_ + config_.pipeline_cycles);
+  for (const auto& req : w.writes) {
+    done = data_.occupy(line_addr, now, write_occ_);
+    ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
+    write_line(line, set, victim, now);
+    respond(req, done + tag_lat_ + config_.pipeline_cycles);
+  }
+}
+
+void UniformBank::maintenance(Cycle now) {
+  while (!expiry_.empty() && expiry_.top().deadline <= now) {
+    const ExpiryEntry e = expiry_.top();
+    expiry_.pop();
+    cache::LineMeta& line = tags_.line(e.set, e.way);
+    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
+    const Addr addr = tags_.geometry().addr_of_tag(line.tag);
+    if (line.dirty) {
+      data_.occupy(addr, now, read_occ_);
+      ledger().add("l2.data_read", costs_.data_read_pj);
+      dram_writeback(addr, now);
+      mutable_counters()["expired_dirty"] += 1;
+    } else {
+      mutable_counters()["expired_clean"] += 1;
+    }
+    tags_.invalidate(addr, e.way);
+  }
+}
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,71 @@
+// Conventional single-array L2 bank.
+//
+// With SRAM cells this is the paper's *SRAM baseline*; with 10-year STT-RAM
+// cells and 4x the capacity it is the *STT-RAM baseline* the paper compares
+// against (Table 2 row "baseline STT-RAM"). With volatile STT cells it also
+// supports retention expiry (invalidate clean / write back dirty lines whose
+// data aged out), so it can model any single-retention design point.
+//
+// Policy: write-back, write-allocate (fetch-on-write), LRU.
+#pragma once
+
+#include <queue>
+
+#include "cache/tag_array.hpp"
+#include "cache/write_stats.hpp"
+#include "power/array_model.hpp"
+#include "sttl2/bank_base.hpp"
+#include "sttl2/config.hpp"
+#include "sttl2/rewrite_tracker.hpp"
+
+namespace sttgpu::sttl2 {
+
+class UniformBank final : public BankBase {
+ public:
+  UniformBank(unsigned bank_id, const UniformBankConfig& config, const Clock& clock,
+              gpu::DramChannel& dram);
+
+  Watt leakage_w() const override { return costs_.leakage_w; }
+
+  const power::ArrayCosts& array_costs() const noexcept { return costs_; }
+  const RewriteTracker& rewrite_intervals() const noexcept { return rewrites_; }
+  const cache::TagArray& tags() const noexcept { return tags_; }
+
+  /// Demand-write variation across sets/ways (i2WAP COV, paper Fig. 3).
+  const cache::WriteVariationTracker& write_variation() const noexcept { return write_var_; }
+
+ protected:
+  void process_request(const gpu::L2Request& request, Cycle now) override;
+  void process_fill(Addr line_addr, Cycle now) override;
+  void maintenance(Cycle now) override;
+
+ private:
+  struct ExpiryEntry {
+    Cycle deadline;
+    std::uint64_t set;
+    unsigned way;
+    bool operator>(const ExpiryEntry& o) const noexcept { return deadline > o.deadline; }
+  };
+
+  void write_line(cache::LineMeta& line, std::uint64_t set, unsigned way, Cycle now);
+  void schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline);
+
+  UniformBankConfig config_;
+  Clock clock_;
+  power::ArrayCosts costs_;
+  cache::TagArray tags_;
+  SubbankedServer data_;
+
+  // cycles
+  Cycle tag_lat_;
+  Cycle read_occ_;
+  Cycle write_occ_;
+  Cycle retention_cycles_ = 0;  // 0 => non-volatile at simulation horizons
+
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>, std::greater<>> expiry_;
+  RewriteTracker rewrites_;
+  cache::WriteVariationTracker write_var_;
+  double write_energy_scale_ = 1.0;  ///< EWT factor (1.0 when disabled)
+};
+
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,447 @@
+#include "workload/benchmarks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sttgpu::workload {
+
+namespace {
+
+constexpr std::uint64_t KB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+/// Applies the scale knob: shrink grid and per-warp work, keeping shape.
+void apply_scale(Workload& w, double scale) {
+  STTGPU_REQUIRE(scale > 0.0 && scale <= 1.0, "benchmark scale must be in (0, 1]");
+  if (scale == 1.0) return;
+  for (auto& k : w.kernels) {
+    k.grid_blocks = std::max(1u, static_cast<unsigned>(std::lround(k.grid_blocks * scale)));
+    k.instructions_per_warp =
+        std::max(64u, static_cast<unsigned>(std::lround(k.instructions_per_warp * scale)));
+  }
+}
+
+KernelSpec base_kernel(const std::string& name) {
+  KernelSpec k;
+  k.name = name;
+  k.grid_blocks = 360;
+  k.threads_per_block = 256;
+  k.instructions_per_warp = 533;
+  return k;
+}
+
+// ------------------------------------------------------------------
+// Region 1 — neither cache- nor register-sensitive (streaming giants).
+// ------------------------------------------------------------------
+
+Workload make_sad() {
+  // Parboil `sad` (sum of absolute differences, video encoding): streaming
+  // image reads with texture locality, few writes, footprint >> any L2.
+  Workload w{.name = "sad", .region = "1:insensitive", .kernels = {}};
+  KernelSpec k = base_kernel("sad_calc");
+  k.grid_blocks = 396;
+  k.regs_per_thread = 16;
+  k.mem_fraction = 0.32;
+  k.store_fraction = 0.08;
+  k.texture_fraction = 0.06;
+  k.stores_at_end_fraction = 0.5;
+  k.pattern.kind = PatternKind::kStreaming;
+  k.pattern.footprint_bytes = 24 * MB;
+  k.pattern.reuse_fraction = 0.05;
+  k.pattern.wws_lines = 0;  // writes are one-shot output blocks: no hot set
+  k.pattern.transactions_per_access = 1.2;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_mum() {
+  // MUMmerGPU (suffix-tree matching): pointer chasing over a huge tree,
+  // badly coalesced, almost read-only.
+  Workload w{.name = "mum", .region = "1:insensitive", .kernels = {}};
+  KernelSpec k = base_kernel("mummergpu_kernel");
+  k.grid_blocks = 420;
+  k.threads_per_block = 192;
+  k.regs_per_thread = 20;
+  k.mem_fraction = 0.38;
+  k.store_fraction = 0.03;
+  k.pattern.kind = PatternKind::kRandom;
+  k.pattern.footprint_bytes = 32 * MB;
+  k.pattern.reuse_fraction = 0.03;
+  k.pattern.wws_lines = 0;
+  k.pattern.transactions_per_access = 5.0;  // divergent tree walks
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_lbm() {
+  // Parboil `lbm` (lattice-Boltzmann): streaming read-modify-write over a
+  // lattice far larger than L2 — *single-touch* write traffic. This is the
+  // class the paper calls out as paying HR write energy with no LR benefit.
+  Workload w{.name = "lbm", .region = "1:insensitive", .kernels = {}};
+  KernelSpec k = base_kernel("lbm_timestep");
+  k.grid_blocks = 390;
+  k.regs_per_thread = 24;
+  k.mem_fraction = 0.36;
+  k.store_fraction = 0.32;
+  k.stores_at_end_fraction = 0.15;  // writes spread through the timestep
+  k.pattern.kind = PatternKind::kStreaming;
+  k.pattern.footprint_bytes = 24 * MB;
+  k.pattern.reuse_fraction = 0.03;
+  k.pattern.wws_lines = 0;
+  w.kernels.push_back(k);
+  return w;
+}
+
+// ------------------------------------------------------------------
+// Region 2 — register-file limited, cache insensitive.
+// All use 6656 registers per block (256thr x 26 or 128thr x 52): the
+// baseline 32K-register file fits 4 blocks; the C2/C3 files fit 5.
+// ------------------------------------------------------------------
+
+Workload make_tpacf() {
+  // Parboil `tpacf` (two-point angular correlation): compute heavy, large
+  // per-thread state, histogram updates form a small hot write set.
+  Workload w{.name = "tpacf", .region = "2:reg-limited", .kernels = {}};
+  KernelSpec k = base_kernel("gen_hists");
+  k.grid_blocks = 300;
+  k.threads_per_block = 256;
+  k.regs_per_thread = 43;
+  k.instructions_per_warp = 733;
+  k.mem_fraction = 0.26;
+  k.store_fraction = 0.14;
+  k.const_fraction = 0.04;
+  k.stores_at_end_fraction = 0.2;
+  k.pattern.kind = PatternKind::kRandom;
+  k.pattern.footprint_bytes = 192 * KB;  // fits every L2 (even C2 HR): cache insensitive
+  k.pattern.reuse_fraction = 0.3;
+  k.pattern.hot_store_fraction = 0.9;
+  k.pattern.wws_lines = 128;  // histogram bins
+  k.pattern.zipf_s = 1.1;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_mri_g() {
+  // Parboil `mri-gridding`: scattered accumulation of samples onto a 3D
+  // grid — a classic hot, skewed write-working-set. Write heavy: the naive
+  // high-retention STT-RAM baseline degrades it (paper Section 6).
+  Workload w{.name = "mri-g", .region = "2:reg-limited", .kernels = {}};
+  KernelSpec k = base_kernel("binning");
+  k.grid_blocks = 330;
+  k.threads_per_block = 256;
+  k.regs_per_thread = 43;
+  k.instructions_per_warp = 600;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.36;
+  k.stores_at_end_fraction = 0.25;
+  k.pattern.kind = PatternKind::kRandom;
+  k.pattern.footprint_bytes = 2 * MB;
+  k.pattern.reuse_fraction = 0.25;
+  k.pattern.hot_store_fraction = 0.8;
+  k.pattern.wws_lines = 512;
+  k.pattern.zipf_s = 0.8;
+  k.pattern.transactions_per_access = 1.5;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_backprop() {
+  // Rodinia `backprop`: a forward pass (read mostly) then a weight-update
+  // pass whose writes hammer the shared weight matrix.
+  Workload w{.name = "backprop", .region = "2:reg-limited", .kernels = {}};
+  KernelSpec fwd = base_kernel("bpnn_layerforward");
+  fwd.grid_blocks = 300;
+  fwd.threads_per_block = 256;
+  fwd.regs_per_thread = 43;
+  fwd.instructions_per_warp = 400;
+  fwd.mem_fraction = 0.3;
+  fwd.store_fraction = 0.06;
+  fwd.pattern.kind = PatternKind::kStreaming;
+  fwd.pattern.footprint_bytes = 4 * MB;
+  fwd.pattern.reuse_fraction = 0.12;
+  fwd.pattern.wws_lines = 0;
+  w.kernels.push_back(fwd);
+
+  KernelSpec adj = base_kernel("bpnn_adjust_weights");
+  adj.grid_blocks = 300;
+  adj.threads_per_block = 256;
+  adj.regs_per_thread = 43;
+  adj.instructions_per_warp = 400;
+  adj.mem_fraction = 0.32;
+  adj.store_fraction = 0.45;
+  adj.stores_at_end_fraction = 0.3;
+  adj.pattern.kind = PatternKind::kStreaming;
+  adj.pattern.footprint_bytes = 4 * MB;
+  adj.pattern.reuse_fraction = 0.12;
+  adj.pattern.hot_store_fraction = 0.75;
+  adj.pattern.wws_lines = 384;
+  adj.pattern.zipf_s = 0.9;
+  w.kernels.push_back(adj);
+  return w;
+}
+
+Workload make_histo() {
+  // Parboil `histo`: streaming input, tiny violently-hot histogram output.
+  Workload w{.name = "histo", .region = "2:reg-limited", .kernels = {}};
+  KernelSpec k = base_kernel("histo_main");
+  k.grid_blocks = 330;
+  k.threads_per_block = 256;
+  k.regs_per_thread = 43;
+  k.mem_fraction = 0.34;
+  k.store_fraction = 0.40;
+  k.stores_at_end_fraction = 0.15;
+  k.pattern.kind = PatternKind::kStreaming;
+  k.pattern.footprint_bytes = 6 * MB;
+  k.pattern.reuse_fraction = 0.05;
+  k.pattern.hot_store_fraction = 0.95;
+  k.pattern.wws_lines = 96;
+  k.pattern.zipf_s = 1.2;
+  w.kernels.push_back(k);
+  return w;
+}
+
+// ------------------------------------------------------------------
+// Region 3 — cache friendly AND register-file limited.
+// Footprints fit the 4x (1536KB) STT L2 but thrash the 384KB baseline.
+// ------------------------------------------------------------------
+
+Workload make_kmeans() {
+  // Rodinia `kmeans`: point set re-read every iteration (cache friendly),
+  // centroid accumulators form a tiny hot write set.
+  Workload w{.name = "kmeans", .region = "3:cache+reg", .kernels = {}};
+  for (int iter = 0; iter < 2; ++iter) {
+    KernelSpec k = base_kernel(iter == 0 ? "kmeans_assign" : "kmeans_update");
+    k.grid_blocks = 312;
+    k.threads_per_block = 256;
+    k.regs_per_thread = 43;
+    k.instructions_per_warp = 433;
+    k.mem_fraction = 0.3;
+    k.store_fraction = iter == 0 ? 0.10 : 0.34;
+    k.stores_at_end_fraction = 0.4;
+    k.pattern.kind = PatternKind::kRandom;
+    k.pattern.footprint_bytes = 820 * KB;
+    k.pattern.reuse_fraction = 0.45;
+    k.pattern.hot_store_fraction = 0.85;
+    k.pattern.wws_lines = 64;
+    k.pattern.zipf_s = 1.0;
+    w.kernels.push_back(k);
+  }
+  return w;
+}
+
+Workload make_sradv2() {
+  // Rodinia `srad_v2` (speckle-reducing anisotropic diffusion): stencil
+  // passes over an image that fits the enlarged L2; moderate writes.
+  Workload w{.name = "sradv2", .region = "3:cache+reg", .kernels = {}};
+  KernelSpec k = base_kernel("srad_cuda");
+  k.grid_blocks = 330;
+  k.threads_per_block = 256;
+  k.regs_per_thread = 43;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.22;
+  k.pattern.kind = PatternKind::kTiled;
+  k.pattern.footprint_bytes = 700 * KB;
+  k.pattern.tile_bytes = 24 * KB;
+  k.pattern.reuse_fraction = 0.4;
+  k.pattern.hot_store_fraction = 0.5;
+  k.pattern.wws_lines = 256;
+  k.pattern.zipf_s = 0.7;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_streamcluster() {
+  // Rodinia `streamcluster`: distance computations against a resident point
+  // block — strong reuse, light writes.
+  Workload w{.name = "streamcl", .region = "3:cache+reg", .kernels = {}};
+  KernelSpec k = base_kernel("pgain_kernel");
+  k.grid_blocks = 312;
+  k.threads_per_block = 256;
+  k.regs_per_thread = 43;
+  k.instructions_per_warp = 600;
+  k.mem_fraction = 0.26;
+  k.store_fraction = 0.12;
+  k.pattern.kind = PatternKind::kRandom;
+  k.pattern.footprint_bytes = 900 * KB;
+  k.pattern.reuse_fraction = 0.5;
+  k.pattern.hot_store_fraction = 0.7;
+  k.pattern.wws_lines = 128;
+  k.pattern.zipf_s = 0.9;
+  w.kernels.push_back(k);
+  return w;
+}
+
+// ------------------------------------------------------------------
+// Region 4 — cache friendly (not register limited).
+// ------------------------------------------------------------------
+
+Workload make_bfs() {
+  // Rodinia `bfs`: frontier expansion — divergent random reads, and the
+  // suite's heaviest write share (~63% of L2 accesses) updating the
+  // cost/visited arrays, concentrated on the active frontier.
+  Workload w{.name = "bfs", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("bfs_kernel");
+  k.grid_blocks = 384;
+  k.regs_per_thread = 18;
+  k.mem_fraction = 0.42;
+  k.store_fraction = 0.45;
+  k.stores_at_end_fraction = 0.2;
+  k.pattern.kind = PatternKind::kRandom;
+  k.pattern.footprint_bytes = 1 * MB;
+  k.pattern.reuse_fraction = 0.35;
+  k.pattern.hot_store_fraction = 0.65;
+  k.pattern.wws_lines = 512;
+  k.pattern.zipf_s = 0.7;
+  k.pattern.transactions_per_access = 4.0;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_cfd() {
+  // Rodinia `cfd` (Euler solver): flux computation sweeping the element
+  // arrays — writes are spread *evenly* (low COV class in Fig. 3).
+  Workload w{.name = "cfd", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("cuda_compute_flux");
+  k.grid_blocks = 360;
+  k.regs_per_thread = 20;
+  k.mem_fraction = 0.34;
+  k.store_fraction = 0.24;
+  k.stores_at_end_fraction = 0.2;
+  k.pattern.kind = PatternKind::kStreaming;
+  k.pattern.footprint_bytes = 1200 * KB;
+  k.pattern.reuse_fraction = 0.35;
+  k.pattern.wws_lines = 0;  // even writes over the whole footprint
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_stencil() {
+  // Parboil `stencil` (7-point 3D Jacobi): tiled neighbour reuse, writes
+  // sweep the output grid evenly (low COV class).
+  Workload w{.name = "stencil", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("block2D_hybrid");
+  k.grid_blocks = 360;
+  k.regs_per_thread = 20;
+  k.mem_fraction = 0.33;
+  k.store_fraction = 0.26;
+  k.stores_at_end_fraction = 0.2;
+  k.pattern.kind = PatternKind::kTiled;
+  k.pattern.footprint_bytes = 1 * MB;
+  k.pattern.tile_bytes = 32 * KB;
+  k.pattern.reuse_fraction = 0.45;
+  k.pattern.wws_lines = 0;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_pathfinder() {
+  // Rodinia `pathfinder` (dynamic programming over rows): row-tile reuse,
+  // modest writes to the active row.
+  Workload w{.name = "pathfind", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("dynproc_kernel");
+  k.grid_blocks = 348;
+  k.regs_per_thread = 18;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.18;
+  k.pattern.kind = PatternKind::kTiled;
+  k.pattern.footprint_bytes = 800 * KB;
+  k.pattern.tile_bytes = 20 * KB;
+  k.pattern.reuse_fraction = 0.4;
+  k.pattern.hot_store_fraction = 0.6;
+  k.pattern.wws_lines = 64;
+  k.pattern.zipf_s = 0.8;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_hotspot() {
+  // Rodinia `hotspot` (thermal simulation): tiled stencil with a hot
+  // region of the temperature grid rewritten every sweep.
+  Workload w{.name = "hotspot", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("calculate_temp");
+  k.grid_blocks = 336;
+  k.regs_per_thread = 24;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.25;
+  k.pattern.kind = PatternKind::kTiled;
+  k.pattern.footprint_bytes = 640 * KB;
+  k.pattern.tile_bytes = 24 * KB;
+  k.pattern.reuse_fraction = 0.5;
+  k.pattern.hot_store_fraction = 0.6;
+  k.pattern.wws_lines = 128;
+  k.pattern.zipf_s = 0.8;
+  w.kernels.push_back(k);
+  return w;
+}
+
+Workload make_nw() {
+  // Rodinia `nw` (Needleman-Wunsch): near-zero write share — the suite's
+  // "near zero" end of the write-intensity range.
+  Workload w{.name = "nw", .region = "4:cache-friendly", .kernels = {}};
+  KernelSpec k = base_kernel("needle_cuda");
+  k.grid_blocks = 330;
+  k.regs_per_thread = 18;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.015;
+  k.pattern.kind = PatternKind::kTiled;
+  k.pattern.footprint_bytes = 512 * KB;
+  k.pattern.tile_bytes = 16 * KB;
+  k.pattern.reuse_fraction = 0.45;
+  k.pattern.wws_lines = 0;
+  w.kernels.push_back(k);
+  return w;
+}
+
+using Maker = Workload (*)();
+
+struct Entry {
+  const char* name;
+  Maker make;
+};
+
+// Order: region 1, 2, 3, 4 — the order the paper's Fig. 8 groups bars.
+constexpr Entry kRegistry[] = {
+    {"sad", &make_sad},           {"mum", &make_mum},
+    {"lbm", &make_lbm},           {"tpacf", &make_tpacf},
+    {"mri-g", &make_mri_g},       {"backprop", &make_backprop},
+    {"histo", &make_histo},       {"kmeans", &make_kmeans},
+    {"sradv2", &make_sradv2},     {"streamcl", &make_streamcluster},
+    {"bfs", &make_bfs},           {"cfd", &make_cfd},
+    {"stencil", &make_stencil},   {"pathfind", &make_pathfinder},
+    {"hotspot", &make_hotspot},   {"nw", &make_nw},
+};
+
+}  // namespace
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kRegistry));
+  for (const auto& e : kRegistry) names.emplace_back(e.name);
+  return names;
+}
+
+Workload make_benchmark(const std::string& name, double scale) {
+  for (const auto& e : kRegistry) {
+    if (name == e.name) {
+      Workload w = e.make();
+      apply_scale(w, scale);
+      return w;
+    }
+  }
+  throw SimError("unknown benchmark: " + name);
+}
+
+std::vector<Workload> all_benchmarks(double scale) {
+  std::vector<Workload> out;
+  out.reserve(std::size(kRegistry));
+  for (const auto& e : kRegistry) {
+    Workload w = e.make();
+    apply_scale(w, scale);
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace sttgpu::workload

@@ -1,0 +1,40 @@
+// Named synthetic models of the paper's benchmark suite.
+//
+// The paper evaluates CUDA benchmarks from the GPGPU-Sim distribution,
+// Rodinia and Parboil. We model sixteen of them as parameterized synthetic
+// kernels. Each model is tuned to the *published* characteristics the
+// paper's figures depend on, per benchmark:
+//
+//   * its Fig. 8 region —
+//       region 1: gains from neither bigger L2 nor bigger register file,
+//       region 2: register-file limited,
+//       region 3: cache friendly AND register-file limited,
+//       region 4: cache friendly;
+//   * its write intensity (the suite spans ~0% to ~63% of L2 accesses);
+//   * its write-variation class (Fig. 3: hot-spot writers like bfs/kmeans
+//     vs. even writers like stencil/cfd);
+//   * its write-working-set behaviour (Fig. 6 rewrite intervals).
+//
+// See each preset's comment in benchmarks.cpp for the mapping rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/kernel.hpp"
+
+namespace sttgpu::workload {
+
+/// Names of all modelled benchmarks, in the order the paper's plots use
+/// (grouped by Fig. 8 region).
+std::vector<std::string> benchmark_names();
+
+/// Builds a benchmark by name. @p scale in (0, 1] shrinks the work (fewer
+/// blocks / instructions) for fast tests; 1.0 is the evaluation size.
+/// Throws SimError for unknown names.
+Workload make_benchmark(const std::string& name, double scale = 1.0);
+
+/// All benchmarks at the given scale.
+std::vector<Workload> all_benchmarks(double scale = 1.0);
+
+}  // namespace sttgpu::workload

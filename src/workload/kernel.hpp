@@ -1,0 +1,101 @@
+// Kernel / grid / warp model of a GPGPU application.
+//
+// The paper evaluates CUDA benchmarks (GPGPU-Sim suite, Rodinia, Parboil) on
+// GPGPU-Sim. We replace the PTX front end with *synthetic kernel models*:
+// each benchmark is described by the statistics that determine its behaviour
+// in the memory hierarchy — instruction mix, footprint, reuse, write working
+// set, coalescing, and per-thread resource usage (which drives occupancy).
+// A (workload, seed, warp-id) triple always generates the same instruction
+// stream, so every architecture sees an identical trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/pattern.hpp"
+
+namespace sttgpu::workload {
+
+/// Memory spaces relevant to the L1 write-policy diagram (paper Fig. 1b).
+enum class MemSpace : std::uint8_t {
+  kGlobal,   ///< write-evict (hit) / write-no-allocate (miss) at L1
+  kLocal,    ///< write-back at L1
+  kConstant, ///< read-only, served by the 8KB constant cache
+  kTexture,  ///< read-only, served by the 12KB texture cache
+  kShared,   ///< software-managed scratchpad: intra-SM, never reaches L2
+};
+
+/// One warp-level instruction as seen by the SM issue stage.
+struct WarpInstr {
+  enum class Kind : std::uint8_t { kCompute, kLoad, kStore };
+  Kind kind = Kind::kCompute;
+  MemSpace space = MemSpace::kGlobal;
+  /// Line-aligned base addresses of the coalesced 128B transactions this
+  /// warp instruction generates (empty for compute).
+  std::vector<Addr> transactions;
+  /// Result latency for compute instructions (cycles).
+  unsigned latency = 1;
+};
+
+/// Static description of one kernel (one grid launch).
+struct KernelSpec {
+  std::string name;
+
+  // --- grid shape / resources (drive occupancy) ---
+  unsigned grid_blocks = 1;          ///< thread blocks in the grid
+  unsigned threads_per_block = 256;  ///< multiple of the 32-thread warp size
+  unsigned regs_per_thread = 20;     ///< architectural registers per thread
+  unsigned shared_bytes_per_block = 0;
+
+  // --- per-warp work ---
+  unsigned instructions_per_warp = 1500;  ///< warp-instructions each warp runs
+  unsigned compute_latency = 8;           ///< cycles to ready after a compute op
+
+  // --- instruction mix ---
+  double mem_fraction = 0.25;     ///< P(instruction is a memory op)
+  double store_fraction = 0.20;   ///< P(memory op is a store), of global/local ops
+  double const_fraction = 0.02;   ///< P(memory op is a constant-cache read)
+  double texture_fraction = 0.0;  ///< P(memory op is a texture read)
+  double shared_fraction = 0.0;   ///< P(memory op is a shared-memory access)
+  double local_fraction = 0.0;    ///< P(memory op addresses local space)
+
+  /// Shared-memory timing: base access latency and the average bank-conflict
+  /// serialization degree (1.0 = conflict free; k = k-way serialized).
+  unsigned shared_latency = 2;
+  double shared_conflict_avg = 1.0;
+
+  /// Fraction of this kernel's stores concentrated in the epilogue phase
+  /// (the paper: grids write their results near the end of execution).
+  double stores_at_end_fraction = 0.35;
+  /// The epilogue is the last this fraction of each warp's instructions.
+  double epilogue_fraction = 0.12;
+
+  // --- addressing behaviour ---
+  AccessPatternSpec pattern;
+
+  unsigned warps_per_block() const noexcept { return threads_per_block / 32; }
+};
+
+/// A full application: kernels launched sequentially (possibly repeated),
+/// exactly the paper's "grids run sequentially" structure.
+struct Workload {
+  std::string name;
+  std::string region;  ///< paper Fig. 8 region tag (documentation/reporting)
+  std::vector<KernelSpec> kernels;
+  std::uint64_t seed = 42;
+
+  /// Total warp-instructions across all kernels (the work is architecture-
+  /// independent; only the speed of executing it changes).
+  std::uint64_t total_instructions() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& k : kernels) {
+      sum += static_cast<std::uint64_t>(k.grid_blocks) * k.warps_per_block() *
+             k.instructions_per_warp;
+    }
+    return sum;
+  }
+};
+
+}  // namespace sttgpu::workload

@@ -1,0 +1,102 @@
+#include "workload/pattern.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sttgpu::workload {
+
+namespace {
+constexpr std::uint64_t kLineBytes = 128;  // L1 transaction granularity
+constexpr std::uint64_t kL2LineBytes = 256;
+}  // namespace
+
+AddressGenerator::AddressGenerator(const AccessPatternSpec& spec, Addr region_base,
+                                   std::uint64_t warp_global_index, std::uint64_t num_warps,
+                                   std::uint64_t seed)
+    : spec_(&spec),
+      region_base_(region_base),
+      warp_index_(warp_global_index),
+      num_warps_(std::max<std::uint64_t>(num_warps, 1)),
+      zipf_(std::max<std::uint64_t>(spec.wws_lines, 1), spec.zipf_s),
+      recent_(std::max(1u, spec.reuse_window), 0) {
+  STTGPU_REQUIRE(spec.footprint_bytes >= kLineBytes,
+                 "AccessPatternSpec: footprint smaller than one transaction");
+  wws_base_ = region_base_ + align_up(spec_->footprint_bytes, kL2LineBytes);
+  const_base_ = wws_base_ + spec_->wws_lines * kL2LineBytes;
+  texture_base_ = const_base_ + align_up(std::max<std::uint64_t>(spec_->const_bytes, 128), 256);
+  // Deterministic per-warp phase so warps do not start on the same tile.
+  Rng boot(seed ^ (0x5851F42D4C957F2Dull * (warp_global_index + 1)));
+  tile_origin_ = spec_->tile_bytes
+                     ? align_down(boot.next_below(std::max<std::uint64_t>(
+                                      spec_->footprint_bytes, spec_->tile_bytes)),
+                                  kLineBytes)
+                     : 0;
+  cursor_ = 0;
+}
+
+Addr AddressGenerator::next_main_addr(Rng& rng, bool is_store) {
+  const std::uint64_t footprint = spec_->footprint_bytes;
+  switch (spec_->kind) {
+    case PatternKind::kStreaming: {
+      // Warp-partitioned sequential walk: warp w covers slice w of the array.
+      const std::uint64_t slice = std::max<std::uint64_t>(footprint / num_warps_, kLineBytes);
+      const std::uint64_t offset =
+          (warp_index_ * slice + cursor_ * kLineBytes) % footprint;
+      ++cursor_;
+      return region_base_ + align_down(offset, kLineBytes);
+    }
+    case PatternKind::kTiled: {
+      // Walk within the current tile; hop tiles occasionally. Stores follow
+      // loads spatially (read-modify-write stencils).
+      const std::uint64_t tile = std::max<std::uint64_t>(spec_->tile_bytes, kLineBytes);
+      if (!is_store && rng.chance(0.02)) {
+        tile_origin_ = align_down(rng.next_below(footprint), kLineBytes);
+      }
+      const std::uint64_t within = rng.next_below(tile);
+      const std::uint64_t offset = (tile_origin_ + within) % footprint;
+      return region_base_ + align_down(offset, kLineBytes);
+    }
+    case PatternKind::kRandom:
+      return region_base_ + align_down(rng.next_below(footprint), kLineBytes);
+  }
+  return region_base_;
+}
+
+Addr AddressGenerator::next_wws_addr(Rng& rng) {
+  if (spec_->wws_lines == 0) return next_main_addr(rng, /*is_store=*/true);
+  const std::uint64_t rank = zipf_.sample(rng);
+  return wws_base_ + rank * kL2LineBytes;
+}
+
+Addr AddressGenerator::next_const_addr(Rng& rng) {
+  const std::uint64_t span = std::max<std::uint64_t>(spec_->const_bytes, 128);
+  return const_base_ + align_down(rng.next_below(span), kLineBytes);
+}
+
+Addr AddressGenerator::next_texture_addr(Rng& rng) {
+  const std::uint64_t span = std::max<std::uint64_t>(spec_->texture_bytes, 128);
+  // Textures have strong 2D locality; approximate with a tile walk.
+  const std::uint64_t tile = std::min<std::uint64_t>(span, 4096);
+  const std::uint64_t origin = (cursor_ * 64) % (span - tile + 1);
+  return texture_base_ + align_down(origin + rng.next_below(tile), kLineBytes);
+}
+
+bool AddressGenerator::store_goes_hot(Rng& rng) {
+  return spec_->wws_lines != 0 && rng.chance(spec_->hot_store_fraction);
+}
+
+bool AddressGenerator::try_reuse(Rng& rng, Addr* out) {
+  if (!rng.chance(spec_->reuse_fraction)) return false;
+  const Addr candidate = recent_[rng.next_below(recent_.size())];
+  if (candidate == 0) return false;
+  *out = candidate;
+  return true;
+}
+
+void AddressGenerator::remember(Addr line_addr) {
+  recent_[recent_next_] = line_addr;
+  recent_next_ = (recent_next_ + 1) % recent_.size();
+}
+
+}  // namespace sttgpu::workload

@@ -1,0 +1,105 @@
+// Address-stream synthesis.
+//
+// An AccessPatternSpec captures where a kernel's loads and stores land in
+// the flat global address space. It is designed so that the statistics the
+// paper's characterization (Section 4) depends on are directly controllable:
+//
+//   * footprint_bytes + reuse behaviour  -> cache sensitivity (Fig. 8 regions)
+//   * wws_lines + hot_store_fraction + zipf_s
+//                                        -> write-working-set size & skew
+//                                           (Fig. 3 COV, Fig. 4/5 utilization)
+//   * the hot set being revisited continuously -> short rewrite intervals
+//                                           (Fig. 6 distribution)
+//   * coalesced_fraction                 -> memory-transaction pressure
+//
+// Address layout of one kernel's data region:
+//
+//   [ read/write main footprint ........ | WWS region | constant | texture ]
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace sttgpu::workload {
+
+enum class PatternKind : std::uint8_t {
+  kStreaming,  ///< each warp walks a private partition sequentially
+  kTiled,      ///< block-shared tiles with neighbour reuse (stencil-like)
+  kRandom,     ///< uniform random over the footprint (graph/pointer chasing)
+};
+
+struct AccessPatternSpec {
+  PatternKind kind = PatternKind::kStreaming;
+
+  /// Main data footprint shared by the whole grid.
+  std::uint64_t footprint_bytes = 8ull << 20;
+
+  /// Probability that a load re-reads one of the warp's recent lines
+  /// (creates L1/L2 temporal locality beyond the structural pattern).
+  double reuse_fraction = 0.2;
+  unsigned reuse_window = 8;  ///< how many recent lines a warp remembers
+
+  /// Probability a *store* goes to the hot write-working-set region instead
+  /// of following the structural pattern.
+  double hot_store_fraction = 0.7;
+  /// Size of the WWS region in 256B L2 lines; 0 disables the hot region.
+  std::uint64_t wws_lines = 256;
+  /// Zipf skew of accesses within the WWS (higher = more concentrated).
+  double zipf_s = 0.9;
+
+  /// Average number of 128B transactions per warp memory instruction
+  /// (1.0 = perfectly coalesced; 32 = fully diverged).
+  double transactions_per_access = 1.0;
+
+  /// Tile size for kTiled, in bytes of contiguous neighbourhood.
+  std::uint64_t tile_bytes = 16384;
+
+  /// Constant/texture region sizes (read-only, high locality).
+  std::uint64_t const_bytes = 8192;
+  std::uint64_t texture_bytes = 512 << 10;
+};
+
+/// Stateful per-warp address generator for one kernel execution.
+class AddressGenerator {
+ public:
+  AddressGenerator(const AccessPatternSpec& spec, Addr region_base,
+                   std::uint64_t warp_global_index, std::uint64_t num_warps,
+                   std::uint64_t seed);
+
+  /// Base address for the next structural (non-hot) access.
+  Addr next_main_addr(Rng& rng, bool is_store);
+
+  /// Address within the hot WWS region (Zipf-skewed).
+  Addr next_wws_addr(Rng& rng);
+
+  /// Addresses in the constant / texture regions (small, heavily reused).
+  Addr next_const_addr(Rng& rng);
+  Addr next_texture_addr(Rng& rng);
+
+  /// Chance that this store is a hot-WWS store.
+  bool store_goes_hot(Rng& rng);
+
+  /// Record / draw reuse of recent lines.
+  bool try_reuse(Rng& rng, Addr* out);
+  void remember(Addr line_addr);
+
+  Addr wws_base() const noexcept { return wws_base_; }
+
+ private:
+  const AccessPatternSpec* spec_;  // non-owning; outlives the generator
+  Addr region_base_;
+  Addr wws_base_;
+  Addr const_base_;
+  Addr texture_base_;
+  std::uint64_t warp_index_;
+  std::uint64_t num_warps_;
+  std::uint64_t cursor_ = 0;     ///< streaming/tiled progress
+  std::uint64_t tile_origin_;    ///< tiled: current tile base offset
+  ZipfSampler zipf_;
+  std::vector<Addr> recent_;     ///< reuse ring buffer
+  std::size_t recent_next_ = 0;
+};
+
+}  // namespace sttgpu::workload

@@ -1,0 +1,119 @@
+#include "workload/stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sttgpu::workload {
+
+namespace {
+constexpr Addr kRegionBase = 0x1000'0000;  // keep address 0 unused
+constexpr std::uint64_t kTransactionBytes = 128;
+}  // namespace
+
+WarpStream::WarpStream(const KernelSpec& kernel, std::uint64_t warp_global_index,
+                       std::uint64_t num_warps_in_grid, std::uint64_t seed)
+    : kernel_(&kernel),
+      rng_(seed ^ (0x9E3779B97F4A7C15ull * (warp_global_index + 0x51ull))),
+      gen_(kernel.pattern, kRegionBase, warp_global_index, num_warps_in_grid, seed) {
+  STTGPU_REQUIRE(kernel.threads_per_block % 32 == 0,
+                 "KernelSpec: threads_per_block must be a multiple of 32");
+  STTGPU_REQUIRE(kernel.instructions_per_warp > 0, "KernelSpec: empty kernel");
+
+  // Split the overall store probability between main phase and epilogue such
+  // that `stores_at_end_fraction` of all stores fall in the epilogue.
+  const double epi = std::clamp(kernel.epilogue_fraction, 0.01, 0.9);
+  const double at_end = std::clamp(kernel.stores_at_end_fraction, 0.0, 0.95);
+  const double base_p = std::clamp(kernel.store_fraction, 0.0, 1.0);
+  // expected stores = mem_ops * base_p = mem_main * p_main + mem_epi * p_epi
+  // with mem_epi/mem_total = epi; choose p_epi so the epilogue share is at_end.
+  epi_store_p_ = std::min(1.0, base_p * at_end / epi);
+  main_store_p_ = std::max(0.0, base_p * (1.0 - at_end) / (1.0 - epi));
+}
+
+bool WarpStream::in_epilogue() const noexcept {
+  const double progress =
+      static_cast<double>(issued_) / static_cast<double>(kernel_->instructions_per_warp);
+  return progress >= 1.0 - kernel_->epilogue_fraction;
+}
+
+void WarpStream::fill_transactions(WarpInstr& instr, Addr base) {
+  // Coalescing model: the warp's 32 lanes fall into k consecutive-ish 128B
+  // segments; k is 1 + geometric spread around transactions_per_access.
+  const double target = std::max(1.0, kernel_->pattern.transactions_per_access);
+  unsigned k = 1;
+  if (target > 1.0) {
+    // Draw k with mean ~= target, capped at 32.
+    const double extra = rng_.next_exponential(target - 1.0);
+    k = static_cast<unsigned>(std::min(31.0, extra)) + 1;
+  }
+  instr.transactions.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    // Diverged lanes scatter; coalesced ones stay consecutive.
+    const Addr a = (i == 0 || k <= 4)
+                       ? base + i * kTransactionBytes
+                       : base + rng_.next_below(64) * kTransactionBytes;
+    instr.transactions.push_back(align_down(a, kTransactionBytes));
+  }
+}
+
+WarpInstr WarpStream::next() {
+  STTGPU_ASSERT_MSG(!done(), "WarpStream::next past end of stream");
+  ++issued_;
+
+  WarpInstr instr;
+  if (!rng_.chance(kernel_->mem_fraction)) {
+    instr.kind = WarpInstr::Kind::kCompute;
+    instr.latency = kernel_->compute_latency;
+    return instr;
+  }
+
+  // Memory operation: decide space first.
+  const double r = rng_.next_double();
+  if (r < kernel_->const_fraction) {
+    instr.kind = WarpInstr::Kind::kLoad;
+    instr.space = MemSpace::kConstant;
+    fill_transactions(instr, gen_.next_const_addr(rng_));
+    return instr;
+  }
+  if (r < kernel_->const_fraction + kernel_->texture_fraction) {
+    instr.kind = WarpInstr::Kind::kLoad;
+    instr.space = MemSpace::kTexture;
+    fill_transactions(instr, gen_.next_texture_addr(rng_));
+    return instr;
+  }
+  if (r < kernel_->const_fraction + kernel_->texture_fraction + kernel_->shared_fraction) {
+    // Shared-memory access: resolved inside the SM. The latency carries the
+    // bank-conflict serialization (1 + exponential spread around the mean).
+    instr.kind = rng_.chance(0.5) ? WarpInstr::Kind::kLoad : WarpInstr::Kind::kStore;
+    instr.space = MemSpace::kShared;
+    double degree = 1.0;
+    if (kernel_->shared_conflict_avg > 1.0) {
+      degree += rng_.next_exponential(kernel_->shared_conflict_avg - 1.0);
+    }
+    instr.latency = static_cast<unsigned>(kernel_->shared_latency * std::min(degree, 32.0));
+    return instr;
+  }
+
+  const bool is_local = rng_.chance(kernel_->local_fraction);
+  instr.space = is_local ? MemSpace::kLocal : MemSpace::kGlobal;
+
+  const double store_p = in_epilogue() ? epi_store_p_ : main_store_p_;
+  const bool is_store = rng_.chance(store_p);
+  instr.kind = is_store ? WarpInstr::Kind::kStore : WarpInstr::Kind::kLoad;
+
+  Addr base = 0;
+  if (is_store && !is_local && gen_.store_goes_hot(rng_)) {
+    base = gen_.next_wws_addr(rng_);
+  } else if (!is_store && gen_.try_reuse(rng_, &base)) {
+    // reused address already in `base`
+  } else {
+    base = gen_.next_main_addr(rng_, is_store);
+  }
+  gen_.remember(base);
+  fill_transactions(instr, base);
+  return instr;
+}
+
+}  // namespace sttgpu::workload

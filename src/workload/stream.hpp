@@ -1,0 +1,47 @@
+// Per-warp instruction stream generation.
+//
+// A WarpStream deterministically expands a KernelSpec into the sequence of
+// warp instructions one warp executes. Determinism contract: the stream is a
+// pure function of (kernel, warp global index, workload seed) — it does not
+// depend on simulation timing, so every architecture replays the same trace.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "workload/kernel.hpp"
+#include "workload/pattern.hpp"
+
+namespace sttgpu::workload {
+
+class WarpStream {
+ public:
+  WarpStream(const KernelSpec& kernel, std::uint64_t warp_global_index,
+             std::uint64_t num_warps_in_grid, std::uint64_t seed);
+
+  /// True when the warp has executed all its instructions.
+  bool done() const noexcept { return issued_ >= kernel_->instructions_per_warp; }
+
+  /// Generates the next instruction. Precondition: !done().
+  WarpInstr next();
+
+  std::uint64_t issued() const noexcept { return issued_; }
+  std::uint64_t remaining() const noexcept {
+    return kernel_->instructions_per_warp - issued_;
+  }
+
+ private:
+  bool in_epilogue() const noexcept;
+  void fill_transactions(WarpInstr& instr, Addr base);
+
+  const KernelSpec* kernel_;
+  Rng rng_;
+  AddressGenerator gen_;
+  std::uint64_t issued_ = 0;
+  /// Store probability in main phase / epilogue, precomputed so that the
+  /// requested stores_at_end_fraction of stores land in the epilogue.
+  double main_store_p_ = 0.0;
+  double epi_store_p_ = 0.0;
+};
+
+}  // namespace sttgpu::workload

@@ -1,0 +1,123 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sttgpu::cache {
+namespace {
+
+CacheGeometry small_geom() { return {4 * 1024, 4, 256}; }  // 4 sets x 4 ways
+
+SetAssocCache make_cache(WriteHitPolicy hit, WriteMissPolicy miss) {
+  return SetAssocCache(small_geom(), CachePolicies{hit, miss, ReplacementKind::kLru});
+}
+
+TEST(Cache, LoadMissAllocatesAndForwards) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  const auto out = c.access(0x1000, AccessKind::kLoad, 1);
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.forward_downstream);
+  EXPECT_TRUE(c.contains(0x1000));
+  EXPECT_EQ(c.counters().load_misses, 1u);
+
+  const auto again = c.access(0x1000, AccessKind::kLoad, 2);
+  EXPECT_TRUE(again.hit);
+  EXPECT_FALSE(again.forward_downstream);
+  EXPECT_EQ(c.counters().load_hits, 1u);
+}
+
+TEST(Cache, WriteBackAbsorbsStores) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  c.access(0x2000, AccessKind::kLoad, 1);
+  const auto out = c.access(0x2000, AccessKind::kStore, 2);
+  EXPECT_TRUE(out.hit);
+  EXPECT_FALSE(out.forward_downstream);
+  // Dirty line must produce a writeback when invalidated.
+  EXPECT_TRUE(c.invalidate_line(0x2000));
+}
+
+TEST(Cache, WriteThroughForwardsButKeepsLine) {
+  auto c = make_cache(WriteHitPolicy::kWriteThrough, WriteMissPolicy::kAllocate);
+  c.access(0x2000, AccessKind::kLoad, 1);
+  const auto out = c.access(0x2000, AccessKind::kStore, 2);
+  EXPECT_TRUE(out.hit);
+  EXPECT_TRUE(out.forward_downstream);
+  EXPECT_TRUE(c.contains(0x2000));
+  EXPECT_FALSE(c.invalidate_line(0x2000));  // stayed clean
+}
+
+TEST(Cache, WriteEvictDropsLineAndForwards) {
+  // The GPU L1 global-store policy of the paper's Fig. 1b.
+  auto c = make_cache(WriteHitPolicy::kWriteEvict, WriteMissPolicy::kNoAllocate);
+  c.access(0x3000, AccessKind::kLoad, 1);
+  EXPECT_TRUE(c.contains(0x3000));
+  const auto out = c.access(0x3000, AccessKind::kStore, 2);
+  EXPECT_TRUE(out.hit);
+  EXPECT_TRUE(out.forward_downstream);
+  EXPECT_FALSE(c.contains(0x3000));  // evicted on write
+}
+
+TEST(Cache, WriteNoAllocatePassesThrough) {
+  auto c = make_cache(WriteHitPolicy::kWriteEvict, WriteMissPolicy::kNoAllocate);
+  const auto out = c.access(0x4000, AccessKind::kStore, 1);
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.forward_downstream);
+  EXPECT_FALSE(c.contains(0x4000));
+  EXPECT_EQ(c.counters().store_misses, 1u);
+}
+
+TEST(Cache, WriteAllocateFetchesOnWrite) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  const auto out = c.access(0x5000, AccessKind::kStore, 1);
+  EXPECT_FALSE(out.hit);
+  EXPECT_TRUE(out.forward_downstream);
+  EXPECT_TRUE(c.contains(0x5000));
+  EXPECT_TRUE(c.invalidate_line(0x5000));  // allocated dirty
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  // Fill one set (4 ways) with dirty lines; set stride = 4 sets * 256B.
+  const std::uint64_t stride = 4 * 256;
+  for (int i = 0; i < 4; ++i) {
+    c.access(0x10000 + i * stride, AccessKind::kStore, i);
+  }
+  // A fifth line in the same set evicts the LRU dirty line.
+  const auto out = c.access(0x10000 + 4 * stride, AccessKind::kLoad, 10);
+  EXPECT_TRUE(out.evicted);
+  EXPECT_TRUE(out.writeback);
+  EXPECT_EQ(out.writeback_addr, 0x10000u);
+  EXPECT_EQ(c.counters().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  const std::uint64_t stride = 4 * 256;
+  for (int i = 0; i < 5; ++i) c.access(0x10000 + i * stride, AccessKind::kLoad, i);
+  EXPECT_EQ(c.counters().evictions, 1u);
+  EXPECT_EQ(c.counters().writebacks, 0u);
+}
+
+TEST(Cache, FillLineIdempotentWhenResident) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  c.access(0x100, AccessKind::kLoad, 1);
+  const auto out = c.fill_line(0x100, 2, false);
+  EXPECT_FALSE(out.evicted);
+}
+
+TEST(Cache, MissRateComputation) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  c.access(0x100, AccessKind::kLoad, 1);  // miss
+  c.access(0x100, AccessKind::kLoad, 2);  // hit
+  c.access(0x100, AccessKind::kLoad, 3);  // hit
+  c.access(0x100, AccessKind::kLoad, 4);  // hit
+  EXPECT_DOUBLE_EQ(c.counters().miss_rate(), 0.25);
+}
+
+TEST(Cache, WriteStatsTrackStores) {
+  auto c = make_cache(WriteHitPolicy::kWriteBack, WriteMissPolicy::kAllocate);
+  for (int i = 0; i < 10; ++i) c.access(0x700, AccessKind::kStore, i);
+  EXPECT_EQ(c.write_stats().total_writes(), 10u);
+}
+
+}  // namespace
+}  // namespace sttgpu::cache

@@ -1,0 +1,99 @@
+#include "cache/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::cache {
+namespace {
+
+TEST(Geometry, RejectsInvalidParameters) {
+  EXPECT_THROW(CacheGeometry(0, 8, 256), SimError);
+  EXPECT_THROW(CacheGeometry(64 * 1024, 0, 256), SimError);
+  EXPECT_THROW(CacheGeometry(64 * 1024, 8, 100), SimError);        // non-pow2 line
+  EXPECT_THROW(CacheGeometry(64 * 1024 + 3, 8, 256), SimError);    // not line multiple
+  EXPECT_THROW(CacheGeometry(64 * 1024, 7, 256), SimError);        // 256 % 7 != 0
+  EXPECT_THROW(CacheGeometry(256, 8, 256), SimError);              // assoc > lines
+}
+
+TEST(Geometry, BasicDerivation) {
+  const CacheGeometry g(64 * 1024, 8, 256);
+  EXPECT_EQ(g.num_sets(), 32u);
+  EXPECT_EQ(g.num_lines(), 256u);
+  EXPECT_EQ(g.offset_bits(), 8u);
+  EXPECT_FALSE(g.fully_associative());
+}
+
+TEST(Geometry, SevenWayModuloMapping) {
+  // 56KB 7-way 256B => 32 sets (pow2 sets even with odd assoc).
+  const CacheGeometry g(56 * 1024, 7, 256);
+  EXPECT_EQ(g.num_sets(), 32u);
+  // 224KB 7-way => 128 sets.
+  const CacheGeometry g2(224 * 1024, 7, 256);
+  EXPECT_EQ(g2.num_sets(), 128u);
+}
+
+TEST(Geometry, NonPow2SetsUseModulo) {
+  // 48KB 4-way 256B => 48 sets (not a power of two).
+  const CacheGeometry g(48 * 1024, 4, 256);
+  EXPECT_EQ(g.num_sets(), 48u);
+  for (Addr a = 0; a < 1 << 20; a += 12345) {
+    EXPECT_LT(g.set_index(a), 48u);
+  }
+}
+
+TEST(Geometry, FullyAssociative) {
+  const CacheGeometry g(8 * 1024, 32, 256);
+  EXPECT_TRUE(g.fully_associative());
+  EXPECT_EQ(g.num_sets(), 1u);
+  EXPECT_EQ(g.set_index(0xdeadbeef), 0u);
+}
+
+TEST(Geometry, LineBase) {
+  const CacheGeometry g(64 * 1024, 8, 256);
+  EXPECT_EQ(g.line_base(0x1234), 0x1200u);
+  EXPECT_EQ(g.line_base(0x1200), 0x1200u);
+}
+
+TEST(Geometry, TagRoundTrip) {
+  const CacheGeometry g(64 * 1024, 8, 256);
+  for (Addr a = 0; a < 1 << 22; a += 7777) {
+    const Addr tag = g.tag_of(a);
+    const Addr back = g.addr_of_tag(tag);
+    EXPECT_EQ(g.line_base(a), back);
+    EXPECT_EQ(g.set_index(back), g.set_index(a));
+  }
+}
+
+// Property over shapes: same-line addresses share set+tag; consecutive lines
+// map to consecutive sets (modulo).
+class GeometryShapes
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned, unsigned>> {};
+
+TEST_P(GeometryShapes, ConsistentIndexing) {
+  const auto [bytes, assoc, line] = GetParam();
+  const CacheGeometry g(bytes, assoc, line);
+  for (Addr raw = 0; raw < 1 << 20; raw += 64 * 1024 - 128) {
+    const Addr base = g.line_base(raw);
+    const Addr a1 = base;
+    const Addr a2 = base + line - 1;  // same line
+    EXPECT_EQ(g.set_index(a1), g.set_index(a2));
+    EXPECT_EQ(g.tag_of(a1), g.tag_of(a2));
+    const Addr next_line = base + line;
+    if (g.num_sets() > 1) {
+      EXPECT_EQ(g.set_index(next_line), (g.set_index(a1) + 1) % g.num_sets());
+    }
+    EXPECT_NE(g.tag_of(next_line), g.tag_of(a1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryShapes,
+    ::testing::Values(std::tuple<std::uint64_t, unsigned, unsigned>{16 * 1024, 4, 128},
+                      std::tuple<std::uint64_t, unsigned, unsigned>{64 * 1024, 8, 256},
+                      std::tuple<std::uint64_t, unsigned, unsigned>{56 * 1024, 7, 256},
+                      std::tuple<std::uint64_t, unsigned, unsigned>{8 * 1024, 2, 256},
+                      std::tuple<std::uint64_t, unsigned, unsigned>{12 * 1024, 4, 64}));
+
+}  // namespace
+}  // namespace sttgpu::cache

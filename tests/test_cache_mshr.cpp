@@ -1,0 +1,63 @@
+#include "cache/mshr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::cache {
+namespace {
+
+TEST(Mshr, RejectsZeroCapacity) {
+  EXPECT_THROW(MshrFile(0, 4), SimError);
+  EXPECT_THROW(MshrFile(4, 0), SimError);
+}
+
+TEST(Mshr, AllocateTrackThenRelease) {
+  MshrFile mshr(4, 4);
+  EXPECT_FALSE(mshr.has_entry(0x100));
+  mshr.allocate(0x100, 1);
+  EXPECT_TRUE(mshr.has_entry(0x100));
+  EXPECT_EQ(mshr.outstanding_lines(), 1u);
+  const auto reqs = mshr.release(0x100);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0], 1u);
+  EXPECT_FALSE(mshr.has_entry(0x100));
+}
+
+TEST(Mshr, MergesSecondaryMisses) {
+  MshrFile mshr(4, 3);
+  mshr.allocate(0x200, 10);
+  EXPECT_TRUE(mshr.can_merge(0x200));
+  mshr.merge(0x200, 11);
+  mshr.merge(0x200, 12);
+  EXPECT_FALSE(mshr.can_merge(0x200));  // merge capacity 3 reached
+  const auto reqs = mshr.release(0x200);
+  EXPECT_EQ(reqs, (std::vector<RequestId>{10, 11, 12}));
+}
+
+TEST(Mshr, FullWhenAllEntriesUsed) {
+  MshrFile mshr(2, 2);
+  mshr.allocate(0x100, 1);
+  EXPECT_FALSE(mshr.full());
+  mshr.allocate(0x200, 2);
+  EXPECT_TRUE(mshr.full());
+  mshr.release(0x100);
+  EXPECT_FALSE(mshr.full());
+}
+
+TEST(Mshr, CanMergeIsFalseWithoutEntry) {
+  MshrFile mshr(2, 2);
+  EXPECT_FALSE(mshr.can_merge(0x300));
+}
+
+TEST(Mshr, ViolationsAreAssertions) {
+  MshrFile mshr(1, 1);
+  mshr.allocate(0x100, 1);
+  EXPECT_THROW(mshr.allocate(0x100, 2), std::logic_error);  // duplicate
+  EXPECT_THROW(mshr.allocate(0x200, 3), std::logic_error);  // full
+  EXPECT_THROW(mshr.merge(0x100, 4), std::logic_error);     // merge cap
+  EXPECT_THROW(mshr.release(0x999), std::logic_error);      // missing
+}
+
+}  // namespace
+}  // namespace sttgpu::cache

@@ -1,0 +1,116 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::cache {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy lru(1, 4);
+  const std::vector<bool> all_valid(4, true);
+  lru.on_insert(0, 0);
+  lru.on_insert(0, 1);
+  lru.on_insert(0, 2);
+  lru.on_insert(0, 3);
+  lru.on_access(0, 0);  // 1 is now LRU
+  EXPECT_EQ(lru.victim(0, all_valid), 1u);
+  lru.on_access(0, 1);
+  EXPECT_EQ(lru.victim(0, all_valid), 2u);
+}
+
+TEST(Lru, InvalidateMakesWayVictim) {
+  LruPolicy lru(1, 4);
+  const std::vector<bool> all_valid(4, true);
+  for (unsigned w = 0; w < 4; ++w) lru.on_insert(0, w);
+  lru.on_invalidate(0, 2);
+  EXPECT_EQ(lru.victim(0, all_valid), 2u);
+}
+
+TEST(Fifo, IgnoresAccesses) {
+  FifoPolicy fifo(1, 3);
+  const std::vector<bool> all_valid(3, true);
+  fifo.on_insert(0, 0);
+  fifo.on_insert(0, 1);
+  fifo.on_insert(0, 2);
+  fifo.on_access(0, 0);  // must not promote way 0
+  EXPECT_EQ(fifo.victim(0, all_valid), 0u);
+}
+
+TEST(TreePlru, RequiresPow2Ways) {
+  EXPECT_THROW(TreePlruPolicy(1, 3), SimError);
+  EXPECT_THROW(TreePlruPolicy(1, 7), SimError);
+  EXPECT_NO_THROW(TreePlruPolicy(1, 8));
+}
+
+TEST(TreePlru, VictimAvoidsRecentlyTouched) {
+  TreePlruPolicy plru(1, 4);
+  const std::vector<bool> all_valid(4, true);
+  for (unsigned w = 0; w < 4; ++w) plru.on_insert(0, w);
+  plru.on_access(0, 3);
+  EXPECT_NE(plru.victim(0, all_valid), 3u);
+  plru.on_access(0, 0);
+  EXPECT_NE(plru.victim(0, all_valid), 0u);
+}
+
+TEST(Random, DeterministicWithSeed) {
+  RandomPolicy a(4, 8, 99), b(4, 8, 99);
+  const std::vector<bool> all_valid(8, true);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.victim(0, all_valid), b.victim(0, all_valid));
+}
+
+TEST(Factory, MakesEveryKind) {
+  for (const auto kind : {ReplacementKind::kLru, ReplacementKind::kFifo,
+                          ReplacementKind::kRandom, ReplacementKind::kTreePlru}) {
+    const auto p = make_replacement(kind, 4, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_FALSE(p->name().empty());
+  }
+}
+
+// Parameterized contract tests every policy must satisfy.
+class PolicyContract : public ::testing::TestWithParam<ReplacementKind> {
+ protected:
+  static constexpr unsigned kWays = 8;
+  std::unique_ptr<ReplacementPolicy> policy_ = make_replacement(GetParam(), 16, kWays, 7);
+};
+
+TEST_P(PolicyContract, PrefersInvalidWays) {
+  std::vector<bool> valid(kWays, true);
+  valid[5] = false;
+  for (unsigned w = 0; w < kWays; ++w) policy_->on_insert(3, w);
+  EXPECT_EQ(policy_->victim(3, valid), 5u);
+}
+
+TEST_P(PolicyContract, VictimInRange) {
+  const std::vector<bool> all_valid(kWays, true);
+  for (unsigned w = 0; w < kWays; ++w) policy_->on_insert(0, w);
+  for (int i = 0; i < 200; ++i) {
+    const unsigned v = policy_->victim(0, all_valid);
+    EXPECT_LT(v, kWays);
+    policy_->on_insert(0, v);  // simulate replacement
+  }
+}
+
+TEST_P(PolicyContract, SetsAreIndependent) {
+  const std::vector<bool> all_valid(kWays, true);
+  for (unsigned w = 0; w < kWays; ++w) {
+    policy_->on_insert(0, w);
+    policy_->on_insert(1, w);
+  }
+  // Touching set 0 must not change set 1's choice.
+  const unsigned before = policy_->victim(1, all_valid);
+  for (int i = 0; i < 10; ++i) policy_->on_access(0, i % kWays);
+  if (GetParam() != ReplacementKind::kRandom) {
+    EXPECT_EQ(policy_->victim(1, all_valid), before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyContract,
+                         ::testing::Values(ReplacementKind::kLru, ReplacementKind::kFifo,
+                                           ReplacementKind::kRandom,
+                                           ReplacementKind::kTreePlru));
+
+}  // namespace
+}  // namespace sttgpu::cache

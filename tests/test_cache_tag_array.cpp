@@ -1,0 +1,119 @@
+#include "cache/tag_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sttgpu::cache {
+namespace {
+
+class TagArrayTest : public ::testing::Test {
+ protected:
+  CacheGeometry geom_{8 * 1024, 4, 256};  // 8 sets x 4 ways
+  TagArray tags_{geom_, ReplacementKind::kLru};
+};
+
+TEST_F(TagArrayTest, EmptyArrayMissesEverything) {
+  EXPECT_FALSE(tags_.probe(0x1000).has_value());
+  EXPECT_EQ(tags_.valid_count(), 0u);
+}
+
+TEST_F(TagArrayTest, FillThenProbeHits) {
+  const Addr addr = 0x4200;
+  const unsigned way = tags_.pick_victim(addr);
+  LineMeta& line = tags_.fill(addr, way, 10);
+  EXPECT_TRUE(line.valid);
+  EXPECT_EQ(line.insert_cycle, 10u);
+  const auto hit = tags_.probe(addr);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, way);
+  // Another address in the same line also hits.
+  EXPECT_TRUE(tags_.probe(addr + 255).has_value());
+  // The next line does not.
+  EXPECT_FALSE(tags_.probe(addr + 256).has_value());
+}
+
+TEST_F(TagArrayTest, InvalidateRemoves) {
+  const Addr addr = 0x8000;
+  const unsigned way = tags_.pick_victim(addr);
+  tags_.fill(addr, way, 0);
+  EXPECT_TRUE(tags_.probe(addr).has_value());
+  tags_.invalidate(addr, way);
+  EXPECT_FALSE(tags_.probe(addr).has_value());
+  EXPECT_EQ(tags_.valid_count(), 0u);
+}
+
+TEST_F(TagArrayTest, FillResetsMetadata) {
+  const Addr addr = 0x100;
+  const unsigned way = tags_.pick_victim(addr);
+  LineMeta& line = tags_.fill(addr, way, 5);
+  line.dirty = true;
+  line.write_count = 7;
+  tags_.fill(addr, way, 9);  // refill same slot
+  const LineMeta& fresh = tags_.line(geom_.set_index(addr), way);
+  EXPECT_FALSE(fresh.dirty);
+  EXPECT_EQ(fresh.write_count, 0u);
+  EXPECT_EQ(fresh.last_write_cycle, kNoCycle);
+  EXPECT_EQ(fresh.retention_deadline, kNoCycle);
+}
+
+TEST_F(TagArrayTest, VictimPrefersInvalidThenLru) {
+  // Fill all four ways of one set with same-set addresses.
+  const Addr base = 0x0;
+  const std::uint64_t set_stride = geom_.num_sets() * geom_.line_bytes();
+  std::vector<Addr> addrs;
+  for (unsigned i = 0; i < 4; ++i) addrs.push_back(base + i * set_stride);
+  for (const Addr a : addrs) tags_.fill(a, tags_.pick_victim(a), 0);
+  EXPECT_EQ(tags_.valid_count(), 4u);
+
+  // Touch all but the first: the first becomes LRU.
+  for (unsigned i = 1; i < 4; ++i) tags_.touch(addrs[i], *tags_.probe(addrs[i]));
+  const unsigned victim = tags_.pick_victim(base + 4 * set_stride);
+  EXPECT_EQ(victim, *tags_.probe(addrs[0]));
+}
+
+TEST_F(TagArrayTest, ForEachValidVisitsExactlyValidLines) {
+  for (int i = 0; i < 10; ++i) {
+    const Addr a = static_cast<Addr>(i) * 256;
+    tags_.fill(a, tags_.pick_victim(a), 0);
+  }
+  std::size_t visited = 0;
+  tags_.for_each_valid([&](std::uint64_t, unsigned, LineMeta& line) {
+    EXPECT_TRUE(line.valid);
+    ++visited;
+  });
+  EXPECT_EQ(visited, tags_.valid_count());
+  EXPECT_EQ(visited, 10u);
+}
+
+TEST_F(TagArrayTest, ValidMaskTracksState) {
+  const Addr addr = 0x2000;
+  const std::uint64_t set = geom_.set_index(addr);
+  auto mask = tags_.valid_mask(set);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 0);
+  tags_.fill(addr, 2, 0);
+  mask = tags_.valid_mask(set);
+  EXPECT_TRUE(mask[2]);
+  EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 1);
+}
+
+TEST(TagArrayStress, RandomTrafficNeverAliases) {
+  // Property: after any traffic, a probe hit implies matching line address.
+  CacheGeometry geom(16 * 1024, 4, 128);
+  TagArray tags(geom, ReplacementKind::kLru);
+  Rng rng(3);
+  std::vector<Addr> live;
+  for (int i = 0; i < 5000; ++i) {
+    const Addr a = rng.next_below(1 << 18) & ~Addr{127};
+    if (const auto way = tags.probe(a)) {
+      EXPECT_EQ(tags.line(geom.set_index(a), *way).tag, geom.tag_of(a));
+      tags.touch(a, *way);
+    } else {
+      tags.fill(a, tags.pick_victim(a), i);
+    }
+  }
+  EXPECT_LE(tags.valid_count(), geom.num_lines());
+}
+
+}  // namespace
+}  // namespace sttgpu::cache

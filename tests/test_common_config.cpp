@@ -1,0 +1,67 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+namespace {
+
+Config parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Config::from_args(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Config, ParsesKeyValueArgs) {
+  const Config cfg = parse({"scale=0.5", "benchmark=bfs", "verbose=true", "n=42"});
+  EXPECT_DOUBLE_EQ(cfg.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(cfg.get_string("benchmark", ""), "bfs");
+  EXPECT_TRUE(cfg.get_bool("verbose", false));
+  EXPECT_EQ(cfg.get_int("n", 0), 42);
+}
+
+TEST(Config, FallbacksWhenMissing) {
+  const Config cfg = parse({});
+  EXPECT_DOUBLE_EQ(cfg.get_double("scale", 0.25), 0.25);
+  EXPECT_EQ(cfg.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(cfg.get_bool("flag", false));
+  EXPECT_EQ(cfg.get_int("n", -1), -1);
+}
+
+TEST(Config, RejectsMalformedTokens) {
+  EXPECT_THROW(parse({"noequals"}), SimError);
+  EXPECT_THROW(parse({"=value"}), SimError);
+}
+
+TEST(Config, RejectsBadTypes) {
+  const Config cfg = parse({"n=abc", "d=1.2.3", "b=maybe"});
+  EXPECT_THROW(cfg.get_int("n", 0), SimError);
+  EXPECT_THROW(cfg.get_double("d", 0.0), SimError);
+  EXPECT_THROW(cfg.get_bool("b", false), SimError);
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config cfg = parse({"a=1", "b=0", "c=yes", "d=off", "e=true", "f=no"});
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_FALSE(cfg.get_bool("d", true));
+  EXPECT_TRUE(cfg.get_bool("e", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+}
+
+TEST(Config, HasAndSet) {
+  Config cfg;
+  EXPECT_FALSE(cfg.has("k"));
+  cfg.set("k", "v");
+  EXPECT_TRUE(cfg.has("k"));
+  EXPECT_EQ(cfg.get_string("k", ""), "v");
+}
+
+TEST(Config, HexIntegers) {
+  const Config cfg = parse({"addr=0x100"});
+  EXPECT_EQ(cfg.get_int("addr", 0), 256);
+}
+
+}  // namespace
+}  // namespace sttgpu

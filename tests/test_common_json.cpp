@@ -1,0 +1,98 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+namespace {
+
+std::string write(const std::function<void(JsonWriter&)>& fn) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  fn(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(Json, EmptyObjectAndArray) {
+  EXPECT_EQ(write([](JsonWriter& w) { w.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(write([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(Json, KeyValuePairs) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_object();
+    w.key("a").value(1);
+    w.key("b").value("x");
+    w.key("c").value(true);
+    w.key("d").null();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"a":1,"b":"x","c":true,"d":null})");
+}
+
+TEST(Json, NestedStructures) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_object();
+    w.key("rows").begin_array();
+    w.begin_object().key("n").value(std::uint64_t{42}).end_object();
+    w.value(3.5);
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"rows":[{"n":42},3.5]})");
+}
+
+TEST(Json, EscapesStrings) {
+  const std::string out =
+      write([](JsonWriter& w) { w.value("a\"b\\c\nd"); });
+  EXPECT_EQ(out, R"("a\"b\\c\nd")");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[null,null]");
+}
+
+TEST(Json, RejectsProtocolViolations) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), SimError);  // value without key
+    EXPECT_THROW(w.end_array(), SimError);
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), SimError);  // key inside array
+  }
+  {
+    JsonWriter w(os);
+    w.value(1);
+    EXPECT_THROW(w.value(2), SimError);  // second root
+  }
+}
+
+TEST(Json, ArrayOfScalars) {
+  const std::string out = write([](JsonWriter& w) {
+    w.begin_array();
+    w.value(1).value(2).value(-3);
+    w.end_array();
+  });
+  EXPECT_EQ(out, "[1,2,-3]");
+}
+
+}  // namespace
+}  // namespace sttgpu

@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sttgpu {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(3);
+  for (const std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRespectProbabilityRoughly) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfSampler z(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(ZipfSampler(0, 1.0), SimError); }
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler z(64, 0.9);
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z.sample(rng), 64u);
+}
+
+// Property: rank frequencies decrease (statistically) with rank for s > 0.
+class ZipfSkew : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkew, HeadOutweighsTail) {
+  ZipfSampler z(128, GetParam());
+  Rng rng(23);
+  std::vector<int> counts(128, 0);
+  for (int i = 0; i < 50000; ++i) counts[z.sample(rng)]++;
+  int head = 0, tail = 0;
+  for (int i = 0; i < 16; ++i) head += counts[i];
+  for (int i = 112; i < 128; ++i) tail += counts[i];
+  EXPECT_GT(head, 2 * tail);
+  EXPECT_GT(counts[0], counts[64]);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewLevels, ZipfSkew, ::testing::Values(0.7, 0.9, 1.1, 1.3));
+
+}  // namespace
+}  // namespace sttgpu

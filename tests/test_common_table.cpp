@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaders) { EXPECT_THROW(TextTable({}), SimError); }
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), SimError);
+}
+
+TEST(TextTable, PrintsAlignedGrid) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name"), std::string::npos);
+  // All lines have equal length (aligned columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::fmt_percent(0.1234, 1), "12.3%");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sttgpu

@@ -1,0 +1,67 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sttgpu {
+namespace {
+
+TEST(Types, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Types, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(1ull << 63), 63u);
+}
+
+TEST(Types, Log2ExactMatchesPowersOfTwo) {
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(log2_exact(std::uint64_t{1} << i), i);
+  }
+}
+
+TEST(Types, AlignDownUp) {
+  EXPECT_EQ(align_down(1000, 256), 768u);
+  EXPECT_EQ(align_up(1000, 256), 1024u);
+  EXPECT_EQ(align_down(1024, 256), 1024u);
+  EXPECT_EQ(align_up(1024, 256), 1024u);
+  EXPECT_EQ(align_down(0, 64), 0u);
+}
+
+// Property: align_down <= v <= align_up, both multiples of the alignment.
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignProperty, Brackets) {
+  const std::uint64_t align = GetParam();
+  for (std::uint64_t v = 0; v < 4 * align; v += align / 4 + 1) {
+    const std::uint64_t down = align_down(v, align);
+    const std::uint64_t up = align_up(v, align);
+    EXPECT_LE(down, v);
+    EXPECT_GE(up, v);
+    EXPECT_EQ(down % align, 0u);
+    EXPECT_EQ(up % align, 0u);
+    EXPECT_LE(up - down, align);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignProperty,
+                         ::testing::Values(2, 64, 128, 256, 4096));
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(1000, 7), 143u);
+}
+
+}  // namespace
+}  // namespace sttgpu

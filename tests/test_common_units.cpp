@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sttgpu {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(nanojoule_to_pj(0.5), 500.0);
+  EXPECT_DOUBLE_EQ(pj_to_nanojoule(500.0), 0.5);
+  EXPECT_DOUBLE_EQ(us_to_ns(26.5), 26500.0);
+  EXPECT_DOUBLE_EQ(ms_to_ns(40.0), 40e6);
+  EXPECT_DOUBLE_EQ(seconds_to_ns(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(ns_to_seconds(1e9), 1.0);
+}
+
+TEST(Clock, PeriodAt700MHz) {
+  const Clock clock(700e6);
+  EXPECT_NEAR(clock.period_ns(), 1.42857, 1e-4);
+}
+
+TEST(Clock, CyclesForNsRoundsUpAndIsAtLeastOne) {
+  const Clock clock(700e6);
+  EXPECT_EQ(clock.cycles_for_ns(0.1), 1u);   // sub-cycle latencies cost a cycle
+  EXPECT_EQ(clock.cycles_for_ns(1.4), 1u);
+  EXPECT_EQ(clock.cycles_for_ns(1.5), 2u);
+  EXPECT_EQ(clock.cycles_for_ns(14.2857), 10u);
+}
+
+TEST(Clock, RoundTripSeconds) {
+  const Clock clock(kDefaultCoreClockHz);
+  EXPECT_NEAR(clock.seconds_for_cycles(700'000'000), 1.0, 1e-9);
+}
+
+// Property: cycles_for_ns never undershoots the physical latency.
+class ClockProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockProperty, NeverFree) {
+  const Clock clock(GetParam());
+  for (double ns = 0.05; ns < 100.0; ns *= 1.7) {
+    const Cycle c = clock.cycles_for_ns(ns);
+    EXPECT_GE(c, 1u);
+    EXPECT_GE(clock.ns_for_cycles(c) + 1e-9, ns) << "freq=" << GetParam() << " ns=" << ns;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, ClockProperty,
+                         ::testing::Values(300e6, 700e6, 1.4e9, 2.0e9));
+
+}  // namespace
+}  // namespace sttgpu

@@ -1,0 +1,93 @@
+#include "gpu/occupancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+namespace {
+
+workload::KernelSpec kernel(unsigned threads, unsigned regs, unsigned shared = 0) {
+  workload::KernelSpec k;
+  k.name = "test";
+  k.threads_per_block = threads;
+  k.regs_per_thread = regs;
+  k.shared_bytes_per_block = shared;
+  return k;
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const GpuConfig cfg;  // 1536 threads, 8 blocks, 32K regs, 48KB shared
+  const Occupancy occ = compute_occupancy(kernel(512, 8), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 3u);  // 1536/512
+  EXPECT_STREQ(occ.limiter, "threads");
+  EXPECT_EQ(occ.warps_per_sm, 48u);
+}
+
+TEST(Occupancy, BlockLimited) {
+  const GpuConfig cfg;
+  const Occupancy occ = compute_occupancy(kernel(64, 8), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 8u);
+  EXPECT_STREQ(occ.limiter, "blocks");
+  EXPECT_EQ(occ.warps_per_sm, 16u);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const GpuConfig cfg;
+  // 256 threads x 43 regs = 11008/block: 32768 fits 2.
+  const Occupancy occ = compute_occupancy(kernel(256, 43), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 2u);
+  EXPECT_STREQ(occ.limiter, "registers");
+}
+
+TEST(Occupancy, RegisterBoostAddsABlock) {
+  // The C2/C3 mechanism: a bigger register file admits one more block.
+  GpuConfig cfg;
+  cfg.registers_per_sm = 35776;
+  const Occupancy occ = compute_occupancy(kernel(256, 43), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 3u);
+  EXPECT_EQ(occ.warps_per_sm, 24u);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const GpuConfig cfg;
+  const Occupancy occ = compute_occupancy(kernel(64, 8, 16 * 1024), cfg);
+  EXPECT_EQ(occ.blocks_per_sm, 3u);  // 48KB / 16KB
+  EXPECT_STREQ(occ.limiter, "shared");
+}
+
+TEST(Occupancy, WarpSlotCap) {
+  GpuConfig cfg;
+  cfg.max_warps_per_sm = 24;
+  const Occupancy occ = compute_occupancy(kernel(512, 8), cfg);
+  EXPECT_LE(occ.warps_per_sm, 24u);
+  EXPECT_STREQ(occ.limiter, "warp-slots");
+}
+
+TEST(Occupancy, RejectsUnlaunchableKernels) {
+  const GpuConfig cfg;
+  EXPECT_THROW(compute_occupancy(kernel(2048, 8), cfg), SimError);   // too many threads
+  EXPECT_THROW(compute_occupancy(kernel(256, 200), cfg), SimError);  // too many regs
+  EXPECT_THROW(compute_occupancy(kernel(100, 8), cfg), SimError);    // not warp multiple
+}
+
+// Parameterized sweep: occupancy is monotone non-decreasing in register file
+// size — the Table 2 premise.
+class RegSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RegSweep, MonotoneInRegisterFile) {
+  GpuConfig small, big;
+  small.registers_per_sm = 32768;
+  big.registers_per_sm = 32768 + 4096;
+  const auto k = kernel(256, GetParam());
+  const Occupancy a = compute_occupancy(k, small);
+  const Occupancy b = compute_occupancy(k, big);
+  EXPECT_GE(b.blocks_per_sm, a.blocks_per_sm);
+  EXPECT_GE(a.blocks_per_sm, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegsPerThread, RegSweep,
+                         ::testing::Values(16, 20, 26, 32, 43, 52, 63));
+
+}  // namespace
+}  // namespace sttgpu::gpu

@@ -1,0 +1,65 @@
+#include "gpu/pipe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sttgpu::gpu {
+namespace {
+
+TEST(Pipe, RejectsZeroGap) { EXPECT_THROW(ThroughputPipe(1, 0), SimError); }
+
+TEST(Pipe, IdlePipeAddsLatencyOnly) {
+  ThroughputPipe pipe(10, 2);
+  EXPECT_EQ(pipe.admit(100), 110u);
+}
+
+TEST(Pipe, BackToBackRespectsServiceGap) {
+  ThroughputPipe pipe(10, 4);
+  EXPECT_EQ(pipe.admit(0), 10u);   // starts at 0
+  EXPECT_EQ(pipe.admit(0), 14u);   // starts at 4
+  EXPECT_EQ(pipe.admit(0), 18u);   // starts at 8
+  EXPECT_EQ(pipe.backlog(0), 12u);
+}
+
+TEST(Pipe, LateArrivalsSeeNoQueue) {
+  ThroughputPipe pipe(5, 3);
+  pipe.admit(0);
+  EXPECT_EQ(pipe.admit(100), 105u);
+  EXPECT_EQ(pipe.backlog(200), 0u);
+}
+
+TEST(Pipe, PeekDoesNotMutate) {
+  ThroughputPipe pipe(5, 3);
+  const Cycle p1 = pipe.peek_departure(0);
+  const Cycle p2 = pipe.peek_departure(0);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(pipe.admit(0), p1);
+  EXPECT_EQ(pipe.admitted(), 1u);
+}
+
+TEST(Pipe, DeparturesMonotoneUnderRandomArrivals) {
+  // Property the interconnect FIFOs rely on.
+  ThroughputPipe pipe(8, 2);
+  Rng rng(9);
+  Cycle now = 0, last_depart = 0;
+  for (int i = 0; i < 10000; ++i) {
+    now += rng.next_below(5);
+    const Cycle depart = pipe.admit(now);
+    EXPECT_GE(depart, last_depart);
+    EXPECT_GE(depart, now + 8);
+    last_depart = depart;
+  }
+}
+
+TEST(Pipe, SustainedThroughputMatchesGap) {
+  ThroughputPipe pipe(20, 5);
+  Cycle last = 0;
+  for (int i = 0; i < 100; ++i) last = pipe.admit(0);
+  // 100 transactions at 1 per 5 cycles: the last starts at 495.
+  EXPECT_EQ(last, 495u + 20u);
+}
+
+}  // namespace
+}  // namespace sttgpu::gpu

@@ -1,0 +1,86 @@
+// Miniature versions of the paper's figure claims, run at tiny scale so
+// they hold in CI time: the qualitative shapes the full bench binaries
+// reproduce at evaluation scale.
+#include <gtest/gtest.h>
+
+#include "sim/probe.hpp"
+#include "sim/runner.hpp"
+
+namespace sttgpu::sim {
+namespace {
+
+constexpr double kScale = 0.12;
+
+TEST(FigureShapes, Fig3HotWritersBeatEvenWriters) {
+  // histo hammers a tiny histogram (hot sets); stencil sweeps writes evenly.
+  const UniformProbe hot = run_uniform("histo", sram_bank_config(), kScale);
+  const UniformProbe even = run_uniform("stencil", sram_bank_config(), kScale);
+  EXPECT_GT(hot.inter_set_cov, 1.5 * even.inter_set_cov);
+}
+
+TEST(FigureShapes, Fig4LowerThresholdRaisesLrShare) {
+  sttl2::TwoPartBankConfig th1 = c1_bank_config();
+  sttl2::TwoPartBankConfig th7 = c1_bank_config();
+  th7.write_threshold = 7;
+  const TwoPartProbe p1 = run_two_part("kmeans", th1, kScale);
+  const TwoPartProbe p7 = run_two_part("kmeans", th7, kScale);
+  EXPECT_GT(p1.lr_write_utilization, p7.lr_write_utilization);
+  // ... with no meaningful total-write overhead for TH1.
+  const double w1 = static_cast<double>(p1.counters.get("lr_phys_writes") +
+                                        p1.counters.get("hr_phys_writes"));
+  const double w7 = static_cast<double>(p7.counters.get("lr_phys_writes") +
+                                        p7.counters.get("hr_phys_writes"));
+  EXPECT_LT(w1 / w7, 1.25);
+}
+
+TEST(FigureShapes, Fig5AssociativityHelpsUtilization) {
+  sttl2::TwoPartBankConfig direct = c1_bank_config();
+  direct.lr_assoc = 1;
+  sttl2::TwoPartBankConfig full = c1_bank_config();
+  full.lr_assoc = 0;
+  const TwoPartProbe p1 = run_two_part("bfs", direct, kScale);
+  const TwoPartProbe pf = run_two_part("bfs", full, kScale);
+  EXPECT_GE(pf.lr_write_utilization, p1.lr_write_utilization);
+}
+
+TEST(FigureShapes, Fig6RewritesAreFast) {
+  // The LR part's rewrite intervals concentrate at the fast end (<=100us
+  // buckets dominate) for a hot-write benchmark.
+  const TwoPartProbe p = run_two_part("kmeans", c1_bank_config(), kScale);
+  ASSERT_GT(p.lr_intervals, 0u);
+  const double fast =
+      p.lr_interval_fractions[0] + p.lr_interval_fractions[1] + p.lr_interval_fractions[2];
+  EXPECT_GT(fast, 0.5);
+}
+
+TEST(FigureShapes, Fig8aCacheFriendlyGainsFromC1) {
+  const Metrics sram = run_one(Architecture::kSramBaseline, "kmeans", kScale);
+  const Metrics c1 = run_one(Architecture::kC1, "kmeans", kScale);
+  EXPECT_GT(c1.ipc / sram.ipc, 1.1);
+}
+
+TEST(FigureShapes, Fig8aSttBaselineCollapsesOnWriteHeavyStreams) {
+  const Metrics sram = run_one(Architecture::kSramBaseline, "histo", kScale);
+  const Metrics stt = run_one(Architecture::kSttBaseline, "histo", kScale);
+  const Metrics c1 = run_one(Architecture::kC1, "histo", kScale);
+  EXPECT_LT(stt.ipc / sram.ipc, 0.9);        // the naive baseline regresses
+  EXPECT_GT(c1.ipc / stt.ipc, 1.2);          // the two-part design recovers it
+}
+
+TEST(FigureShapes, Fig8cTotalPowerDropsForTwoPartConfigs) {
+  const Metrics sram = run_one(Architecture::kSramBaseline, "sad", kScale);
+  const Metrics c2 = run_one(Architecture::kC2, "sad", kScale);
+  EXPECT_LT(c2.total_w, sram.total_w);
+  // ... because the SRAM baseline is leakage-dominated:
+  EXPECT_GT(sram.leakage_w, sram.dynamic_w * 0.5);
+  EXPECT_LT(c2.leakage_w, 0.2 * sram.leakage_w);
+}
+
+TEST(FigureShapes, Fig8bDynamicPowerRisesForStt) {
+  const Metrics sram = run_one(Architecture::kSramBaseline, "lbm", kScale);
+  const Metrics stt = run_one(Architecture::kSttBaseline, "lbm", kScale);
+  EXPECT_GT(stt.dynamic_w, sram.dynamic_w);
+}
+
+}  // namespace
+}  // namespace sttgpu::sim

@@ -1,0 +1,79 @@
+#include "nvm/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::nvm {
+namespace {
+
+TEST(Cell, SttIsFourTimesDenser) {
+  const CellParams sram = sram_cell();
+  const CellParams stt = stt_cell(RetentionClass::kYears10);
+  EXPECT_NEAR(sram.area_f2_per_bit / stt.area_f2_per_bit, 4.0, 1e-9);
+}
+
+TEST(Cell, SttLeakageNearZeroVsSram) {
+  const CellParams sram = sram_cell();
+  const CellParams stt = stt_cell(RetentionClass::kMs40);
+  EXPECT_LT(stt.leakage_nw_per_bit, sram.leakage_nw_per_bit / 20.0);
+}
+
+TEST(Cell, RetentionClassValues) {
+  EXPECT_NEAR(retention_seconds(RetentionClass::kUs26), 26.5e-6, 1e-12);
+  EXPECT_NEAR(retention_seconds(RetentionClass::kMs40), 40e-3, 1e-12);
+  EXPECT_NEAR(retention_seconds(RetentionClass::kYears10), 3.156e8, 1e6);
+}
+
+TEST(Cell, RefreshFlagFollowsRetention) {
+  EXPECT_FALSE(stt_cell(RetentionClass::kYears10).needs_refresh);
+  EXPECT_TRUE(stt_cell(RetentionClass::kMs40).needs_refresh);
+  EXPECT_TRUE(stt_cell(RetentionClass::kUs26).needs_refresh);
+  EXPECT_FALSE(sram_cell().needs_refresh);
+}
+
+TEST(Cell, WriteCostOrderingAcrossClasses) {
+  const CellParams y10 = stt_cell(RetentionClass::kYears10);
+  const CellParams ms40 = stt_cell(RetentionClass::kMs40);
+  const CellParams us26 = stt_cell(RetentionClass::kUs26);
+  EXPECT_GT(y10.write_energy_pj_per_bit, ms40.write_energy_pj_per_bit);
+  EXPECT_GT(ms40.write_energy_pj_per_bit, us26.write_energy_pj_per_bit);
+  EXPECT_GT(y10.write_latency_ns, ms40.write_latency_ns);
+  EXPECT_GT(ms40.write_latency_ns, us26.write_latency_ns);
+}
+
+TEST(Cell, SttWritesSlowerThanSramWrites) {
+  // Even the fastest (lowest-retention) STT cell writes slower than SRAM —
+  // the premise of the whole problem.
+  EXPECT_GT(stt_cell(RetentionClass::kUs26).write_latency_ns,
+            sram_cell().write_latency_ns);
+}
+
+TEST(Cell, SttReadCompetitiveWithSram) {
+  // STT reads are within ~2x of SRAM reads (reads are not the problem).
+  const CellParams stt = stt_cell(RetentionClass::kMs40);
+  EXPECT_LT(stt.read_latency_ns, 2.0 * sram_cell().read_latency_ns);
+}
+
+TEST(Cell, ArbitraryRetentionRejectsNonPositive) {
+  EXPECT_THROW(stt_cell_for_retention(0.0), SimError);
+  EXPECT_THROW(stt_cell_for_retention(-5.0), SimError);
+}
+
+TEST(Cell, ArbitraryRetentionInterpolates) {
+  const CellParams mid = stt_cell_for_retention(1e-3);  // between 26.5us and 40ms
+  const CellParams lo = stt_cell(RetentionClass::kUs26);
+  const CellParams hi = stt_cell(RetentionClass::kMs40);
+  EXPECT_GT(mid.write_latency_ns, lo.write_latency_ns);
+  EXPECT_LT(mid.write_latency_ns, hi.write_latency_ns);
+  EXPECT_TRUE(mid.needs_refresh);
+  EXPECT_NEAR(mid.retention_s, 1e-3, 1e-12);
+}
+
+TEST(Cell, NamesAreDescriptive) {
+  EXPECT_EQ(sram_cell().name, "sram-6t");
+  EXPECT_NE(stt_cell(RetentionClass::kUs26).name.find("26.5us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sttgpu::nvm

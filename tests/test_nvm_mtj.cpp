@@ -1,0 +1,94 @@
+#include "nvm/mtj.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nvm/cell.hpp"
+
+namespace sttgpu::nvm {
+namespace {
+
+TEST(Mtj, RetentionIsNeelArrhenius) {
+  MtjModel mtj;
+  // tau0 * e^delta with tau0 = 1ns.
+  EXPECT_NEAR(mtj.retention_seconds(0.0), 1e-9, 1e-15);
+  EXPECT_NEAR(mtj.retention_seconds(10.185), 26.5e-6, 0.5e-6);
+  EXPECT_NEAR(mtj.retention_seconds(17.504), 40e-3, 1e-3);
+}
+
+TEST(Mtj, DeltaForRetentionIsInverse) {
+  MtjModel mtj;
+  for (const double ret : {1e-6, 26.5e-6, 40e-3, 1.0, 3.156e8}) {
+    const double delta = mtj.delta_for_retention(ret);
+    EXPECT_NEAR(mtj.retention_seconds(delta), ret, ret * 1e-9);
+  }
+}
+
+TEST(Mtj, DeltaForRetentionRejectsNonPositive) {
+  MtjModel mtj;
+  EXPECT_THROW(mtj.delta_for_retention(0.0), SimError);
+  EXPECT_THROW(mtj.delta_for_retention(-1.0), SimError);
+}
+
+TEST(Mtj, AnchorsReproduced) {
+  MtjModel mtj;
+  EXPECT_NEAR(mtj.write_pulse_ns(10.185), 2.3, 1e-9);
+  EXPECT_NEAR(mtj.write_pulse_ns(17.504), 5.0, 1e-9);
+  EXPECT_NEAR(mtj.write_pulse_ns(40.293), 10.0, 1e-9);
+  EXPECT_NEAR(mtj.write_energy_nj_per_line(10.185), 0.19, 1e-9);
+  EXPECT_NEAR(mtj.write_energy_nj_per_line(40.293), 1.45, 1e-9);
+}
+
+// The paper's Table 1 trend: write cost is monotone non-decreasing in delta
+// (i.e. in retention). Property-swept over the whole range.
+class MtjMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(MtjMonotone, WriteCostMonotone) {
+  MtjModel mtj;
+  const double delta = GetParam();
+  const double next = delta + 0.5;
+  EXPECT_LE(mtj.write_pulse_ns(delta), mtj.write_pulse_ns(next) + 1e-12);
+  EXPECT_LE(mtj.write_energy_nj_per_line(delta),
+            mtj.write_energy_nj_per_line(next) + 1e-12);
+  EXPECT_GT(mtj.write_pulse_ns(delta), 0.0);
+  EXPECT_GT(mtj.write_energy_nj_per_line(delta), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DeltaSweep, MtjMonotone,
+                         ::testing::Values(5.0, 8.0, 10.185, 12.0, 15.0, 17.504, 20.0,
+                                           25.0, 30.0, 35.0, 40.293, 45.0));
+
+TEST(Mtj, FailureProbabilityBoundsAndMonotonicity) {
+  MtjModel mtj;
+  const double delta = 10.185;  // 26.5us retention
+  EXPECT_DOUBLE_EQ(mtj.failure_probability(delta, 0.0), 0.0);
+  double prev = 0.0;
+  for (double t = 1e-6; t < 1e-3; t *= 3) {
+    const double p = mtj.failure_probability(delta, t);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // Far beyond retention the data is almost surely gone.
+  EXPECT_GT(mtj.failure_probability(delta, 1.0), 0.999);
+  // A 10-year cell over a 1ms horizon is safe.
+  EXPECT_LT(mtj.failure_probability(40.293, 1e-3), 1e-9);
+}
+
+TEST(Mtj, CustomAnchorsValidated) {
+  EXPECT_THROW(MtjModel({{10.0, 2.0, 0.2}}), SimError);  // too few
+  EXPECT_THROW(MtjModel({{10.0, 2.0, 0.2}, {9.0, 3.0, 0.3}}), SimError);  // unsorted
+  EXPECT_THROW(MtjModel({{10.0, 5.0, 0.2}, {20.0, 3.0, 0.3}}), SimError);  // non-monotone
+  EXPECT_NO_THROW(MtjModel({{10.0, 2.0, 0.2}, {20.0, 3.0, 0.3}}));
+}
+
+TEST(Mtj, ExtrapolationStaysPositive) {
+  MtjModel mtj;
+  EXPECT_GT(mtj.write_pulse_ns(1.0), 0.0);
+  EXPECT_GT(mtj.write_energy_nj_per_line(1.0), 0.0);
+  EXPECT_GT(mtj.write_pulse_ns(60.0), mtj.write_pulse_ns(40.293));
+}
+
+}  // namespace
+}  // namespace sttgpu::nvm

@@ -1,0 +1,123 @@
+#include "power/array_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::power {
+namespace {
+
+ArraySpec sram_spec(std::uint64_t bytes, unsigned assoc = 8, unsigned line = 256) {
+  ArraySpec s;
+  s.capacity_bytes = bytes;
+  s.associativity = assoc;
+  s.line_bytes = line;
+  s.data_cell = nvm::sram_cell();
+  return s;
+}
+
+TEST(ArrayModel, RejectsBadGeometry) {
+  EXPECT_THROW(evaluate_array(sram_spec(0)), SimError);
+  EXPECT_THROW(evaluate_array(sram_spec(64 * 1024, 8, 100)), SimError);  // non-pow2 line
+  ArraySpec s = sram_spec(64 * 1024, 7);
+  EXPECT_THROW(evaluate_array(s), SimError);  // 256 lines not divisible by 7
+}
+
+TEST(ArrayModel, GeometryDerivation) {
+  const ArrayCosts c = evaluate_array(sram_spec(64 * 1024, 8, 256));
+  EXPECT_EQ(c.sets, 32u);
+  // tag bits = 40 - log2(32 sets) - log2(256B) + 8 state = 40 - 5 - 8 + 8 = 35
+  EXPECT_EQ(c.tag_bits_per_line, 35u);
+}
+
+TEST(ArrayModel, ExtraTagBitsCounted) {
+  ArraySpec s = sram_spec(64 * 1024);
+  const unsigned base = evaluate_array(s).tag_bits_per_line;
+  s.extra_tag_bits_per_line = 4;
+  EXPECT_EQ(evaluate_array(s).tag_bits_per_line, base + 4);
+}
+
+TEST(ArrayModel, AreaScalesWithCapacity) {
+  const ArrayCosts small = evaluate_array(sram_spec(64 * 1024));
+  const ArrayCosts big = evaluate_array(sram_spec(256 * 1024));
+  EXPECT_NEAR(big.data_area_mm2 / small.data_area_mm2, 4.0, 1e-6);
+  EXPECT_GT(big.tag_area_mm2, small.tag_area_mm2);
+}
+
+TEST(ArrayModel, SttQuartersDataArea) {
+  ArraySpec stt = sram_spec(64 * 1024);
+  stt.data_cell = nvm::stt_cell(nvm::RetentionClass::kYears10);
+  const ArrayCosts s = evaluate_array(sram_spec(64 * 1024));
+  const ArrayCosts t = evaluate_array(stt);
+  EXPECT_NEAR(s.data_area_mm2 / t.data_area_mm2, 4.0, 1e-9);
+  // Tags stay SRAM: same tag area.
+  EXPECT_NEAR(s.tag_area_mm2, t.tag_area_mm2, 1e-12);
+}
+
+TEST(ArrayModel, EnergyAndLatencyGrowWithCapacity) {
+  const ArrayCosts small = evaluate_array(sram_spec(32 * 1024));
+  const ArrayCosts big = evaluate_array(sram_spec(512 * 1024));
+  EXPECT_GT(big.data_read_pj, small.data_read_pj);
+  EXPECT_GT(big.data_read_latency_ns, small.data_read_latency_ns);
+  EXPECT_GT(big.leakage_w, small.leakage_w);
+}
+
+TEST(ArrayModel, SramLeakageDominatesSttLeakage) {
+  ArraySpec stt = sram_spec(256 * 1024);
+  stt.data_cell = nvm::stt_cell(nvm::RetentionClass::kMs40);
+  const Watt sram_leak = evaluate_array(sram_spec(256 * 1024)).leakage_w;
+  const Watt stt_leak = evaluate_array(stt).leakage_w;
+  EXPECT_GT(sram_leak, 5.0 * stt_leak);
+}
+
+TEST(ArrayModel, SttWriteCostlierThanRead) {
+  ArraySpec stt = sram_spec(64 * 1024);
+  stt.data_cell = nvm::stt_cell(nvm::RetentionClass::kMs40);
+  const ArrayCosts c = evaluate_array(stt);
+  EXPECT_GT(c.data_write_pj, c.data_read_pj);
+  EXPECT_GT(c.data_write_latency_ns, c.data_read_latency_ns);
+}
+
+TEST(ArrayModel, TagProbeScalesWithAssociativity) {
+  const ArrayCosts a2 = evaluate_array(sram_spec(64 * 1024, 2));
+  const ArrayCosts a8 = evaluate_array(sram_spec(64 * 1024, 8));
+  EXPECT_GT(a8.tag_probe_pj, a2.tag_probe_pj);
+}
+
+TEST(RegisterFileArea, RoundTripConversion) {
+  for (const std::uint64_t regs : {1024ull, 32768ull, 100000ull}) {
+    const MilliMeter2 area = register_file_area_mm2(regs);
+    const std::uint64_t back = registers_for_area(area);
+    EXPECT_LE(back, regs);
+    EXPECT_GE(back, regs - 1);  // floor rounding only
+  }
+  EXPECT_EQ(registers_for_area(0.0), 0u);
+  EXPECT_EQ(registers_for_area(-1.0), 0u);
+}
+
+// Parameterized sweep: the fully-associative degenerate case and various
+// set-associative shapes all produce self-consistent costs.
+class ArrayShapes : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>> {};
+
+TEST_P(ArrayShapes, SelfConsistent) {
+  const auto [bytes, assoc] = GetParam();
+  const ArrayCosts c = evaluate_array(sram_spec(bytes, assoc));
+  EXPECT_EQ(c.sets * assoc, bytes / 256);
+  EXPECT_GT(c.total_area_mm2, 0.0);
+  EXPECT_GT(c.tag_probe_pj, 0.0);
+  EXPECT_GT(c.data_write_pj, 0.0);
+  EXPECT_GT(c.leakage_w, 0.0);
+  EXPECT_GE(c.total_area_mm2, c.data_area_mm2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ArrayShapes,
+    ::testing::Values(std::pair<std::uint64_t, unsigned>{8 * 1024, 2},
+                      std::pair<std::uint64_t, unsigned>{32 * 1024, 2},
+                      std::pair<std::uint64_t, unsigned>{56 * 1024, 7},
+                      std::pair<std::uint64_t, unsigned>{64 * 1024, 8},
+                      std::pair<std::uint64_t, unsigned>{224 * 1024, 7},
+                      std::pair<std::uint64_t, unsigned>{8 * 1024, 32}));
+
+}  // namespace
+}  // namespace sttgpu::power

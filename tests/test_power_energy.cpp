@@ -1,0 +1,52 @@
+#include "power/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::power {
+namespace {
+
+TEST(EnergyLedger, AccumulatesByCategory) {
+  EnergyLedger ledger;
+  ledger.add("l2.data_write", 100.0);
+  ledger.add("l2.data_write", 50.0);
+  ledger.add("l2.tag_probe", 10.0);
+  EXPECT_DOUBLE_EQ(ledger.category_pj("l2.data_write"), 150.0);
+  EXPECT_DOUBLE_EQ(ledger.category_pj("l2.tag_probe"), 10.0);
+  EXPECT_DOUBLE_EQ(ledger.category_pj("unknown"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_pj(), 160.0);
+}
+
+TEST(EnergyLedger, MergeAndReset) {
+  EnergyLedger a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.category_pj("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.category_pj("y"), 3.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 6.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.total_pj(), 0.0);
+  EXPECT_TRUE(a.categories().empty());
+}
+
+TEST(PowerReport, ConvertsEnergyToWatts) {
+  EnergyLedger ledger;
+  ledger.add("x", 1e12);  // 1 J
+  const PowerReport r = PowerReport::from_run(ledger, /*leakage_w=*/0.5, /*runtime_s=*/2.0);
+  EXPECT_DOUBLE_EQ(r.dynamic_w, 0.5);
+  EXPECT_DOUBLE_EQ(r.leakage_w, 0.5);
+  EXPECT_DOUBLE_EQ(r.total_w, 1.0);
+  EXPECT_DOUBLE_EQ(r.runtime_s, 2.0);
+}
+
+TEST(PowerReport, RejectsNonPositiveRuntime) {
+  EnergyLedger ledger;
+  EXPECT_THROW(PowerReport::from_run(ledger, 0.0, 0.0), SimError);
+  EXPECT_THROW(PowerReport::from_run(ledger, 0.0, -1.0), SimError);
+}
+
+}  // namespace
+}  // namespace sttgpu::power

@@ -1,0 +1,111 @@
+#include "sim/arch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sim {
+namespace {
+
+TEST(Arch, AllArchitecturesListed) {
+  EXPECT_EQ(all_architectures().size(), 5u);
+}
+
+TEST(Arch, FromStringRoundTrip) {
+  for (const Architecture a : all_architectures()) {
+    EXPECT_EQ(architecture_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(architecture_from_string("bogus"), SimError);
+}
+
+TEST(Arch, SramBaselineMatchesTable2) {
+  const ArchSpec s = make_arch(Architecture::kSramBaseline);
+  EXPECT_FALSE(s.two_part);
+  EXPECT_EQ(s.l2_total_bytes(), 384u * 1024);
+  EXPECT_EQ(s.uniform.associativity, 8u);
+  EXPECT_EQ(s.uniform.line_bytes, 256u);
+  EXPECT_EQ(s.gpu.registers_per_sm, 32768u);
+  EXPECT_EQ(s.uniform.cell.name, "sram-6t");
+}
+
+TEST(Arch, SttBaselineIsFourXTenYear) {
+  const ArchSpec s = make_arch(Architecture::kSttBaseline);
+  EXPECT_FALSE(s.two_part);
+  EXPECT_EQ(s.l2_total_bytes(), 1536u * 1024);
+  EXPECT_NE(s.uniform.cell.name.find("10-year"), std::string::npos);
+  EXPECT_EQ(s.gpu.registers_per_sm, 32768u);
+}
+
+TEST(Arch, C1MatchesTable2Split) {
+  const ArchSpec s = make_arch(Architecture::kC1);
+  ASSERT_TRUE(s.two_part);
+  EXPECT_EQ(s.two_part_cfg.hr_bytes * s.gpu.num_l2_banks, 1344u * 1024);
+  EXPECT_EQ(s.two_part_cfg.lr_bytes * s.gpu.num_l2_banks, 192u * 1024);
+  EXPECT_EQ(s.two_part_cfg.hr_assoc, 7u);
+  EXPECT_EQ(s.two_part_cfg.lr_assoc, 2u);
+  EXPECT_EQ(s.gpu.registers_per_sm, 32768u);  // no register boost in C1
+}
+
+TEST(Arch, C2C3SplitsAndRegisterBoosts) {
+  const ArchSpec c2 = make_arch(Architecture::kC2);
+  EXPECT_EQ(c2.l2_total_bytes(), 384u * 1024);
+  EXPECT_EQ(c2.two_part_cfg.hr_bytes * c2.gpu.num_l2_banks, 336u * 1024);
+  EXPECT_EQ(c2.two_part_cfg.lr_bytes * c2.gpu.num_l2_banks, 48u * 1024);
+  EXPECT_GT(c2.extra_regs_per_sm, 0u);
+  EXPECT_EQ(c2.extra_regs_per_sm % 64, 0u);  // allocation granularity
+  EXPECT_EQ(c2.gpu.registers_per_sm, 32768u + c2.extra_regs_per_sm);
+
+  const ArchSpec c3 = make_arch(Architecture::kC3);
+  EXPECT_EQ(c3.l2_total_bytes(), 768u * 1024);
+  // C3 trades half the saved area for cache, so its boost is smaller.
+  EXPECT_GT(c3.extra_regs_per_sm, 0u);
+  EXPECT_LT(c3.extra_regs_per_sm, c2.extra_regs_per_sm);
+}
+
+TEST(Arch, EqualAreaRuleHolds) {
+  // The paper's fairness rule: L2 data area + register-file delta is the
+  // same for every configuration.
+  const MilliMeter2 budget = make_arch(Architecture::kSramBaseline).l2_data_area_mm2;
+  for (const Architecture a : all_architectures()) {
+    const ArchSpec s = make_arch(a);
+    // Register conversion floors to the 64-register granularity, so the
+    // spent area can undershoot the budget slightly but never exceed it.
+    const MilliMeter2 spent =
+        s.l2_data_area_mm2 + power::register_file_area_mm2(
+                                 static_cast<std::uint64_t>(s.extra_regs_per_sm) *
+                                 s.gpu.num_sms);
+    EXPECT_LE(spent, budget * 1.0001) << s.name;
+    EXPECT_GE(spent, budget * 0.98) << s.name;
+  }
+}
+
+TEST(Arch, TwoPartRetentionsFollowTable1) {
+  const ArchSpec s = make_arch(Architecture::kC1);
+  EXPECT_NEAR(s.two_part_cfg.hr_retention_s, 40e-3, 1e-9);
+  EXPECT_NEAR(s.two_part_cfg.lr_retention_s, 26.5e-6, 1e-12);
+  EXPECT_EQ(s.two_part_cfg.lr_counter_bits, 4u);
+  EXPECT_EQ(s.two_part_cfg.hr_counter_bits, 2u);
+  EXPECT_EQ(s.two_part_cfg.write_threshold, 1u);
+  EXPECT_EQ(s.two_part_cfg.buffer_lines, 10u);
+}
+
+TEST(Arch, BankGeometriesDivideEvenly) {
+  for (const Architecture a : all_architectures()) {
+    const ArchSpec s = make_arch(a);
+    if (s.two_part) {
+      EXPECT_EQ(s.two_part_cfg.hr_bytes % (s.two_part_cfg.line_bytes * s.two_part_cfg.hr_assoc),
+                0u)
+          << s.name;
+      EXPECT_EQ(s.two_part_cfg.lr_bytes % (s.two_part_cfg.line_bytes * s.two_part_cfg.lr_assoc),
+                0u)
+          << s.name;
+    } else {
+      EXPECT_EQ(s.uniform.capacity_bytes % (s.uniform.line_bytes * s.uniform.associativity),
+                0u)
+          << s.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sttgpu::sim

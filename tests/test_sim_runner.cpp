@@ -1,0 +1,105 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/probe.hpp"
+
+namespace sttgpu::sim {
+namespace {
+
+constexpr double kTinyScale = 0.04;
+
+TEST(Runner, RunOneProducesSaneMetrics) {
+  const Metrics m = run_one(Architecture::kSramBaseline, "hotspot", kTinyScale);
+  EXPECT_EQ(m.arch, "sram");
+  EXPECT_EQ(m.benchmark, "hotspot");
+  EXPECT_GT(m.ipc, 0.0);
+  EXPECT_GT(m.cycles, 0u);
+  EXPECT_GT(m.dynamic_w, 0.0);
+  EXPECT_GT(m.leakage_w, 0.0);
+  EXPECT_NEAR(m.total_w, m.dynamic_w + m.leakage_w, 1e-12);
+  EXPECT_GE(m.l2_write_share, 0.0);
+  EXPECT_LE(m.l2_write_share, 1.0);
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const Metrics a = run_one(Architecture::kC1, "kmeans", kTinyScale);
+  const Metrics b = run_one(Architecture::kC1, "kmeans", kTinyScale);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+  EXPECT_DOUBLE_EQ(a.dynamic_w, b.dynamic_w);
+}
+
+TEST(Runner, CacheRoundTrip) {
+  const std::string path = "test_runner_cache.csv";
+  std::remove(path.c_str());
+  Metrics m;
+  m.arch = "C1";
+  m.benchmark = "bfs";
+  m.ipc = 1.25;
+  m.cycles = 123456;
+  m.dynamic_w = 0.5;
+  m.leakage_w = 0.1;
+  m.total_w = 0.6;
+  m.l2_write_share = 0.4;
+  m.l2_miss_rate = 0.2;
+  save_cache(path, {m});
+  const auto cache = load_cache(path);
+  ASSERT_EQ(cache.size(), 1u);
+  const Metrics& r = cache.at({"C1", "bfs"});
+  EXPECT_DOUBLE_EQ(r.ipc, 1.25);
+  EXPECT_EQ(r.cycles, 123456u);
+  EXPECT_DOUBLE_EQ(r.total_w, 0.6);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, LoadCacheMissingFileIsEmpty) {
+  EXPECT_TRUE(load_cache("nonexistent_file_xyz.csv").empty());
+}
+
+TEST(Runner, ByBenchmarkFilters) {
+  Metrics a, b;
+  a.arch = "sram";
+  a.benchmark = "bfs";
+  b.arch = "C1";
+  b.benchmark = "bfs";
+  const auto idx = by_benchmark({a, b}, "C1");
+  ASSERT_EQ(idx.size(), 1u);
+  EXPECT_EQ(idx.at("bfs").arch, "C1");
+}
+
+TEST(Probe, TwoPartProbeCollectsInternals) {
+  const TwoPartProbe p = run_two_part("kmeans", c1_bank_config(), kTinyScale);
+  EXPECT_GT(p.counters.get("w_demand"), 0u);
+  EXPECT_GE(p.lr_write_utilization, 0.0);
+  EXPECT_LE(p.lr_write_utilization, 1.0);
+  EXPECT_EQ(p.lr_interval_fractions.size(), 6u);
+  double sum = 0.0;
+  for (const double f : p.lr_interval_fractions) sum += f;
+  if (p.lr_intervals > 0) {
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  EXPECT_GE(p.hr_within_40ms, 0.0);
+  EXPECT_LE(p.hr_within_40ms, 1.0);
+}
+
+TEST(Probe, UniformProbeCollectsWriteVariation) {
+  const UniformProbe p = run_uniform("bfs", sram_bank_config(), kTinyScale);
+  EXPECT_GT(p.metrics.ipc, 0.0);
+  EXPECT_GE(p.inter_set_cov, 0.0);
+  EXPECT_GE(p.intra_set_cov, 0.0);
+  EXPECT_GT(p.write_share, 0.0);
+}
+
+TEST(Probe, DefaultConfigsMatchArchRegistry) {
+  const auto c1 = c1_bank_config();
+  EXPECT_EQ(c1.hr_bytes, 224u * 1024);
+  EXPECT_EQ(c1.lr_bytes, 32u * 1024);
+  const auto sram = sram_bank_config();
+  EXPECT_EQ(sram.capacity_bytes, 64u * 1024);
+}
+
+}  // namespace
+}  // namespace sttgpu::sim

@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "sttl2/two_part_bank.hpp"
+
+namespace sttgpu::sttl2 {
+namespace {
+
+TEST(BufferWindow, EmptyIsNotFull) {
+  BufferWindow buf(2);
+  EXPECT_FALSE(buf.full(0));
+  EXPECT_EQ(buf.in_use(0), 0u);
+  EXPECT_EQ(buf.capacity(), 2u);
+}
+
+TEST(BufferWindow, FillsToCapacity) {
+  BufferWindow buf(2);
+  buf.add(100);
+  EXPECT_FALSE(buf.full(0));
+  buf.add(200);
+  EXPECT_TRUE(buf.full(0));
+  EXPECT_EQ(buf.in_use(0), 2u);
+}
+
+TEST(BufferWindow, EntriesExpireWhenTheirMoveCompletes) {
+  BufferWindow buf(1);
+  buf.add(50);
+  EXPECT_TRUE(buf.full(10));
+  EXPECT_TRUE(buf.full(49));
+  EXPECT_FALSE(buf.full(50));  // completion at 50 frees the slot
+  EXPECT_EQ(buf.in_use(51), 0u);
+}
+
+TEST(BufferWindow, MixedCompletionTimes) {
+  BufferWindow buf(3);
+  buf.add(10);
+  buf.add(30);
+  buf.add(20);
+  EXPECT_EQ(buf.in_use(5), 3u);
+  EXPECT_EQ(buf.in_use(15), 2u);
+  EXPECT_EQ(buf.in_use(25), 1u);
+  EXPECT_EQ(buf.in_use(35), 0u);
+}
+
+}  // namespace
+}  // namespace sttgpu::sttl2

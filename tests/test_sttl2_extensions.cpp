@@ -1,0 +1,188 @@
+// Tests of the extension features beyond the paper: adaptive write
+// threshold, early write termination (EWT) energy scaling, and the
+// endurance (wear) trackers.
+#include <gtest/gtest.h>
+
+#include "bank_harness.hpp"
+#include "common/rng.hpp"
+
+namespace sttgpu::sttl2 {
+namespace {
+
+using Harness = sttgpu::testing::TwoPartHarness;
+
+TwoPartBankConfig small_cfg() {
+  TwoPartBankConfig c;
+  c.hr_bytes = 14 * 1024;
+  c.lr_bytes = 2 * 1024;  // 8 lines: easy to oversubscribe
+  return c;
+}
+
+/// Hot store traffic over more distinct lines than the LR can hold.
+void hammer(Harness& h, unsigned lines, int rounds, Cycle gap = 12) {
+  Rng rng(3);
+  for (int r = 0; r < rounds; ++r) {
+    h.send(rng.next_below(lines) * 256, /*is_store=*/true);
+    h.run(gap);
+  }
+  h.drain();
+}
+
+TEST(AdaptiveThreshold, RaisesThresholdUnderChurn) {
+  TwoPartBankConfig cfg = small_cfg();
+  cfg.adaptive_threshold = true;
+  cfg.adapt_interval = 2048;
+  Harness h(cfg);
+  hammer(h, /*lines=*/32, /*rounds=*/2000, /*gap=*/6);  // 32 hot lines vs 8 LR slots
+  EXPECT_GT(h.bank().current_threshold(), 1u);
+  EXPECT_GT(h.bank().counters().get("threshold_up"), 0u);
+}
+
+TEST(AdaptiveThreshold, StaysAtBaseWhenLrSuffices) {
+  TwoPartBankConfig cfg = small_cfg();
+  cfg.adaptive_threshold = true;
+  cfg.adapt_interval = 2048;
+  Harness h(cfg);
+  hammer(h, /*lines=*/4, /*rounds=*/2000, /*gap=*/6);  // 4 hot lines: fits LR
+  EXPECT_EQ(h.bank().current_threshold(), 1u);
+}
+
+TEST(AdaptiveThreshold, DisabledByDefault) {
+  Harness h(small_cfg());
+  hammer(h, 32, 1500, 6);
+  EXPECT_EQ(h.bank().current_threshold(), 1u);
+  EXPECT_EQ(h.bank().counters().get("threshold_up"), 0u);
+}
+
+TEST(AdaptiveThreshold, ReducesChurnOnOversubscribedLr) {
+  TwoPartBankConfig base = small_cfg();
+  TwoPartBankConfig adaptive = small_cfg();
+  adaptive.adaptive_threshold = true;
+  adaptive.adapt_interval = 2048;
+
+  Harness hb(base), ha(adaptive);
+  hammer(hb, 32, 3000, 6);
+  hammer(ha, 32, 3000, 6);
+  EXPECT_LT(ha.bank().counters().get("lr_evictions"),
+            hb.bank().counters().get("lr_evictions"));
+}
+
+TEST(Ewt, ScalesWriteEnergyOnly) {
+  TwoPartBankConfig plain = small_cfg();
+  TwoPartBankConfig ewt = small_cfg();
+  ewt.early_write_termination = true;
+  ewt.ewt_flip_fraction = 0.35;
+
+  const auto run_traffic = [](const TwoPartBankConfig& cfg) {
+    Harness h(cfg);
+    hammer(h, 8, 500, 10);
+    return std::pair{h.bank().energy().category_pj("l2.lr.data_write") +
+                         h.bank().energy().category_pj("l2.hr.data_write"),
+                     h.bank().energy().category_pj("l2.hr.data_read") +
+                         h.bank().energy().category_pj("l2.lr.data_read")};
+  };
+
+  const auto [w_plain, r_plain] = run_traffic(plain);
+  const auto [w_ewt, r_ewt] = run_traffic(ewt);
+  EXPECT_NEAR(w_ewt / w_plain, 0.35, 0.01);  // writes scaled by flip fraction
+  EXPECT_DOUBLE_EQ(r_ewt, r_plain);          // reads untouched
+}
+
+TEST(Ewt, RejectsInvalidFlipFraction) {
+  TwoPartBankConfig cfg = small_cfg();
+  cfg.early_write_termination = true;
+  cfg.ewt_flip_fraction = 0.0;
+  gpu::GpuConfig gcfg;
+  gpu::DramChannel dram(gcfg, [](std::uint64_t, Cycle) {});
+  EXPECT_THROW(TwoPartBank(0, cfg, gcfg.clock(), dram), SimError);
+}
+
+TEST(Ewt, WorksOnUniformBank) {
+  UniformBankConfig plain;
+  plain.capacity_bytes = 16 * 1024;
+  UniformBankConfig ewt = plain;
+  ewt.early_write_termination = true;
+  ewt.ewt_flip_fraction = 0.5;
+
+  const auto energy = [](const UniformBankConfig& cfg) {
+    sttgpu::testing::UniformHarness h(cfg);
+    for (int i = 0; i < 50; ++i) {
+      h.send(static_cast<Addr>(i % 8) * 256, true);
+      h.run(10);
+    }
+    h.drain();
+    return h.bank().energy().category_pj("l2.data_write");
+  };
+  EXPECT_NEAR(energy(ewt) / energy(plain), 0.5, 0.01);
+}
+
+TEST(Wear, TracksPhysicalWritesPerPart) {
+  Harness h(small_cfg());
+  hammer(h, 8, 400, 10);
+  const auto& c = h.bank().counters();
+  EXPECT_EQ(h.bank().lr_wear().total_writes(), c.get("lr_phys_writes"));
+  EXPECT_EQ(h.bank().hr_wear().total_writes(), c.get("hr_phys_writes"));
+  EXPECT_GT(h.bank().lr_wear().total_writes(), 0u);
+  EXPECT_GT(h.bank().hr_wear().total_writes(), 0u);
+}
+
+TEST(WearLeveling, RotationsLevelInterSetWear) {
+  // One hot line without leveling wears a single LR set; with rotation the
+  // wear spreads across sets.
+  const auto run_hot = [](bool leveling) {
+    TwoPartBankConfig cfg = small_cfg();
+    cfg.lr_wear_leveling = leveling;
+    cfg.wear_level_period = 64;
+    Harness h(cfg);
+    for (int i = 0; i < 600; ++i) {
+      h.send(0x100, true);
+      h.run(10);
+    }
+    h.drain();
+    return std::pair{h.bank().lr_wear().inter_set_cov(),
+                     h.bank().counters().get("wear_rotations")};
+  };
+  const auto [cov_plain, rot_plain] = run_hot(false);
+  const auto [cov_level, rot_level] = run_hot(true);
+  EXPECT_EQ(rot_plain, 0u);
+  EXPECT_GT(rot_level, 2u);
+  EXPECT_LT(cov_level, 0.7 * cov_plain);
+}
+
+TEST(WearLeveling, DataSurvivesRotation) {
+  TwoPartBankConfig cfg = small_cfg();
+  cfg.lr_wear_leveling = true;
+  cfg.wear_level_period = 32;
+  Harness h(cfg);
+  Rng rng(5);
+  // Mixed hot traffic across several lines, forcing multiple rotations.
+  for (int i = 0; i < 400; ++i) {
+    h.send(rng.next_below(6) * 256, rng.chance(0.7));
+    h.run(12);
+  }
+  h.drain();
+  ASSERT_GT(h.bank().counters().get("wear_rotations"), 0u);
+  // Every line is still cached somewhere (LR or HR) and readable without
+  // a DRAM fetch.
+  const auto reads_before = h.dram().reads();
+  for (Addr a = 0; a < 6 * 256; a += 256) h.send(a, false);
+  h.drain();
+  EXPECT_EQ(h.dram().reads(), reads_before);
+  // Accounting still balances.
+  const auto& c = h.bank().counters();
+  EXPECT_EQ(c.get("w_demand"), c.get("w_lr") + c.get("w_hr"));
+}
+
+TEST(Wear, HotTrafficSkewsLrWear) {
+  // One violently hot line: its LR cells wear far more than average.
+  Harness h(small_cfg());
+  for (int i = 0; i < 300; ++i) {
+    h.send(0x100, true);
+    h.run(10);
+  }
+  h.drain();
+  EXPECT_GT(h.bank().lr_wear().inter_set_cov(), 0.5);
+}
+
+}  // namespace
+}  // namespace sttgpu::sttl2

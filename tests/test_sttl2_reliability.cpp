@@ -1,0 +1,69 @@
+#include "sttl2/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace sttgpu::sttl2 {
+namespace {
+
+Histogram fast_lifetimes() {
+  // 1000 lifetimes of <=10us, 10 of ~1ms.
+  Histogram h({us_to_ns(10.0), us_to_ns(50.0), us_to_ns(100.0), ms_to_ns(1.0)});
+  h.add(us_to_ns(5.0), 1000);
+  h.add(us_to_ns(900.0), 10);
+  return h;
+}
+
+TEST(Reliability, RejectsBadInputs) {
+  const Histogram h = fast_lifetimes();
+  EXPECT_THROW(analyze_reliability(h, 0.0, 0.0, 1e6), SimError);
+  EXPECT_THROW(analyze_reliability(h, 26.5e-6, 0.0, 0.0), SimError);
+}
+
+TEST(Reliability, LongRetentionIsSafe) {
+  // 40ms retention against <=1ms lifetimes: essentially no failures.
+  const ReliabilityReport r = analyze_reliability(fast_lifetimes(), 40e-3, 0.0, ms_to_ns(2.5));
+  EXPECT_LT(r.failure_rate, 1e-1 * 0.3);  // overwhelmingly safe
+  EXPECT_EQ(r.lifetimes, 1010u);
+}
+
+TEST(Reliability, ShortRetentionWithoutRefreshFails) {
+  // 26.5us retention: the 1ms-lifetime tail is near-certain to collapse.
+  const ReliabilityReport r =
+      analyze_reliability(fast_lifetimes(), 26.5e-6, 0.0, ms_to_ns(2.5));
+  EXPECT_GT(r.expected_failures, 9.0);  // the 10 slow lifetimes die
+}
+
+TEST(Reliability, RefreshCapsEveryLifetime) {
+  // A slow-rewrite population (lifetimes ~1ms on a 26.5us part) is doomed
+  // without refresh; refresh at 24.8us (one 4-bit counter tick before the
+  // deadline) bounds every decay window and rescues it.
+  Histogram slow({us_to_ns(10.0), ms_to_ns(1.0)});
+  slow.add(us_to_ns(900.0), 100);
+  const double refresh_s = 26.5e-6 * 15.0 / 16.0;
+  const ReliabilityReport with = analyze_reliability(slow, 26.5e-6, refresh_s, ms_to_ns(2.5));
+  const ReliabilityReport without = analyze_reliability(slow, 26.5e-6, 0.0, ms_to_ns(2.5));
+  EXPECT_LT(with.expected_failures, 0.2 * without.expected_failures);
+}
+
+TEST(Reliability, MonotoneInRetention) {
+  double prev = 1e18;
+  for (const double ret : {5e-6, 26.5e-6, 100e-6, 1e-3, 40e-3}) {
+    const ReliabilityReport r = analyze_reliability(fast_lifetimes(), ret, 0.0, ms_to_ns(2.5));
+    EXPECT_LE(r.expected_failures, prev + 1e-12);
+    prev = r.expected_failures;
+  }
+}
+
+TEST(Reliability, EmptyHistogram) {
+  Histogram h({1.0});
+  const ReliabilityReport r = analyze_reliability(h, 26.5e-6, 0.0, 10.0);
+  EXPECT_EQ(r.lifetimes, 0u);
+  EXPECT_DOUBLE_EQ(r.expected_failures, 0.0);
+  EXPECT_DOUBLE_EQ(r.failure_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace sttgpu::sttl2

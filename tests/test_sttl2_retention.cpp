@@ -1,0 +1,74 @@
+#include "sttl2/retention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sttl2 {
+namespace {
+
+const Clock kClock(700e6);
+
+TEST(RetentionClock, RejectsInvalidParameters) {
+  EXPECT_THROW(RetentionClock(0.0, 4, kClock), SimError);
+  EXPECT_THROW(RetentionClock(-1.0, 4, kClock), SimError);
+  EXPECT_THROW(RetentionClock(26.5e-6, 0, kClock), SimError);
+  // Counter so wide its tick would be < 1 cycle.
+  EXPECT_THROW(RetentionClock(26.5e-6, 16, kClock), SimError);
+}
+
+TEST(RetentionClock, CyclesMatchPhysics) {
+  const RetentionClock rc(26.5e-6, 4, kClock);
+  // 26.5us at 700MHz = 18550 cycles.
+  EXPECT_EQ(rc.retention_cycles(), 18550u);
+  EXPECT_EQ(rc.tick_cycles(), 18550u / 16);
+}
+
+TEST(RetentionClock, DeadlineAndRefreshDue) {
+  const RetentionClock rc(26.5e-6, 4, kClock);
+  const Cycle written = 1000;
+  EXPECT_EQ(rc.deadline(written), written + rc.retention_cycles());
+  // Refresh is postponed to the last counter period before expiry.
+  EXPECT_EQ(rc.refresh_due(written), rc.deadline(written) - rc.tick_cycles());
+  EXPECT_LT(rc.refresh_due(written), rc.deadline(written));
+  EXPECT_GT(rc.refresh_due(written), written);
+}
+
+TEST(RetentionClock, CounterValueTracksAge) {
+  const RetentionClock rc(26.5e-6, 4, kClock);
+  const Cycle written = 500;
+  EXPECT_EQ(rc.counter_value(written, written), 0u);
+  EXPECT_EQ(rc.counter_value(written, written - 10), 0u);  // clock skew safe
+  EXPECT_EQ(rc.counter_value(written, written + rc.tick_cycles()), 1u);
+  EXPECT_EQ(rc.counter_value(written, written + 5 * rc.tick_cycles()), 5u);
+  // Saturates at 2^bits - 1.
+  EXPECT_EQ(rc.counter_value(written, written + 100 * rc.retention_cycles()), 15u);
+}
+
+// Property over widths: refresh_due is always inside (written, deadline),
+// and a wider counter postpones refresh further (smaller tick).
+class CounterWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterWidths, RefreshWindowShrinksWithWidth) {
+  const unsigned bits = GetParam();
+  const RetentionClock rc(26.5e-6, bits, kClock);
+  const Cycle w = 42;
+  EXPECT_GT(rc.refresh_due(w), w);
+  EXPECT_LT(rc.refresh_due(w), rc.deadline(w));
+  if (bits > 2) {
+    const RetentionClock narrower(26.5e-6, bits - 1, kClock);
+    EXPECT_GT(rc.refresh_due(w), narrower.refresh_due(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CounterWidths, ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+TEST(RetentionClock, HrParametersFromThePaper) {
+  // HR: 40ms with a 2-bit counter.
+  const RetentionClock rc(40e-3, 2, kClock);
+  EXPECT_EQ(rc.retention_cycles(), 28'000'000u);
+  EXPECT_EQ(rc.tick_cycles(), 7'000'000u);
+}
+
+}  // namespace
+}  // namespace sttgpu::sttl2

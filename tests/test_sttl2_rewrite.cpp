@@ -1,0 +1,54 @@
+#include "sttl2/rewrite_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sttgpu::sttl2 {
+namespace {
+
+const Clock kClock(700e6);
+
+TEST(RewriteTracker, IgnoresFirstWrites) {
+  RewriteTracker t(kClock);
+  t.record(kNoCycle, 100);
+  EXPECT_EQ(t.intervals(), 0u);
+}
+
+TEST(RewriteTracker, BucketsByWallTime) {
+  RewriteTracker t(kClock);
+  // 700 cycles = 1us -> <=10us bucket.
+  t.record(0, 700);
+  // 70000 cycles = 100us -> <=100us bucket (edge inclusive).
+  t.record(0, 70000);
+  // 7e6 cycles = 10ms -> overflow (>2.5ms).
+  t.record(0, 7'000'000);
+  EXPECT_EQ(t.intervals(), 3u);
+  const Histogram& h = t.histogram();
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(RewriteTracker, FractionWithin) {
+  RewriteTracker t(kClock);
+  for (int i = 0; i < 9; ++i) t.record(0, 700);  // 1us each
+  t.record(0, 7'000'000);                        // 10ms
+  EXPECT_NEAR(t.fraction_within_ns(us_to_ns(10.0)), 0.9, 1e-12);
+  EXPECT_NEAR(t.fraction_within_ns(ms_to_ns(2.5)), 0.9, 1e-12);
+}
+
+TEST(RewriteTracker, CustomEdgesForHrClaim) {
+  RewriteTracker t(kClock, {ms_to_ns(1.0), ms_to_ns(10.0), ms_to_ns(40.0), ms_to_ns(100.0)});
+  t.record(0, 700'000);      // 1ms
+  t.record(0, 21'000'000);   // 30ms -> <=40ms bucket
+  t.record(0, 49'000'000);   // 70ms -> <=100ms bucket
+  EXPECT_NEAR(t.fraction_within_ns(ms_to_ns(40.0)), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RewriteTracker, OutOfOrderTimestampsIgnored) {
+  RewriteTracker t(kClock);
+  t.record(100, 50);  // now < previous: dropped
+  EXPECT_EQ(t.intervals(), 0u);
+}
+
+}  // namespace
+}  // namespace sttgpu::sttl2

@@ -1,0 +1,99 @@
+#include "workload/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace sttgpu::workload {
+namespace {
+
+TEST(Benchmarks, RegistryHasSixteenUniqueNames) {
+  const auto names = benchmark_names();
+  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()).size(), names.size());
+}
+
+TEST(Benchmarks, EveryRegionIsRepresented) {
+  std::set<std::string> regions;
+  for (const auto& name : benchmark_names()) {
+    regions.insert(make_benchmark(name).region);
+  }
+  EXPECT_EQ(regions.size(), 4u);  // the paper's Fig. 8 regions
+}
+
+TEST(Benchmarks, UnknownNameThrows) { EXPECT_THROW(make_benchmark("nope"), SimError); }
+
+TEST(Benchmarks, ScaleShrinksWork) {
+  const Workload full = make_benchmark("bfs", 1.0);
+  const Workload half = make_benchmark("bfs", 0.5);
+  EXPECT_LT(half.total_instructions(), full.total_instructions());
+  EXPECT_GT(half.total_instructions(), 0u);
+  EXPECT_THROW(make_benchmark("bfs", 0.0), SimError);
+  EXPECT_THROW(make_benchmark("bfs", 1.5), SimError);
+}
+
+TEST(Benchmarks, AllBenchmarksMatchesRegistry) {
+  const auto all = all_benchmarks(0.5);
+  const auto names = benchmark_names();
+  ASSERT_EQ(all.size(), names.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].name, names[i]);
+}
+
+TEST(Benchmarks, WriteIntensitySpansTheSuite) {
+  // The paper: "near zero to 63% of write operations". nw is the near-zero
+  // end, bfs the write-heavy end.
+  const Workload nw = make_benchmark("nw");
+  const Workload bfs = make_benchmark("bfs");
+  EXPECT_LT(nw.kernels[0].store_fraction, 0.05);
+  EXPECT_GT(bfs.kernels[0].store_fraction, 0.3);
+}
+
+TEST(Benchmarks, RegisterLimitedKernelsUseTheOccupancyBoundary) {
+  // Region 2/3 kernels: 256 threads x 43 regs = 11008 regs/block so the
+  // baseline fits 2 blocks and the C2/C3 register files fit 3.
+  for (const char* name : {"tpacf", "mri-g", "backprop", "histo", "kmeans"}) {
+    const Workload w = make_benchmark(name);
+    for (const auto& k : w.kernels) {
+      EXPECT_EQ(static_cast<std::uint64_t>(k.regs_per_thread) * k.threads_per_block, 11008u)
+          << name << "/" << k.name;
+    }
+  }
+}
+
+TEST(Benchmarks, CacheFriendlyFootprintsFitTheBigL2Only) {
+  // Regions 3/4 footprints: bigger than 384KB, no bigger than 1536KB.
+  for (const char* name : {"kmeans", "sradv2", "streamcl", "bfs", "cfd", "stencil"}) {
+    const Workload w = make_benchmark(name);
+    const auto fp = w.kernels[0].pattern.footprint_bytes;
+    EXPECT_GT(fp, 384u * 1024) << name;
+    EXPECT_LE(fp, 1536u * 1024) << name;
+  }
+}
+
+TEST(Benchmarks, InsensitiveFootprintsExceedEveryL2) {
+  for (const char* name : {"sad", "mum", "lbm"}) {
+    const Workload w = make_benchmark(name);
+    EXPECT_GT(w.kernels[0].pattern.footprint_bytes, 4u * 1024 * 1024) << name;
+  }
+}
+
+TEST(Benchmarks, EvenWritersHaveNoHotSet) {
+  for (const char* name : {"cfd", "stencil", "nw", "lbm", "sad"}) {
+    const Workload w = make_benchmark(name);
+    EXPECT_EQ(w.kernels[0].pattern.wws_lines, 0u) << name;
+  }
+}
+
+TEST(Benchmarks, HotWritersHaveAHotSet) {
+  for (const char* name : {"bfs", "kmeans", "histo", "mri-g", "tpacf", "backprop"}) {
+    const Workload w = make_benchmark(name);
+    bool any_hot = false;
+    for (const auto& k : w.kernels) any_hot = any_hot || k.pattern.wws_lines > 0;
+    EXPECT_TRUE(any_hot) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sttgpu::workload

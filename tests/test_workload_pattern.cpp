@@ -1,0 +1,126 @@
+#include "workload/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sttgpu::workload {
+namespace {
+
+constexpr Addr kBase = 0x1000'0000;
+
+AccessPatternSpec spec(PatternKind kind) {
+  AccessPatternSpec s;
+  s.kind = kind;
+  s.footprint_bytes = 1 << 20;
+  s.wws_lines = 64;
+  return s;
+}
+
+TEST(Pattern, MainAddressesStayInFootprint) {
+  for (const auto kind : {PatternKind::kStreaming, PatternKind::kTiled, PatternKind::kRandom}) {
+    const AccessPatternSpec s = spec(kind);
+    AddressGenerator gen(s, kBase, 3, 64, 42);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+      const Addr a = gen.next_main_addr(rng, i % 3 == 0);
+      EXPECT_GE(a, kBase);
+      EXPECT_LT(a, kBase + s.footprint_bytes);
+      EXPECT_EQ(a % 128, 0u) << "transaction-aligned";
+    }
+  }
+}
+
+TEST(Pattern, WwsAddressesLandInWwsRegion) {
+  const AccessPatternSpec s = spec(PatternKind::kRandom);
+  AddressGenerator gen(s, kBase, 0, 64, 42);
+  Rng rng(2);
+  const Addr wws_base = gen.wws_base();
+  EXPECT_GE(wws_base, kBase + s.footprint_bytes);
+  for (int i = 0; i < 2000; ++i) {
+    const Addr a = gen.next_wws_addr(rng);
+    EXPECT_GE(a, wws_base);
+    EXPECT_LT(a, wws_base + s.wws_lines * 256);
+  }
+}
+
+TEST(Pattern, WwsIsSkewed) {
+  const AccessPatternSpec s = spec(PatternKind::kRandom);
+  AddressGenerator gen(s, kBase, 0, 64, 42);
+  Rng rng(3);
+  std::map<Addr, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.next_wws_addr(rng)]++;
+  // The hottest line receives far more than the uniform share.
+  int max_count = 0;
+  for (const auto& [a, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3 * 20000 / 64);
+}
+
+TEST(Pattern, StreamingWalksSequentially) {
+  AccessPatternSpec s = spec(PatternKind::kStreaming);
+  AddressGenerator gen(s, kBase, 0, 4, 42);
+  Rng rng(4);
+  const Addr a0 = gen.next_main_addr(rng, false);
+  const Addr a1 = gen.next_main_addr(rng, false);
+  const Addr a2 = gen.next_main_addr(rng, false);
+  EXPECT_EQ(a1, a0 + 128);
+  EXPECT_EQ(a2, a1 + 128);
+}
+
+TEST(Pattern, StreamingWarpsPartitionTheArray) {
+  AccessPatternSpec s = spec(PatternKind::kStreaming);
+  AddressGenerator g0(s, kBase, 0, 4, 42);
+  AddressGenerator g1(s, kBase, 1, 4, 42);
+  Rng rng(5);
+  const Addr a0 = g0.next_main_addr(rng, false);
+  const Addr a1 = g1.next_main_addr(rng, false);
+  EXPECT_EQ(a1 - a0, s.footprint_bytes / 4);
+}
+
+TEST(Pattern, ReuseReturnsRememberedLines) {
+  AccessPatternSpec s = spec(PatternKind::kRandom);
+  s.reuse_fraction = 1.0;  // always reuse when possible
+  s.reuse_window = 1;      // a single slot, so the remembered line is chosen
+  AddressGenerator gen(s, kBase, 0, 4, 42);
+  Rng rng(6);
+  Addr out = 0;
+  EXPECT_FALSE(gen.try_reuse(rng, &out));  // nothing remembered yet
+  gen.remember(0xABC00);
+  ASSERT_TRUE(gen.try_reuse(rng, &out));
+  EXPECT_EQ(out, 0xABC00u);
+}
+
+TEST(Pattern, ConstAndTextureRegionsAreDisjointFromData) {
+  const AccessPatternSpec s = spec(PatternKind::kRandom);
+  AddressGenerator gen(s, kBase, 0, 4, 42);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Addr c = gen.next_const_addr(rng);
+    const Addr t = gen.next_texture_addr(rng);
+    EXPECT_GE(c, kBase + s.footprint_bytes);
+    EXPECT_GT(t, c);  // texture region lies above the constant region
+  }
+}
+
+TEST(Pattern, RejectsDegenerateFootprint) {
+  AccessPatternSpec s = spec(PatternKind::kRandom);
+  s.footprint_bytes = 16;
+  EXPECT_THROW(AddressGenerator(s, kBase, 0, 4, 42), SimError);
+}
+
+TEST(Pattern, HotStoreDecisionRespectsFraction) {
+  AccessPatternSpec s = spec(PatternKind::kRandom);
+  s.hot_store_fraction = 0.0;
+  AddressGenerator gen0(s, kBase, 0, 4, 42);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(gen0.store_goes_hot(rng));
+
+  s.hot_store_fraction = 1.0;
+  AddressGenerator gen1(s, kBase, 0, 4, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(gen1.store_goes_hot(rng));
+
+  s.wws_lines = 0;  // no WWS region => never hot
+  AddressGenerator gen2(s, kBase, 0, 4, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(gen2.store_goes_hot(rng));
+}
+
+}  // namespace
+}  // namespace sttgpu::workload

@@ -1,0 +1,175 @@
+#include "workload/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hpp"
+
+namespace sttgpu::workload {
+namespace {
+
+KernelSpec test_kernel() {
+  KernelSpec k;
+  k.name = "t";
+  k.instructions_per_warp = 1000;
+  k.mem_fraction = 0.4;
+  k.store_fraction = 0.25;
+  k.stores_at_end_fraction = 0.5;
+  k.epilogue_fraction = 0.1;
+  k.pattern.footprint_bytes = 1 << 20;
+  k.pattern.wws_lines = 32;
+  return k;
+}
+
+TEST(WarpStream, ExactInstructionCount) {
+  const KernelSpec k = test_kernel();
+  WarpStream s(k, 0, 128, 42);
+  std::uint64_t n = 0;
+  while (!s.done()) {
+    s.next();
+    ++n;
+  }
+  EXPECT_EQ(n, k.instructions_per_warp);
+  EXPECT_EQ(s.issued(), n);
+  EXPECT_EQ(s.remaining(), 0u);
+}
+
+TEST(WarpStream, DeterministicPerWarp) {
+  const KernelSpec k = test_kernel();
+  WarpStream a(k, 7, 128, 42), b(k, 7, 128, 42);
+  while (!a.done()) {
+    const WarpInstr ia = a.next();
+    const WarpInstr ib = b.next();
+    EXPECT_EQ(ia.kind, ib.kind);
+    EXPECT_EQ(ia.space, ib.space);
+    EXPECT_EQ(ia.transactions, ib.transactions);
+  }
+}
+
+TEST(WarpStream, DifferentWarpsDiffer) {
+  const KernelSpec k = test_kernel();
+  WarpStream a(k, 0, 128, 42), b(k, 1, 128, 42);
+  int same = 0, total = 0;
+  while (!a.done() && !b.done()) {
+    const WarpInstr ia = a.next();
+    const WarpInstr ib = b.next();
+    if (ia.kind == WarpInstr::Kind::kLoad && ib.kind == WarpInstr::Kind::kLoad &&
+        !ia.transactions.empty() && !ib.transactions.empty()) {
+      ++total;
+      same += ia.transactions[0] == ib.transactions[0];
+    }
+  }
+  EXPECT_GT(total, 10);
+  EXPECT_LT(same, total / 2);
+}
+
+TEST(WarpStream, MemFractionApproximatelyHonored) {
+  const KernelSpec k = test_kernel();
+  WarpStream s(k, 3, 128, 42);
+  int mem = 0;
+  while (!s.done()) mem += s.next().kind != WarpInstr::Kind::kCompute;
+  EXPECT_NEAR(static_cast<double>(mem) / k.instructions_per_warp, k.mem_fraction, 0.08);
+}
+
+TEST(WarpStream, StoresConcentrateInEpilogue) {
+  KernelSpec k = test_kernel();
+  k.instructions_per_warp = 20000;  // enough samples
+  WarpStream s(k, 3, 128, 42);
+  std::uint64_t stores_main = 0, stores_epi = 0;
+  const std::uint64_t epi_start =
+      static_cast<std::uint64_t>(k.instructions_per_warp * (1.0 - k.epilogue_fraction));
+  for (std::uint64_t i = 0; i < k.instructions_per_warp; ++i) {
+    const WarpInstr instr = s.next();
+    if (instr.kind == WarpInstr::Kind::kStore) {
+      (i >= epi_start ? stores_epi : stores_main) += 1;
+    }
+  }
+  const double at_end =
+      static_cast<double>(stores_epi) / static_cast<double>(stores_epi + stores_main);
+  EXPECT_NEAR(at_end, k.stores_at_end_fraction, 0.1);
+}
+
+TEST(WarpStream, TransactionsWithinWarpBounds) {
+  KernelSpec k = test_kernel();
+  k.pattern.transactions_per_access = 6.0;
+  WarpStream s(k, 1, 128, 42);
+  while (!s.done()) {
+    const WarpInstr instr = s.next();
+    if (instr.kind != WarpInstr::Kind::kCompute) {
+      EXPECT_GE(instr.transactions.size(), 1u);
+      EXPECT_LE(instr.transactions.size(), 32u);
+      for (const Addr t : instr.transactions) EXPECT_EQ(t % 128, 0u);
+    } else {
+      EXPECT_TRUE(instr.transactions.empty());
+      EXPECT_EQ(instr.latency, k.compute_latency);
+    }
+  }
+}
+
+TEST(WarpStream, PerfectCoalescingYieldsOneTransaction) {
+  KernelSpec k = test_kernel();
+  k.pattern.transactions_per_access = 1.0;
+  WarpStream s(k, 1, 128, 42);
+  while (!s.done()) {
+    const WarpInstr instr = s.next();
+    if (instr.kind != WarpInstr::Kind::kCompute) {
+      EXPECT_EQ(instr.transactions.size(), 1u);
+    }
+  }
+}
+
+TEST(WarpStream, SharedMemoryOpsCarryConflictLatency) {
+  KernelSpec k = test_kernel();
+  k.const_fraction = 0.0;
+  k.shared_fraction = 1.0;  // every memory op hits the scratchpad
+  k.shared_latency = 2;
+  k.shared_conflict_avg = 4.0;
+  WarpStream s(k, 1, 128, 42);
+  std::uint64_t shared_ops = 0;
+  double latency_sum = 0;
+  while (!s.done()) {
+    const WarpInstr instr = s.next();
+    if (instr.kind == WarpInstr::Kind::kCompute) continue;
+    EXPECT_EQ(instr.space, MemSpace::kShared);
+    EXPECT_TRUE(instr.transactions.empty());
+    EXPECT_GE(instr.latency, k.shared_latency);
+    ++shared_ops;
+    latency_sum += instr.latency;
+  }
+  EXPECT_GT(shared_ops, 100u);
+  // Mean latency reflects the conflict degree (2 cycles x ~4-way).
+  EXPECT_GT(latency_sum / static_cast<double>(shared_ops), 4.0);
+}
+
+TEST(WarpStream, ConflictFreeSharedOpsAreFast) {
+  KernelSpec k = test_kernel();
+  k.const_fraction = 0.0;
+  k.shared_fraction = 1.0;
+  k.shared_conflict_avg = 1.0;
+  WarpStream s(k, 1, 128, 42);
+  while (!s.done()) {
+    const WarpInstr instr = s.next();
+    if (instr.space == MemSpace::kShared) {
+      EXPECT_EQ(instr.latency, k.shared_latency);
+    }
+  }
+}
+
+TEST(WarpStream, RejectsInvalidKernels) {
+  KernelSpec k = test_kernel();
+  k.threads_per_block = 100;  // not a warp multiple
+  EXPECT_THROW(WarpStream(k, 0, 1, 42), SimError);
+  KernelSpec k2 = test_kernel();
+  k2.instructions_per_warp = 0;
+  EXPECT_THROW(WarpStream(k2, 0, 1, 42), SimError);
+}
+
+TEST(WarpStream, NextPastEndAsserts) {
+  KernelSpec k = test_kernel();
+  k.instructions_per_warp = 1;
+  WarpStream s(k, 0, 1, 42);
+  s.next();
+  EXPECT_THROW(s.next(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sttgpu::workload

@@ -1,0 +1,162 @@
+// sttgpu — command-line front end to the simulator.
+//
+//   sttgpu list
+//       Print the available architectures and benchmark models.
+//
+//   sttgpu run arch=C1 benchmark=bfs [scale=0.5] [json=out.json]
+//       Simulate one (architecture, benchmark) pair; print the metrics and
+//       the bank counters; optionally dump the full result as JSON.
+//
+//   sttgpu matrix [scale=0.5] [cache=fig8_cache.csv] [json=matrix.json]
+//       Run the full Fig. 8 matrix (cached) and print/export it.
+//
+//   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
+//       Run once and capture the L2 demand stream to a CSV trace.
+//
+//   sttgpu replay trace=bfs.trace arch=C1
+//       Drive the chosen architecture's L2 banks from a trace (no GPU) and
+//       print the resulting cache statistics — fast architecture sweeps.
+#include <fstream>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "sim/probe.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace sttgpu;
+
+int cmd_list() {
+  std::cout << "architectures:\n";
+  for (const auto arch : sim::all_architectures()) {
+    const sim::ArchSpec spec = sim::make_arch(arch);
+    std::cout << "  " << spec.name << "  L2 " << spec.l2_total_bytes() / 1024 << "KB"
+              << (spec.two_part ? " (two-part)" : " (uniform)") << ", "
+              << spec.gpu.registers_per_sm << " regs/SM\n";
+  }
+  std::cout << "\nbenchmarks:\n";
+  for (const auto& name : workload::benchmark_names()) {
+    const workload::Workload w = workload::make_benchmark(name);
+    std::cout << "  " << name << "  (region " << w.region << ", "
+              << w.total_instructions() / 1000 << "k warp instructions)\n";
+  }
+  return 0;
+}
+
+int cmd_run(const Config& cfg) {
+  const std::string arch_name = cfg.get_string("arch", "C1");
+  const std::string benchmark = cfg.get_string("benchmark", "bfs");
+  const double scale = cfg.get_double("scale", 0.5);
+
+  const sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
+  const workload::Workload w = workload::make_benchmark(benchmark, scale);
+  gpu::RunResult run;
+  const sim::Metrics m = sim::run_one_detailed(spec, w, run);
+
+  std::cout << arch_name << " / " << benchmark << " (scale " << scale << ")\n"
+            << "  IPC        " << m.ipc << "\n"
+            << "  cycles     " << m.cycles << "\n"
+            << "  L2 power   " << m.total_w << " W (dyn " << m.dynamic_w << " + leak "
+            << m.leakage_w << ")\n"
+            << "  writes     " << m.l2_write_share * 100 << "% of L2 accesses\n"
+            << "  miss rate  " << m.l2_miss_rate * 100 << "%\n";
+  if (!run.l2_counters.all().empty()) {
+    std::cout << "  counters:\n";
+    for (const auto& [name, value] : run.l2_counters.all()) {
+      std::cout << "    " << name << " = " << value << "\n";
+    }
+  }
+
+  if (cfg.has("json")) {
+    std::ofstream out(cfg.get_string("json", ""));
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
+    sim::write_run_json(out, m, run);
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_matrix(const Config& cfg) {
+  const double scale = cfg.get_double("scale", 0.5);
+  const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache);
+
+  TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
+  for (const auto& m : rows) {
+    table.add_row({m.arch, m.benchmark, TextTable::fmt(m.ipc, 3),
+                   TextTable::fmt(m.dynamic_w, 3), TextTable::fmt(m.total_w, 3)});
+  }
+  table.print(std::cout);
+
+  if (cfg.has("json")) {
+    std::ofstream out(cfg.get_string("json", ""));
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
+    sim::write_matrix_json(out, rows);
+    out << "\n";
+  }
+  return 0;
+}
+
+int cmd_record(const Config& cfg) {
+  const sim::ArchSpec spec =
+      sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "sram")));
+  const workload::Workload w =
+      workload::make_benchmark(cfg.get_string("benchmark", "bfs"), cfg.get_double("scale", 0.5));
+  const std::string path = cfg.get_string("trace", "l2.trace");
+  const sim::Metrics m = sim::record_trace(spec, w, path);
+  std::cout << "recorded " << path << " (ipc " << m.ipc << ", "
+            << m.l2_write_share * 100 << "% writes)\n";
+  return 0;
+}
+
+int cmd_replay(const Config& cfg) {
+  const auto records = sim::load_trace(cfg.get_string("trace", "l2.trace"));
+  const sim::ArchSpec spec =
+      sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "C1")));
+  const sim::ReplayResult r =
+      spec.two_part ? sim::replay_trace(records, spec.two_part_cfg, spec.gpu)
+                    : sim::replay_trace(records, spec.uniform, spec.gpu);
+  std::cout << "replayed " << records.size() << " requests on " << spec.name << "\n"
+            << "  miss rate   " << r.stats.miss_rate() * 100 << "%\n"
+            << "  write share " << r.stats.write_share() * 100 << "%\n"
+            << "  dram reads  " << r.stats.dram_reads << ", writebacks "
+            << r.stats.dram_writebacks << "\n"
+            << "  dyn energy  " << r.dynamic_energy_pj * 1e-6 << " uJ, leakage "
+            << r.leakage_w << " W\n";
+  for (const auto& [name, value] : r.counters.all()) {
+    std::cout << "  " << name << " = " << value << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: sttgpu <list|run|matrix|record|replay> [key=value ...]\n"
+               "  run:    arch=<sram|stt-base|C1|C2|C3> benchmark=<name> [scale=] [json=]\n"
+               "  matrix: [scale=] [cache=] [json=]\n"
+               "  record: arch= benchmark= trace=<path> [scale=]\n"
+               "  replay: trace=<path> arch=\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const Config cfg = Config::from_args(argc - 1, argv + 1);
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(cfg);
+    if (command == "matrix") return cmd_matrix(cfg);
+    if (command == "record") return cmd_record(cfg);
+    if (command == "replay") return cmd_replay(cfg);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
