@@ -6,11 +6,14 @@
 // bench shows the two techniques compose: EWT on top of the two-part cache,
 // and EWT as an alternative fix for the naive STT baseline.
 //
-//   ./abl_ewt [scale=0.4]
+//   ./abl_ewt [scale=0.4] [jobs=N]
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "sim/executor.hpp"
 #include "sim/runner.hpp"
 #include "sttl2/factories.hpp"
 
@@ -35,19 +38,34 @@ sim::Metrics run_arch(sim::Architecture arch, const std::string& benchmark, doub
 int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const double scale = cfg.get_double("scale", 0.4);
+  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
   const char* benchmarks[] = {"bfs", "lbm", "histo", "kmeans", "nw"};
+  const sim::Architecture archs[] = {sim::Architecture::kSttBaseline,
+                                     sim::Architecture::kC1};
 
   std::cout << "Ablation: early write termination (flip fraction 0.35)\n\n";
   TextTable table({"benchmark", "arch", "dyn W", "dyn W + EWT", "saving"});
+
+  // One job per table row (it runs the plain and the EWT variant); rows are
+  // filled by index so the output order is identical for any job count.
+  std::vector<std::vector<std::string>> rows(std::size(benchmarks) * std::size(archs));
+  std::vector<sim::Job> work;
+  std::size_t slot = 0;
   for (const char* name : benchmarks) {
-    for (const auto arch : {sim::Architecture::kSttBaseline, sim::Architecture::kC1}) {
-      const sim::Metrics plain = run_arch(arch, name, scale, false);
-      const sim::Metrics ewt = run_arch(arch, name, scale, true);
-      table.add_row({name, sim::to_string(arch), TextTable::fmt(plain.dynamic_w, 3),
-                     TextTable::fmt(ewt.dynamic_w, 3),
-                     TextTable::fmt_percent(1.0 - ewt.dynamic_w / plain.dynamic_w)});
+    for (const sim::Architecture arch : archs) {
+      work.push_back(sim::Job{
+          std::string(sim::to_string(arch)) + "/" + name, [&, name, arch, slot]() {
+            const sim::Metrics plain = run_arch(arch, name, scale, false);
+            const sim::Metrics ewt = run_arch(arch, name, scale, true);
+            rows[slot] = {name, sim::to_string(arch), TextTable::fmt(plain.dynamic_w, 3),
+                          TextTable::fmt(ewt.dynamic_w, 3),
+                          TextTable::fmt_percent(1.0 - ewt.dynamic_w / plain.dynamic_w)};
+          }});
+      ++slot;
     }
   }
+  sim::run_jobs(std::move(work), jobs);
+  for (std::vector<std::string>& row : rows) table.add_row(std::move(row));
   table.print(std::cout);
 
   std::cout << "\nExpected: EWT saves the most on the write-energy-dominated naive\n"

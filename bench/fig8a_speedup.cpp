@@ -2,10 +2,12 @@
 // STT-RAM baseline and the proposed C1/C2/C3 architectures, normalized to
 // the SRAM baseline, grouped by region, with the geometric mean.
 //
-//   ./fig8a_speedup [scale=0.5] [cache=fig8_cache.csv]
+//   ./fig8a_speedup [scale=0.5] [cache=fig8_cache.csv] [jobs=N]
 //
-// The 80 underlying simulations are cached in a CSV (shared with the
-// fig8b/fig8c binaries); delete the file to force re-simulation.
+// The 80 underlying simulations run on `jobs` worker threads (default all
+// hardware threads) and are cached in a CSV (shared with the fig8b/fig8c
+// binaries); delete the file to force re-simulation. A cache written at a
+// different scale or simulator config is discarded automatically.
 //
 // Shape to reproduce (paper): STT baseline ~+5% average with per-benchmark
 // regressions; C1 ~+16% average and >2x best case; C1/C2/C3 without the
@@ -15,6 +17,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/executor.hpp"
 #include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -23,8 +26,9 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
+  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
 
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache);
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
   const auto base = sim::by_benchmark(rows, "sram");
 
   std::cout << "Figure 8(a): speedup over the SRAM baseline\n\n";

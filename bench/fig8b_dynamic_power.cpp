@@ -1,7 +1,7 @@
 // Regenerates the paper's Figure 8(b): L2 dynamic power of the STT-RAM
 // baseline and C1/C2/C3, normalized to the SRAM baseline.
 //
-//   ./fig8b_dynamic_power [scale=0.5] [cache=fig8_cache.csv]
+//   ./fig8b_dynamic_power [scale=0.5] [cache=fig8_cache.csv] [jobs=N]
 //
 // Shape to reproduce (paper): STT architectures pay MORE dynamic power than
 // SRAM (write energy of MTJ cells; C1/C2/C3 averaged 1.69/1.67/1.94x in the
@@ -12,6 +12,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/executor.hpp"
 #include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -20,8 +21,9 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
+  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
 
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache);
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
   const auto base = sim::by_benchmark(rows, "sram");
 
   std::cout << "Figure 8(b): L2 dynamic power normalized to the SRAM baseline\n\n";

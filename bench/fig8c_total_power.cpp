@@ -1,7 +1,7 @@
 // Regenerates the paper's Figure 8(c): total L2 power (dynamic + leakage)
 // of the STT-RAM baseline and C1/C2/C3, normalized to the SRAM baseline.
 //
-//   ./fig8c_total_power [scale=0.5] [cache=fig8_cache.csv]
+//   ./fig8c_total_power [scale=0.5] [cache=fig8_cache.csv] [jobs=N]
 //
 // Shape to reproduce (paper): the SRAM L2 is leakage dominated, so every
 // two-part STT configuration lands well below it (paper averages: C1 -20%,
@@ -13,6 +13,7 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "sim/executor.hpp"
 #include "sim/runner.hpp"
 
 int main(int argc, char** argv) {
@@ -21,8 +22,9 @@ int main(int argc, char** argv) {
   const Config cfg = Config::from_args(argc, argv);
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
+  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
 
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache);
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
   const auto base = sim::by_benchmark(rows, "sram");
 
   std::cout << "Figure 8(c): total L2 power normalized to the SRAM baseline\n\n";

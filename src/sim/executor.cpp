@@ -1,0 +1,95 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sim {
+
+namespace {
+
+std::mutex& stderr_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+[[noreturn]] void rethrow_labelled(const Job& job, const std::exception_ptr& eptr) {
+  try {
+    std::rethrow_exception(eptr);
+  } catch (const std::exception& e) {
+    throw SimError("job '" + job.label + "' failed: " + e.what());
+  } catch (...) {
+    throw SimError("job '" + job.label + "' failed with a non-standard exception");
+  }
+}
+
+}  // namespace
+
+unsigned default_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+unsigned resolve_jobs(std::int64_t requested) noexcept {
+  if (requested <= 0) return default_jobs();
+  return static_cast<unsigned>(requested);
+}
+
+void run_jobs(std::vector<Job> jobs, unsigned n_threads) {
+  if (jobs.empty()) return;
+
+  if (n_threads <= 1) {
+    // Inline sequential mode: no threads, fail at the first throwing job
+    // (later jobs do not start) — the pre-executor behaviour.
+    for (const Job& job : jobs) {
+      try {
+        job.fn();
+      } catch (...) {
+        rethrow_labelled(job, std::current_exception());
+      }
+    }
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  const auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        jobs[i].fn();
+      } catch (...) {
+        errors[i] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t want = std::min<std::size_t>(n_threads, jobs.size());
+  pool.reserve(want);
+  for (std::size_t t = 0; t < want; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  // Report deterministically: the failure with the lowest job index, even
+  // if a later job happened to fail first in wall-clock order.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (errors[i]) rethrow_labelled(jobs[i], errors[i]);
+  }
+}
+
+void log_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(stderr_mutex());
+  std::cerr << line << '\n';
+}
+
+}  // namespace sttgpu::sim

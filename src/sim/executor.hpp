@@ -1,0 +1,50 @@
+// Parallel experiment execution: a small fixed-size thread-pool job runner
+// used by the Fig. 8 matrix and the ablation benches. Every simulation in
+// this repo is a self-contained gpu::Gpu with no global mutable state, so
+// an (arch, benchmark) sweep is embarrassingly parallel.
+//
+// Guarantees:
+//   * Deterministic results — callers collect output by job index (each
+//     job writes its own pre-allocated slot), never by completion order.
+//   * n_threads == 1 runs every job inline on the calling thread, with no
+//     threads spawned — bit-for-bit the old sequential behaviour.
+//   * Per-job exception capture: a throwing job does not tear down the
+//     pool. After all in-flight work drains, the failure with the lowest
+//     job index is re-thrown as SimError naming the job's label (for the
+//     matrix: "arch/benchmark"). Once a failure is recorded, not-yet-
+//     started jobs are skipped (fail fast), matching sequential semantics.
+//   * Serialized progress: log_line() writes whole lines to stderr under a
+//     mutex so concurrent jobs never interleave mid-line.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sttgpu::sim {
+
+/// One unit of work. @p label identifies the job in error messages and
+/// progress lines (the matrix uses "arch/benchmark").
+struct Job {
+  std::string label;
+  std::function<void()> fn;
+};
+
+/// Worker count used for jobs=auto: hardware_concurrency, floor 1.
+unsigned default_jobs() noexcept;
+
+/// Maps a user-facing `jobs=` value to a worker count: <= 0 means auto
+/// (default_jobs()), anything else is taken literally.
+unsigned resolve_jobs(std::int64_t requested) noexcept;
+
+/// Runs @p jobs on a fixed pool of @p n_threads workers and returns when
+/// all dispatched work has finished. See the header comment for ordering,
+/// sequential-mode and failure semantics.
+void run_jobs(std::vector<Job> jobs, unsigned n_threads);
+
+/// Writes @p line (plus '\n') to stderr atomically with respect to other
+/// log_line() callers.
+void log_line(const std::string& line);
+
+}  // namespace sttgpu::sim

@@ -1,10 +1,16 @@
 #include "sim/runner.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "sim/executor.hpp"
 #include "sttl2/factories.hpp"
 
 namespace sttgpu::sim {
@@ -72,78 +78,317 @@ Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
   return run_one(spec, w, inspect);
 }
 
-std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path) {
+// ---------------------------------------------------------------------------
+// Result cache, format v2.
+//
+//   # sttgpu-cache v2 scale=<scale> config=<hex fingerprint>
+//   arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate
+//   <rows ...>
+//
+// The header pins the workload scale and the simulator configuration; a
+// mismatch on either means every cached number is stale, so the whole file
+// is discarded. Values are written with max_digits10 precision so a
+// load -> save round trip is bit-exact.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kCacheMagic[] = "# sttgpu-cache v2";
+constexpr int kCacheFields = 9;
+
+// FNV-1a, 64-bit: stable across platforms, no dependencies.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string format_scale(double scale) {
+  std::ostringstream os;
+  os << std::setprecision(17) << scale;
+  return os.str();
+}
+
+std::optional<double> parse_double(const std::string& cell) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    if (pos != cell.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& cell) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(cell, &pos);
+    if (pos != cell.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::string> split_csv(const std::string& row) {
+  std::vector<std::string> cells;
+  std::istringstream ss(row);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!row.empty() && row.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+/// Parses one data row; nullopt (caller warns + skips) on any malformation.
+std::optional<Metrics> parse_row(const std::string& row) {
+  const std::vector<std::string> cells = split_csv(row);
+  if (cells.size() != kCacheFields) return std::nullopt;
+  Metrics m;
+  m.arch = cells[0];
+  m.benchmark = cells[1];
+  if (m.arch.empty() || m.benchmark.empty()) return std::nullopt;
+  const auto ipc = parse_double(cells[2]);
+  const auto cycles = parse_u64(cells[3]);
+  const auto dynamic_w = parse_double(cells[4]);
+  const auto leakage_w = parse_double(cells[5]);
+  const auto total_w = parse_double(cells[6]);
+  const auto write_share = parse_double(cells[7]);
+  const auto miss_rate = parse_double(cells[8]);
+  if (!ipc || !cycles || !dynamic_w || !leakage_w || !total_w || !write_share || !miss_rate) {
+    return std::nullopt;
+  }
+  m.ipc = *ipc;
+  m.cycles = *cycles;
+  m.dynamic_w = *dynamic_w;
+  m.leakage_w = *leakage_w;
+  m.total_w = *total_w;
+  m.l2_write_share = *write_share;
+  m.l2_miss_rate = *miss_rate;
+  return m;
+}
+
+/// Extracts "key=value" from a whitespace-separated header line.
+std::optional<std::string> header_field(const std::string& header, const std::string& key) {
+  std::istringstream ss(header);
+  std::string token;
+  while (ss >> token) {
+    if (token.rfind(key + "=", 0) == 0) return token.substr(key.size() + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+namespace {
+
+// Serializes everything a cached Metrics row depends on: the resolved
+// architecture registry (cache geometry, cell/energy parameters, GPU
+// model) and the benchmark suite. Any change to these invalidates caches.
+std::uint64_t compute_config_fingerprint() {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << kCacheMagic;
+  for (const Architecture arch : all_architectures()) {
+    const ArchSpec s = make_arch(arch);
+    const gpu::GpuConfig& g = s.gpu;
+    os << "|arch:" << s.name << ':' << s.two_part << ':' << s.l2_total_bytes() << ':'
+       << s.extra_regs_per_sm << ":gpu:" << g.num_sms << ':' << g.warp_size << ':'
+       << g.max_warps_per_sm << ':' << g.max_threads_per_sm << ':' << g.registers_per_sm
+       << ':' << g.shared_mem_per_sm << ':' << g.core_clock_hz << ':'
+       << static_cast<int>(g.scheduler) << ':' << g.l1d_size << ':' << g.l1d_assoc << ':'
+       << g.l1_hit_latency << ':' << g.l1_mshr_entries << ':' << g.icnt_latency << ':'
+       << g.num_l2_banks << ':' << g.l2_line_bytes << ':' << g.l2_input_queue << ':'
+       << g.dram_latency << ':' << g.dram_service_gap << ':' << g.dram_open_page << ':'
+       << g.dram_row_bytes << ':' << g.dram_row_hit_latency;
+    if (s.two_part) {
+      const sttl2::TwoPartBankConfig& c = s.two_part_cfg;
+      os << ":tp:" << c.hr_bytes << ':' << c.hr_assoc << ':' << c.hr_retention_s << ':'
+         << c.hr_counter_bits << ':' << c.lr_bytes << ':' << c.lr_assoc << ':'
+         << c.lr_retention_s << ':' << c.lr_counter_bits << ':' << c.line_bytes << ':'
+         << c.write_threshold << ':' << c.adaptive_threshold << ':'
+         << c.early_write_termination << ':' << c.lr_wear_leveling << ':' << c.buffer_lines
+         << ':' << static_cast<int>(c.search) << ':' << c.pipeline_cycles << ':'
+         << c.hr_subbanks << ':' << c.lr_subbanks;
+    } else {
+      const sttl2::UniformBankConfig& c = s.uniform;
+      os << ":un:" << c.capacity_bytes << ':' << c.associativity << ':' << c.line_bytes
+         << ':' << c.cell.name << ':' << c.cell.read_energy_pj_per_bit << ':'
+         << c.cell.write_energy_pj_per_bit << ':' << c.cell.read_latency_ns << ':'
+         << c.cell.write_latency_ns << ':' << c.cell.leakage_nw_per_bit << ':'
+         << c.early_write_termination << ':' << c.pipeline_cycles << ':' << c.subbanks;
+    }
+  }
+  for (const std::string& name : workload::benchmark_names()) {
+    const workload::Workload w = workload::make_benchmark(name);
+    os << "|bench:" << w.name << ':' << w.region << ':' << w.seed << ':'
+       << w.kernels.size() << ':' << w.total_instructions();
+  }
+  return fnv1a(os.str());
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint() {
+  // The registry and suite are compile-time fixed, so hash them once;
+  // write-through persistence calls this after every completed run.
+  static const std::uint64_t fp = compute_config_fingerprint();
+  return fp;
+}
+
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path,
+                                                                  double scale) {
   std::map<std::pair<std::string, std::string>, Metrics> cache;
   std::ifstream in(path);
   if (!in) return cache;
+
   std::string header;
   std::getline(in, header);
+  if (header.rfind(kCacheMagic, 0) != 0) {
+    std::cerr << "[cache] " << path
+              << ": not a v2 result cache (old or foreign format) — ignoring it;"
+                 " the matrix will re-simulate and rewrite it\n";
+    return cache;
+  }
+  const auto file_scale = header_field(header, "scale");
+  const auto file_config = header_field(header, "config");
+  if (!file_scale || !file_config) {
+    std::cerr << "[cache] " << path << ": malformed v2 header — ignoring\n";
+    return cache;
+  }
+  const auto parsed_scale = parse_double(*file_scale);
+  if (!parsed_scale || *parsed_scale != scale) {
+    std::cerr << "[cache] " << path << ": written at scale=" << *file_scale
+              << ", requested scale=" << format_scale(scale) << " — ignoring stale cache\n";
+    return cache;
+  }
+  std::ostringstream want;
+  want << std::hex << config_fingerprint();
+  if (*file_config != want.str()) {
+    std::cerr << "[cache] " << path
+              << ": simulator config fingerprint mismatch (cache " << *file_config
+              << ", current " << want.str() << ") — ignoring stale cache\n";
+    return cache;
+  }
+
+  std::string column_header;
+  std::getline(in, column_header);  // column names; ignored
+
   std::string row;
+  std::size_t lineno = 2;
   while (std::getline(in, row)) {
-    std::istringstream ss(row);
-    Metrics m;
-    std::string cell;
-    const auto next = [&]() -> std::string {
-      std::getline(ss, cell, ',');
-      return cell;
-    };
-    m.arch = next();
-    m.benchmark = next();
-    m.ipc = std::stod(next());
-    m.cycles = std::stoull(next());
-    m.dynamic_w = std::stod(next());
-    m.leakage_w = std::stod(next());
-    m.total_w = std::stod(next());
-    m.l2_write_share = std::stod(next());
-    m.l2_miss_rate = std::stod(next());
-    cache[{m.arch, m.benchmark}] = m;
+    ++lineno;
+    if (row.empty()) continue;
+    const std::optional<Metrics> m = parse_row(row);
+    if (!m) {
+      std::cerr << "[cache] " << path << ':' << lineno
+                << ": malformed row — skipping (will re-simulate): " << row << '\n';
+      continue;
+    }
+    cache[{m->arch, m->benchmark}] = *m;
   }
   return cache;
 }
 
-void save_cache(const std::string& path, const std::vector<Metrics>& rows) {
-  std::ofstream out(path);
-  if (!out) return;
-  out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n";
-  for (const Metrics& m : rows) {
-    out << m.arch << ',' << m.benchmark << ',' << m.ipc << ',' << m.cycles << ','
-        << m.dynamic_w << ',' << m.leakage_w << ',' << m.total_w << ','
-        << m.l2_write_share << ',' << m.l2_miss_rate << '\n';
+void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows) {
+  // Write-through callers persist after every run: write to a temp file and
+  // rename so a crash mid-write never leaves a truncated cache behind.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot write result cache: " + tmp);
+    out << std::setprecision(17);
+    out << kCacheMagic << " scale=" << format_scale(scale) << " config=" << std::hex
+        << config_fingerprint() << std::dec << '\n';
+    out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n";
+    for (const Metrics& m : rows) {
+      out << m.arch << ',' << m.benchmark << ',' << m.ipc << ',' << m.cycles << ','
+          << m.dynamic_w << ',' << m.leakage_w << ',' << m.total_w << ','
+          << m.l2_write_share << ',' << m.l2_miss_rate << '\n';
+    }
+    out.flush();
+    STTGPU_REQUIRE(out.good(), "write to result cache failed: " + tmp);
   }
+  STTGPU_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move result cache into place: " + path);
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path) {
+                                const std::string& cache_path, unsigned jobs) {
+  return run_matrix(archs, workload::benchmark_names(), scale, cache_path, jobs);
+}
+
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
+                                const std::vector<std::string>& benchmarks, double scale,
+                                const std::string& cache_path, unsigned jobs) {
+  const unsigned n_threads = jobs == 0 ? default_jobs() : jobs;
   auto cache = cache_path.empty()
                    ? std::map<std::pair<std::string, std::string>, Metrics>{}
-                   : load_cache(cache_path);
-  std::vector<Metrics> rows;
-  bool ran_anything = false;
+                   : load_cache(cache_path, scale);
 
+  // Lay out the result slots up front: results are collected by slot index,
+  // so the returned order is (arch, benchmark) regardless of completion
+  // order or thread count.
+  struct Pending {
+    std::size_t slot;
+    ArchSpec spec;
+    std::string benchmark;
+  };
+  std::vector<Metrics> rows(archs.size() * benchmarks.size());
+  std::vector<Pending> pending;
+  std::size_t slot = 0;
   for (const Architecture arch : archs) {
     const ArchSpec spec = make_arch(arch);
-    for (const std::string& name : workload::benchmark_names()) {
-      const auto key = std::make_pair(spec.name, name);
-      if (const auto it = cache.find(key); it != cache.end()) {
-        rows.push_back(it->second);
-        continue;
+    for (const std::string& name : benchmarks) {
+      if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
+        rows[slot] = it->second;
+      } else {
+        pending.push_back(Pending{slot, spec, name});
       }
-      std::cerr << "[run] " << spec.name << " / " << name << " ..." << std::flush;
-      const workload::Workload w = workload::make_benchmark(name, scale);
-      Metrics m = run_one(spec, w);
-      std::cerr << " ipc=" << m.ipc << " cycles=" << m.cycles << '\n';
-      cache[key] = m;
-      rows.push_back(std::move(m));
-      ran_anything = true;
+      ++slot;
     }
   }
 
-  if (ran_anything && !cache_path.empty()) {
+  const auto persist = [&cache, &cache_path, scale]() {
     std::vector<Metrics> all;
     all.reserve(cache.size());
     for (const auto& [k, v] : cache) all.push_back(v);
-    save_cache(cache_path, all);
+    save_cache(cache_path, scale, all);
+  };
+
+  if (!pending.empty() && !cache_path.empty()) {
+    // Fail loudly on an unwritable cache path *before* burning simulation
+    // time; this also upgrades a discarded stale/v1 file to a v2 header.
+    persist();
   }
+
+  std::mutex cache_mutex;
+  std::atomic<std::size_t> completed{0};
+  std::vector<Job> work;
+  work.reserve(pending.size());
+  for (const Pending& p : pending) {
+    work.push_back(Job{
+        p.spec.name + "/" + p.benchmark, [&, p]() {
+          const workload::Workload w = workload::make_benchmark(p.benchmark, scale);
+          Metrics m = run_one(p.spec, w);
+          {
+            const std::lock_guard<std::mutex> lock(cache_mutex);
+            cache[{p.spec.name, p.benchmark}] = m;
+            // Write-through: a crash in run 79 of 80 keeps the first 78.
+            if (!cache_path.empty()) persist();
+          }
+          const std::size_t k = completed.fetch_add(1) + 1;
+          std::ostringstream os;
+          os << "[run " << k << '/' << pending.size() << "] " << p.spec.name << '/'
+             << p.benchmark << " ipc=" << m.ipc << " cycles=" << m.cycles;
+          log_line(os.str());
+          rows[p.slot] = std::move(m);
+        }});
+  }
+  run_jobs(std::move(work), n_threads);
   return rows;
 }
 

@@ -2,8 +2,18 @@
 // and extracts the metrics the paper's figures plot. Also provides the
 // shared Fig. 8 (arch x benchmark) matrix with a CSV result cache so the
 // three Fig. 8 bench binaries do not re-simulate the same 80 runs.
+//
+// The result cache is format v2: the first line records the format
+// version, the workload `scale` and a fingerprint of the simulator
+// configuration (architecture registry + benchmark suite), so a cache
+// written under different conditions is discarded instead of silently
+// reused. The matrix persists write-through (atomic temp-file + rename)
+// after every completed run, so an interrupted sweep resumes where it
+// stopped. Runs fan out onto the sim::run_jobs thread pool (executor.hpp);
+// jobs=1 reproduces the old strictly sequential behaviour.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -46,14 +56,38 @@ Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workloa
                          gpu::RunResult& out_run);
 
 /// The Fig. 8 matrix: every benchmark on every listed architecture.
-/// Results are cached in @p cache_path (CSV) keyed by (arch, benchmark);
-/// pass an empty path to disable caching. Progress lines go to stderr.
+/// Results are cached in @p cache_path (CSV, format v2 — see load_cache);
+/// pass an empty path to disable caching. Runs are distributed over
+/// @p jobs worker threads (0 = hardware_concurrency, 1 = sequential);
+/// results are ordered by (arch, benchmark) index regardless of job count.
+/// Progress lines go to stderr. Throws SimError (naming the failing
+/// arch/benchmark) if a run fails, and if @p cache_path is not writable.
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path);
+                                const std::string& cache_path, unsigned jobs = 1);
 
-/// Cache helpers (exposed for tests).
-std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path);
-void save_cache(const std::string& path, const std::vector<Metrics>& rows);
+/// Same, restricted to an explicit benchmark subset (tests, quick sweeps).
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
+                                const std::vector<std::string>& benchmarks, double scale,
+                                const std::string& cache_path, unsigned jobs = 1);
+
+/// Fingerprint of the simulator configuration that cached results depend
+/// on: hashes the resolved Table-2 architecture registry (cache geometry,
+/// cell parameters, GPU model) and the benchmark suite. Caches whose
+/// recorded fingerprint differs are stale and must be discarded.
+std::uint64_t config_fingerprint();
+
+/// Loads a v2 result cache. Returns an empty map — with a stderr warning —
+/// if the file is missing, is not format v2 (e.g. a pre-versioning v1
+/// file), or was written at a different scale / config fingerprint.
+/// Malformed rows (wrong field count, non-numeric cells) are skipped with
+/// a warning instead of corrupting neighbouring values.
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path,
+                                                                  double scale);
+
+/// Saves @p rows as a v2 cache: header line first, then one CSV row per
+/// Metrics, written to a temp file and atomically renamed over @p path.
+/// Throws SimError if the path is not writable.
+void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows);
 
 /// Index @p rows by benchmark for one architecture.
 std::map<std::string, Metrics> by_benchmark(const std::vector<Metrics>& rows,

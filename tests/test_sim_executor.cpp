@@ -1,0 +1,113 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sim {
+namespace {
+
+std::vector<Job> square_jobs(std::vector<int>& out, std::size_t n) {
+  out.assign(n, -1);
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.push_back(Job{"sq" + std::to_string(i),
+                       [&out, i]() { out[i] = static_cast<int>(i * i); }});
+  }
+  return jobs;
+}
+
+TEST(Executor, DefaultJobsIsAtLeastOne) { EXPECT_GE(default_jobs(), 1u); }
+
+TEST(Executor, ResolveJobsAutoAndExplicit) {
+  EXPECT_EQ(resolve_jobs(0), default_jobs());
+  EXPECT_EQ(resolve_jobs(-3), default_jobs());
+  EXPECT_EQ(resolve_jobs(1), 1u);
+  EXPECT_EQ(resolve_jobs(7), 7u);
+}
+
+TEST(Executor, EmptyJobListIsANoOp) { run_jobs({}, 4); }
+
+TEST(Executor, ResultsLandInIndexOrderSequential) {
+  std::vector<int> out;
+  run_jobs(square_jobs(out, 10), 1);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Executor, ResultsLandInIndexOrderParallel) {
+  std::vector<int> out;
+  run_jobs(square_jobs(out, 100), 4);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(Executor, SequentialModeRunsInline) {
+  // jobs=1 must not spawn threads: every job sees the calling thread's id.
+  const std::thread::id caller = std::this_thread::get_id();
+  bool inline_run = false;
+  run_jobs({Job{"probe", [&]() { inline_run = std::this_thread::get_id() == caller; }}}, 1);
+  EXPECT_TRUE(inline_run);
+}
+
+TEST(Executor, MoreThreadsThanJobsStillRunsEverything) {
+  std::vector<int> out;
+  run_jobs(square_jobs(out, 3), 16);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 4}));
+}
+
+TEST(Executor, ExceptionCarriesJobLabel) {
+  std::vector<Job> jobs;
+  jobs.push_back(Job{"ok", []() {}});
+  jobs.push_back(Job{"C1/bfs", []() { throw SimError("bank exploded"); }});
+  try {
+    run_jobs(std::move(jobs), 2);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("C1/bfs"), std::string::npos) << what;
+    EXPECT_NE(what.find("bank exploded"), std::string::npos) << what;
+  }
+}
+
+TEST(Executor, SequentialFailureStopsLaterJobs) {
+  bool later_ran = false;
+  std::vector<Job> jobs;
+  jobs.push_back(Job{"boom", []() { throw SimError("boom"); }});
+  jobs.push_back(Job{"later", [&]() { later_ran = true; }});
+  EXPECT_THROW(run_jobs(std::move(jobs), 1), SimError);
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(Executor, ParallelFailureReportsLowestIndex) {
+  // Both failures are dispatched before either can set the failed flag
+  // (two workers, two jobs), so both land in the error list; the report
+  // must pick index 0 deterministically, not completion order.
+  std::vector<Job> jobs;
+  jobs.push_back(Job{"first", []() {
+                       std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                       throw SimError("slow failure");
+                     }});
+  jobs.push_back(Job{"second", []() { throw SimError("fast failure"); }});
+  try {
+    run_jobs(std::move(jobs), 2);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("first"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Executor, ParallelRunsAllJobsWhenHealthy) {
+  std::atomic<int> count{0};
+  std::vector<Job> jobs;
+  for (int i = 0; i < 64; ++i) jobs.push_back(Job{"j", [&]() { ++count; }});
+  run_jobs(std::move(jobs), 8);
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace sttgpu::sim

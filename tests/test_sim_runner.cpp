@@ -3,13 +3,51 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
 #include "sim/probe.hpp"
 
 namespace sttgpu::sim {
 namespace {
 
 constexpr double kTinyScale = 0.04;
+
+Metrics sample_metrics() {
+  Metrics m;
+  m.arch = "C1";
+  m.benchmark = "bfs";
+  m.ipc = 1.25;
+  m.cycles = 123456;
+  m.dynamic_w = 0.5;
+  m.leakage_w = 0.1;
+  m.total_w = 0.6;
+  m.l2_write_share = 0.4;
+  m.l2_miss_rate = 0.2;
+  return m;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void expect_identical(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.arch, b.arch);
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.dynamic_w, b.dynamic_w);
+  EXPECT_EQ(a.leakage_w, b.leakage_w);
+  EXPECT_EQ(a.total_w, b.total_w);
+  EXPECT_EQ(a.l2_write_share, b.l2_write_share);
+  EXPECT_EQ(a.l2_miss_rate, b.l2_miss_rate);
+}
 
 TEST(Runner, RunOneProducesSaneMetrics) {
   const Metrics m = run_one(Architecture::kSramBaseline, "hotspot", kTinyScale);
@@ -35,28 +73,128 @@ TEST(Runner, DeterministicAcrossCalls) {
 TEST(Runner, CacheRoundTrip) {
   const std::string path = "test_runner_cache.csv";
   std::remove(path.c_str());
-  Metrics m;
-  m.arch = "C1";
-  m.benchmark = "bfs";
-  m.ipc = 1.25;
-  m.cycles = 123456;
-  m.dynamic_w = 0.5;
-  m.leakage_w = 0.1;
-  m.total_w = 0.6;
-  m.l2_write_share = 0.4;
-  m.l2_miss_rate = 0.2;
-  save_cache(path, {m});
-  const auto cache = load_cache(path);
+  Metrics m = sample_metrics();
+  m.ipc = 1.0 / 3.0;  // needs all 17 digits to round-trip exactly
+  save_cache(path, 0.5, {m});
+  const auto cache = load_cache(path, 0.5);
   ASSERT_EQ(cache.size(), 1u);
-  const Metrics& r = cache.at({"C1", "bfs"});
-  EXPECT_DOUBLE_EQ(r.ipc, 1.25);
-  EXPECT_EQ(r.cycles, 123456u);
-  EXPECT_DOUBLE_EQ(r.total_w, 0.6);
+  expect_identical(cache.at({"C1", "bfs"}), m);
   std::remove(path.c_str());
 }
 
 TEST(Runner, LoadCacheMissingFileIsEmpty) {
-  EXPECT_TRUE(load_cache("nonexistent_file_xyz.csv").empty());
+  EXPECT_TRUE(load_cache("nonexistent_file_xyz.csv", 0.5).empty());
+}
+
+TEST(Runner, CacheScaleMismatchIsDiscarded) {
+  const std::string path = "test_runner_cache_scale.csv";
+  std::remove(path.c_str());
+  save_cache(path, 0.5, {sample_metrics()});
+  EXPECT_EQ(load_cache(path, 0.5).size(), 1u);
+  EXPECT_TRUE(load_cache(path, 1.0).empty());
+  EXPECT_TRUE(load_cache(path, 0.25).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Runner, CacheConfigFingerprintMismatchIsDiscarded) {
+  const std::string path = "test_runner_cache_fp.csv";
+  std::remove(path.c_str());
+  save_cache(path, 0.5, {sample_metrics()});
+  // Tamper with the recorded fingerprint: the whole file must be ignored.
+  std::string text = slurp(path);
+  const auto pos = text.find("config=");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 7] = text[pos + 7] == '0' ? '1' : '0';
+  std::ofstream(path, std::ios::trunc) << text;
+  EXPECT_TRUE(load_cache(path, 0.5).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Runner, CacheV1FormatIsDiscardedNotMisparsed) {
+  const std::string path = "test_runner_cache_v1.csv";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n"
+        << "C1,bfs,1.25,123456,0.5,0.1,0.6,0.4,0.2\n";
+  }
+  EXPECT_TRUE(load_cache(path, 0.5).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Runner, CacheMalformedRowsAreSkippedNotCorrupted) {
+  const std::string path = "test_runner_cache_bad.csv";
+  std::remove(path.c_str());
+  save_cache(path, 0.5, {sample_metrics()});
+  {
+    // Append a truncated row (the old parser would have reused the previous
+    // cell for the missing fields), a non-numeric row, and an over-long row.
+    std::ofstream out(path, std::ios::app);
+    out << "C2,bfs,2.5,99\n"
+        << "C3,bfs,not_a_number,1,2,3,4,5,6\n"
+        << "C2,kmeans,1,2,3,4,5,6,7,8\n";
+  }
+  const auto cache = load_cache(path, 0.5);
+  ASSERT_EQ(cache.size(), 1u);  // only the well-formed row survives
+  expect_identical(cache.at({"C1", "bfs"}), sample_metrics());
+  std::remove(path.c_str());
+}
+
+TEST(Runner, SaveCacheUnwritablePathThrows) {
+  EXPECT_THROW(save_cache("no_such_dir_xyz/cache.csv", 0.5, {sample_metrics()}), SimError);
+}
+
+TEST(Runner, MatrixParallelIsByteIdenticalToSequential) {
+  const std::vector<Architecture> archs{Architecture::kSramBaseline, Architecture::kC1};
+  const std::vector<std::string> benchmarks{"bfs", "kmeans", "hotspot"};
+  const auto seq = run_matrix(archs, benchmarks, kTinyScale, "", 1);
+  const auto par = run_matrix(archs, benchmarks, kTinyScale, "", 4);
+  ASSERT_EQ(seq.size(), 6u);
+  ASSERT_EQ(par.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) expect_identical(seq[i], par[i]);
+}
+
+TEST(Runner, MatrixPersistsWriteThroughAndResumes) {
+  const std::string path = "test_runner_matrix_resume.csv";
+  std::remove(path.c_str());
+  const std::vector<Architecture> archs{Architecture::kSramBaseline};
+  const std::vector<std::string> benchmarks{"bfs", "kmeans"};
+  const auto fresh = run_matrix(archs, benchmarks, kTinyScale, path, 1);
+  ASSERT_EQ(fresh.size(), 2u);
+  ASSERT_EQ(load_cache(path, kTinyScale).size(), 2u);
+
+  // Drop the last cached row (as if the sweep crashed mid-matrix): the
+  // rerun must reuse the surviving row and re-simulate only the missing
+  // one, ending with identical results.
+  std::string text = slurp(path);
+  text.erase(text.rfind("sram,", text.size() - 2));
+  std::ofstream(path, std::ios::trunc) << text;
+  ASSERT_EQ(load_cache(path, kTinyScale).size(), 1u);
+
+  const auto resumed = run_matrix(archs, benchmarks, kTinyScale, path, 1);
+  ASSERT_EQ(resumed.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) expect_identical(fresh[i], resumed[i]);
+  EXPECT_EQ(load_cache(path, kTinyScale).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, MatrixUsesCachedRowsVerbatim) {
+  const std::string path = "test_runner_matrix_cached.csv";
+  std::remove(path.c_str());
+  Metrics planted = sample_metrics();
+  planted.arch = "sram";
+  planted.benchmark = "bfs";
+  planted.ipc = 42.0;  // impossible value: proves the cache was used
+  save_cache(path, kTinyScale, {planted});
+  const auto rows =
+      run_matrix({Architecture::kSramBaseline}, {std::string("bfs")}, kTinyScale, path, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  expect_identical(rows[0], planted);
+  std::remove(path.c_str());
+}
+
+TEST(Runner, ConfigFingerprintIsStable) {
+  EXPECT_EQ(config_fingerprint(), config_fingerprint());
+  EXPECT_NE(config_fingerprint(), 0u);
 }
 
 TEST(Runner, ByBenchmarkFilters) {

@@ -7,8 +7,12 @@
 //       Simulate one (architecture, benchmark) pair; print the metrics and
 //       the bank counters; optionally dump the full result as JSON.
 //
-//   sttgpu matrix [scale=0.5] [cache=fig8_cache.csv] [json=matrix.json]
-//       Run the full Fig. 8 matrix (cached) and print/export it.
+//   sttgpu matrix [scale=0.5] [cache=fig8_cache.csv] [jobs=N] [json=matrix.json]
+//       Run the full Fig. 8 matrix and print/export it. Runs fan out over
+//       `jobs` worker threads (default: all hardware threads; jobs=1 is
+//       strictly sequential) with deterministic output ordering. Results
+//       persist write-through to the cache (format v2, scale- and
+//       config-fingerprinted), so an interrupted matrix resumes.
 //
 //   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
 //       Run once and capture the L2 demand stream to a CSV trace.
@@ -21,6 +25,7 @@
 
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "sim/executor.hpp"
 #include "sim/probe.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -83,7 +88,8 @@ int cmd_run(const Config& cfg) {
 int cmd_matrix(const Config& cfg) {
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache);
+  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
 
   TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
   for (const auto& m : rows) {
@@ -136,7 +142,7 @@ int cmd_replay(const Config& cfg) {
 int usage() {
   std::cerr << "usage: sttgpu <list|run|matrix|record|replay> [key=value ...]\n"
                "  run:    arch=<sram|stt-base|C1|C2|C3> benchmark=<name> [scale=] [json=]\n"
-               "  matrix: [scale=] [cache=] [json=]\n"
+               "  matrix: [scale=] [cache=] [jobs=] [json=]\n"
                "  record: arch= benchmark= trace=<path> [scale=]\n"
                "  replay: trace=<path> arch=\n";
   return 2;
