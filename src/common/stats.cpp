@@ -27,6 +27,7 @@ void Histogram::add(double value, std::uint64_t weight) noexcept {
   const std::size_t idx = static_cast<std::size_t>(it - edges_.begin());
   counts_[idx] += weight;
   total_ += weight;
+  prefix_valid_ = false;
 }
 
 double Histogram::fraction(std::size_t i) const noexcept {
@@ -36,14 +37,23 @@ double Histogram::fraction(std::size_t i) const noexcept {
 
 double Histogram::cumulative_fraction(std::size_t i) const noexcept {
   if (total_ == 0) return 0.0;
-  std::uint64_t sum = 0;
-  for (std::size_t k = 0; k <= i && k < counts_.size(); ++k) sum += counts_[k];
-  return static_cast<double>(sum) / static_cast<double>(total_);
+  if (!prefix_valid_) {
+    prefix_.resize(counts_.size());
+    std::uint64_t running = 0;
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+      running += counts_[k];
+      prefix_[k] = running;
+    }
+    prefix_valid_ = true;
+  }
+  const std::size_t idx = i < prefix_.size() ? i : prefix_.size() - 1;
+  return static_cast<double>(prefix_[idx]) / static_cast<double>(total_);
 }
 
 void Histogram::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;
+  prefix_valid_ = false;
 }
 
 double coefficient_of_variation(const std::vector<std::uint64_t>& counts) noexcept {
@@ -64,12 +74,20 @@ double geometric_mean(const std::vector<double>& values) noexcept {
 }
 
 std::uint64_t CounterSet::get(const std::string& name) const {
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::map<std::string, std::uint64_t> CounterSet::all() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::size_t i = 0; i < names_.size(); ++i) out.emplace(names_[i], values_[i]);
+  return out;
 }
 
 void CounterSet::merge(const CounterSet& other) {
-  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  for (std::size_t i = 0; i < other.names_.size(); ++i) {
+    values_[intern(other.names_[i])] += other.values_[i];
+  }
 }
 
 }  // namespace sttgpu

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace sttgpu {
@@ -60,7 +61,9 @@ class Histogram {
   /// Fraction of all samples falling in bucket @p i (0 if empty histogram).
   double fraction(std::size_t i) const noexcept;
 
-  /// Fraction of samples with value <= edges_[i].
+  /// Fraction of samples with value <= edges_[i]. Prefix sums are computed
+  /// once after the last add() and cached, so report loops calling this for
+  /// every bucket stay O(n) total instead of O(n^2).
   double cumulative_fraction(std::size_t i) const noexcept;
 
   void reset() noexcept;
@@ -69,6 +72,9 @@ class Histogram {
   std::vector<double> edges_;        // strictly increasing upper edges
   std::vector<std::uint64_t> counts_;  // edges_.size() + 1 (last = overflow)
   std::uint64_t total_ = 0;
+  // Lazily rebuilt inclusive prefix sums over counts_; invalidated by add().
+  mutable std::vector<std::uint64_t> prefix_;
+  mutable bool prefix_valid_ = false;
 };
 
 /// Computes the coefficient of variation of a vector of counts.
@@ -78,16 +84,46 @@ double coefficient_of_variation(const std::vector<std::uint64_t>& counts) noexce
 /// Geometric mean of strictly positive values; returns 0 for empty input.
 double geometric_mean(const std::vector<double>& values) noexcept;
 
+/// Dense handle for one counter in a CounterSet (valid only for the set that
+/// interned it).
+using CounterId = std::uint32_t;
+
 /// A named bag of integral counters, suitable for dumping after a run.
+///
+/// Hot paths intern their counter names once (at component construction) and
+/// bump through at(CounterId) — a vector index, no string lookup per event.
+/// The string-keyed operator[] stays as a shim for cold paths and tests.
 class CounterSet {
  public:
-  std::uint64_t& operator[](const std::string& name) { return counters_[name]; }
+  /// Resolves @p name to a dense id, creating the counter (at 0) on first use.
+  CounterId intern(const std::string& name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    const CounterId id = static_cast<CounterId>(values_.size());
+    index_.emplace(name, id);
+    names_.push_back(name);
+    values_.push_back(0);
+    return id;
+  }
+
+  /// Hot path: counter slot for a pre-interned handle.
+  std::uint64_t& at(CounterId id) noexcept { return values_[id]; }
+  std::uint64_t at(CounterId id) const noexcept { return values_[id]; }
+
+  /// Cold-path/compatibility shim: interns on every call.
+  std::uint64_t& operator[](const std::string& name) { return values_[intern(name)]; }
   std::uint64_t get(const std::string& name) const;
-  const std::map<std::string, std::uint64_t>& all() const noexcept { return counters_; }
+
+  /// Report-time view: name -> value, sorted by name. Materialized on demand.
+  std::map<std::string, std::uint64_t> all() const;
+  bool empty() const noexcept { return values_.empty(); }
+
   void merge(const CounterSet& other);
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::vector<std::string> names_;      ///< id -> counter name
+  std::vector<std::uint64_t> values_;   ///< id -> value
+  std::unordered_map<std::string, CounterId> index_;
 };
 
 }  // namespace sttgpu

@@ -60,7 +60,7 @@ void DramChannel::tick(Cycle now) {
   }
 }
 
-Cycle DramChannel::next_event() const noexcept {
+Cycle DramChannel::next_event_cycle() const noexcept {
   Cycle next = kNoCycle;
   for (const Pending& p : pending_) next = p.ready < next ? p.ready : next;
   return next;

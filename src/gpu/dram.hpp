@@ -34,8 +34,9 @@ class DramChannel {
   /// Delivers read completions due at or before @p now.
   void tick(Cycle now);
 
-  /// Next cycle at which this channel has a completion to deliver.
-  Cycle next_event() const noexcept;
+  /// Earliest absolute cycle at which this channel has a completion to
+  /// deliver; kNoCycle when nothing is pending.
+  Cycle next_event_cycle() const noexcept;
 
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }

@@ -68,6 +68,49 @@ void Gpu::step() {
   ++now_;
 }
 
+Cycle Gpu::next_event_cycle() const {
+  // Early-out scan: once the running minimum is <= now_ an event is already
+  // due and no skip is possible, so the exact minimum no longer matters.
+  // SMs go first — on busy cycles a ready warp (next event 0) is the common
+  // case, and bailing on the first one keeps this scan out of the profile.
+  Cycle next = kNoCycle;
+  const auto due = [&](Cycle c) {
+    if (c < next) next = c;
+    return next <= now_;
+  };
+  for (const auto& sm : sms_) {
+    if (due(sm->next_event_cycle())) return next;
+  }
+  for (const auto& bank : banks_) {
+    if (due(bank->next_event_cycle())) return next;
+  }
+  if (due(icnt_.next_event_cycle())) return next;
+  for (const auto& d : dram_) {
+    if (due(d->next_event_cycle())) return next;
+  }
+  return next;
+}
+
+void Gpu::fast_forward() {
+  if (!config_.fast_forward || now_ < ff_next_try_) return;
+  const Cycle next = next_event_cycle();
+  // kNoCycle (nothing scheduled anywhere) falls through to plain stepping so
+  // a livelocked configuration still hits the cycle ceiling diagnostics.
+  if (next == kNoCycle || next <= now_) {
+    // An event is already due: this is a busy stretch, and re-scanning every
+    // cycle would cost more than it saves. Back off — stepping through a
+    // skippable cycle plainly produces the identical state (it is a no-op
+    // either way), so delaying the next attempt never changes results.
+    ff_next_try_ = now_ + kFastForwardBackoff;
+    return;
+  }
+  // Every skipped cycle is provably a no-op: no packet arrives, no bank has
+  // input or a maturing deadline, no warp is ready or due to wake — the only
+  // architected effect of stepping through them would be SM idle accounting.
+  for (auto& sm : sms_) sm->account_skipped_cycles(next - now_);
+  now_ = next;
+}
+
 bool Gpu::memory_idle() const {
   if (!icnt_.idle()) return false;
   for (const auto& bank : banks_) {
@@ -86,6 +129,10 @@ void Gpu::drain_memory() {
   while (!memory_idle()) {
     step();
     STTGPU_REQUIRE(now_ < kMaxCycles, "Gpu: memory drain exceeded the cycle ceiling");
+    // Skip only while the drain continues: once the step above emptied the
+    // memory system, jumping to some future event (e.g. a stale SM sleep
+    // entry) would inflate now_ past where the plain loop stops.
+    if (!memory_idle()) fast_forward();
   }
 }
 
@@ -109,13 +156,15 @@ void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
     }
     return true;
   };
-  // Check completion periodically; the check itself is O(SMs).
-  while (true) {
-    for (int i = 0; i < 64; ++i) {
-      step();
-    }
+  // Event-driven completion: check every cycle (kernel_done() can only flip
+  // during a step, never during a fast-forwarded gap, so both the plain and
+  // the fast-forwarded loop stop at the same cycle) and skip quiescent
+  // stretches — long memory waits — in one jump.
+  while (!all_done()) {
+    step();
     STTGPU_REQUIRE(now_ < kMaxCycles, "Gpu: kernel exceeded the cycle ceiling");
-    if (all_done()) break;
+    // Same guard as drain_memory(): never jump past the completion cycle.
+    if (!all_done()) fast_forward();
   }
 
   // Inter-kernel boundary: L1s are flushed (no coherence across launches).

@@ -73,6 +73,23 @@ class Gpu {
   bool memory_idle() const;
   void step();  ///< advance one cycle
 
+  /// Earliest absolute cycle at which any component has work; kNoCycle when
+  /// nothing at all is scheduled. May return any value <= now_ (not the
+  /// exact minimum) when an event is already due — the scan stops as soon
+  /// as skipping is ruled out.
+  Cycle next_event_cycle() const;
+
+  /// Event-driven fast-forward: if every component's next event lies in the
+  /// future, jump now_ straight to the earliest one (skipped cycles would
+  /// have been pure no-ops except SM idle accounting, which is applied).
+  /// No-op when config_.fast_forward is off or an event is due now.
+  void fast_forward();
+
+  /// After a failed skip attempt the next one waits this many cycles, so the
+  /// component scan stays off the critical path of busy stretches. Stepping
+  /// a skippable cycle plainly is a no-op, so this affects speed only.
+  static constexpr Cycle kFastForwardBackoff = 16;
+
   unsigned bank_of(Addr addr) const noexcept;
 
   GpuConfig config_;
@@ -83,6 +100,7 @@ class Gpu {
   std::vector<std::unique_ptr<Sm>> sms_;
 
   Cycle now_ = 0;
+  Cycle ff_next_try_ = 0;  ///< earliest cycle for the next fast-forward scan
   std::uint64_t next_request_id_ = 1;
   std::vector<L2Response> response_scratch_;
   std::vector<SendTxnFn> senders_;  ///< one bound sender per SM

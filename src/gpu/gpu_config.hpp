@@ -63,6 +63,13 @@ struct GpuConfig {
   unsigned max_outstanding_load_txn = 64;   ///< per SM
   unsigned max_outstanding_store_txn = 64;  ///< per SM
 
+  /// Event-driven fast-forward: when every component is quiescent, the GPU
+  /// jumps directly to the earliest scheduled event instead of ticking
+  /// cycle-by-cycle. A pure scheduling optimization — all reported metrics
+  /// are identical either way (the equivalence is tested); disable to A/B
+  /// against the plain loop.
+  bool fast_forward = true;
+
   Clock clock() const noexcept { return Clock{core_clock_hz}; }
 };
 

@@ -24,6 +24,7 @@ void Interconnect::send_request(unsigned bank, const L2Request& request, Cycle n
   const Cycle arrival = to_bank_[bank].admit(now);
   request_q_[bank].push_back({arrival, request});
   ++request_flits_;
+  ++in_flight_;
 }
 
 void Interconnect::send_response(const L2Response& response, Cycle now) {
@@ -31,16 +32,20 @@ void Interconnect::send_response(const L2Response& response, Cycle now) {
   const Cycle arrival = to_sm_[response.sm_id].admit(now);
   response_q_[response.sm_id].push_back({arrival, response});
   ++response_flits_;
+  ++in_flight_;
 }
 
-bool Interconnect::idle() const noexcept {
+Cycle Interconnect::next_event_cycle() const noexcept {
+  // Arrivals are monotone per queue (each port's pipe admits in order), so
+  // the earliest packet of each queue is its front.
+  Cycle next = kNoCycle;
   for (const auto& q : request_q_) {
-    if (!q.empty()) return false;
+    if (!q.empty() && q.front().arrival < next) next = q.front().arrival;
   }
   for (const auto& q : response_q_) {
-    if (!q.empty()) return false;
+    if (!q.empty() && q.front().arrival < next) next = q.front().arrival;
   }
-  return true;
+  return next;
 }
 
 }  // namespace sttgpu::gpu

@@ -36,6 +36,7 @@ class Interconnect {
     while (!q.empty() && q.front().arrival <= now && accepting()) {
       deliver(q.front().req);
       q.pop_front();
+      --in_flight_;
     }
   }
 
@@ -49,10 +50,20 @@ class Interconnect {
     while (!q.empty() && q.front().arrival <= now) {
       deliver(q.front().resp);
       q.pop_front();
+      --in_flight_;
     }
   }
 
-  bool idle() const noexcept;
+  /// No packet anywhere in the network. O(1): a counter maintained on
+  /// send/deliver, instead of scanning every per-bank/per-SM queue on every
+  /// drain cycle.
+  bool idle() const noexcept { return in_flight_ == 0; }
+
+  /// Earliest absolute arrival cycle over all queued packets; kNoCycle when
+  /// the network is empty. An undelivered packet whose arrival has already
+  /// passed (bank backpressure) reports that past cycle, which correctly
+  /// blocks fast-forwarding over it.
+  Cycle next_event_cycle() const noexcept;
 
   std::uint64_t request_flits() const noexcept { return request_flits_; }
   std::uint64_t response_flits() const noexcept { return response_flits_; }
@@ -73,6 +84,7 @@ class Interconnect {
   std::vector<std::deque<TimedResponse>> response_q_;  // per SM
   std::uint64_t request_flits_ = 0;
   std::uint64_t response_flits_ = 0;
+  std::uint64_t in_flight_ = 0;  ///< packets sent but not yet delivered
 };
 
 }  // namespace sttgpu::gpu

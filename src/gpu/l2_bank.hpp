@@ -44,6 +44,13 @@ class L2Bank {
   /// True when the bank holds no in-flight work (used for run termination).
   virtual bool idle() const = 0;
 
+  /// Earliest absolute cycle at which this bank has something to do
+  /// (queued input, a response maturing, a refresh/expiry deadline...).
+  /// Returning a cycle <= now means "tick me every cycle"; kNoCycle means
+  /// nothing is scheduled. The default is the always-safe 0, which simply
+  /// disables fast-forward around implementations that don't model events.
+  virtual Cycle next_event_cycle() const { return 0; }
+
   virtual const L2BankStats& stats() const = 0;
 
   /// Dynamic energy charged by this bank during the run.

@@ -68,6 +68,26 @@ class Sm {
   /// In-flight transactions this SM is still waiting on (loads + stores).
   unsigned inflight() const noexcept { return inflight_loads_ + inflight_stores_; }
 
+  /// Earliest absolute cycle at which this SM can make progress on its own:
+  /// 0 (i.e. "every cycle") while any warp is ready to issue, the earliest
+  /// sleeper's wake-up otherwise, kNoCycle when nothing is scheduled
+  /// (blocked warps are woken by responses, which the memory side reports).
+  /// Stale sleep-heap entries only make this conservative (an early no-op
+  /// tick), exactly as the per-cycle loop would pop them.
+  Cycle next_event_cycle() const noexcept {
+    if (!ready_.empty()) return 0;
+    if (!sleep_heap_.empty()) return sleep_heap_.top().first;
+    return kNoCycle;
+  }
+
+  /// Accounts @p skipped fast-forwarded cycles exactly as the per-cycle loop
+  /// would have: each skipped cycle, cycle() would find no ready warp and —
+  /// with live warps — count an idle cycle. (No ready warp is a precondition
+  /// for skipping: next_event_cycle() returns 0 otherwise.)
+  void account_skipped_cycles(Cycle skipped) noexcept {
+    if (active_warps_ > 0) stats_.idle_cycles += skipped;
+  }
+
   const SmStats& stats() const noexcept { return stats_; }
   const L1Complex& l1() const noexcept { return l1_; }
   unsigned id() const noexcept { return id_; }

@@ -192,6 +192,10 @@ std::uint64_t compute_config_fingerprint() {
   std::ostringstream os;
   os << std::setprecision(17);
   os << kCacheMagic;
+  // Simulation-core revision: bumped when the cycle loop's semantics change
+  // (core:2 = per-cycle kernel-completion check instead of the old 64-cycle
+  // polling batch), so caches simulated by an older core are discarded.
+  os << "|core:2";
   for (const Architecture arch : all_architectures()) {
     const ArchSpec s = make_arch(arch);
     const gpu::GpuConfig& g = s.gpu;
@@ -317,13 +321,16 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path, unsigned jobs) {
-  return run_matrix(archs, workload::benchmark_names(), scale, cache_path, jobs);
+                                const std::string& cache_path, unsigned jobs,
+                                bool fast_forward) {
+  return run_matrix(archs, workload::benchmark_names(), scale, cache_path, jobs,
+                    fast_forward);
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
                                 const std::vector<std::string>& benchmarks, double scale,
-                                const std::string& cache_path, unsigned jobs) {
+                                const std::string& cache_path, unsigned jobs,
+                                bool fast_forward) {
   const unsigned n_threads = jobs == 0 ? default_jobs() : jobs;
   auto cache = cache_path.empty()
                    ? std::map<std::pair<std::string, std::string>, Metrics>{}
@@ -341,7 +348,8 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   std::vector<Pending> pending;
   std::size_t slot = 0;
   for (const Architecture arch : archs) {
-    const ArchSpec spec = make_arch(arch);
+    ArchSpec spec = make_arch(arch);
+    spec.gpu.fast_forward = fast_forward;
     for (const std::string& name : benchmarks) {
       if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
         rows[slot] = it->second;

@@ -62,13 +62,19 @@ Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workloa
 /// results are ordered by (arch, benchmark) index regardless of job count.
 /// Progress lines go to stderr. Throws SimError (naming the failing
 /// arch/benchmark) if a run fails, and if @p cache_path is not writable.
+/// @p fast_forward toggles the event-driven fast-forward in the simulator
+/// core (gpu::GpuConfig::fast_forward); results are identical either way,
+/// so it is not part of the cache fingerprint — `false` exists for A/B
+/// validation of the skip logic.
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path, unsigned jobs = 1);
+                                const std::string& cache_path, unsigned jobs = 1,
+                                bool fast_forward = true);
 
 /// Same, restricted to an explicit benchmark subset (tests, quick sweeps).
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
                                 const std::vector<std::string>& benchmarks, double scale,
-                                const std::string& cache_path, unsigned jobs = 1);
+                                const std::string& cache_path, unsigned jobs = 1,
+                                bool fast_forward = true);
 
 /// Fingerprint of the simulator configuration that cached results depend
 /// on: hashes the resolved Table-2 architecture registry (cache geometry,

@@ -31,6 +31,7 @@ class TracingBank final : public gpu::L2Bank {
     inner_->on_dram_read_done(cookie, now);
   }
   bool idle() const override { return inner_->idle(); }
+  Cycle next_event_cycle() const override { return inner_->next_event_cycle(); }
   const gpu::L2BankStats& stats() const override { return inner_->stats(); }
   const power::EnergyLedger& energy() const override { return inner_->energy(); }
   Watt leakage_w() const override { return inner_->leakage_w(); }

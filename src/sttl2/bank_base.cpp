@@ -64,6 +64,19 @@ bool BankBase::idle() const {
          fills_ready_.empty() && impl_idle();
 }
 
+Cycle BankBase::next_event_cycle() const {
+  // Queued demand requests and arrived fills are processed on the next tick,
+  // whenever that is: "event due now". (pending_ DRAM reads need no entry —
+  // their completion is the owning DramChannel's event.)
+  if (!input_.empty() || !fills_ready_.empty()) return 0;
+  Cycle next = impl_next_event();
+  // responses_ is a min-heap on ready: front matures first.
+  if (!responses_.empty() && responses_.front().ready < next) {
+    next = responses_.front().ready;
+  }
+  return next;
+}
+
 void BankBase::request_fill(Addr line, const gpu::L2Request& request, Cycle now) {
   auto it = pending_.find(line);
   const bool fresh = it == pending_.end();

@@ -79,6 +79,7 @@ class BankBase : public gpu::L2Bank {
   void drain_responses(Cycle now, std::vector<gpu::L2Response>& out) final;
   void on_dram_read_done(std::uint64_t cookie, Cycle now) final;
   bool idle() const final;
+  Cycle next_event_cycle() const final;
   const gpu::L2BankStats& stats() const final { return stats_; }
   const power::EnergyLedger& energy() const final { return energy_; }
 
@@ -97,6 +98,12 @@ class BankBase : public gpu::L2Bank {
 
   /// Implementation has in-flight work beyond the shared queues.
   virtual bool impl_idle() const { return true; }
+
+  /// Earliest absolute cycle of an implementation-scheduled deadline
+  /// (refresh due, retention expiry, threshold adaptation); kNoCycle when
+  /// none. Conservative (early) values are safe — the tick is then a no-op,
+  /// exactly as it would be in a cycle-by-cycle loop.
+  virtual Cycle impl_next_event() const { return kNoCycle; }
 
   // --- helpers for implementations ---
 

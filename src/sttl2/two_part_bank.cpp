@@ -75,21 +75,70 @@ TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
     write_energy_scale_ = config_.ewt_flip_fraction;
   }
   next_adapt_ = config_.adapt_interval;
+
+  // Intern every category/counter this bank will ever charge: per-access
+  // sites below use the dense handles only.
+  e_.lr_data_write = ledger().intern("l2.lr.data_write");
+  e_.lr_tag_update = ledger().intern("l2.lr.tag_update");
+  e_.lr_tag_probe = ledger().intern("l2.lr.tag_probe");
+  e_.lr_data_read = ledger().intern("l2.lr.data_read");
+  e_.lr_refresh = ledger().intern("l2.lr.refresh");
+  e_.hr_data_write = ledger().intern("l2.hr.data_write");
+  e_.hr_tag_update = ledger().intern("l2.hr.tag_update");
+  e_.hr_tag_probe = ledger().intern("l2.hr.tag_probe");
+  e_.hr_data_read = ledger().intern("l2.hr.data_read");
+  e_.buffer = ledger().intern("l2.buffer");
+
+  CounterSet& cs = mutable_counters();
+  c_.w_demand = cs.intern("w_demand");
+  c_.w_lr = cs.intern("w_lr");
+  c_.w_lr_hit = cs.intern("w_lr_hit");
+  c_.w_hr = cs.intern("w_hr");
+  c_.tag_probes_lr = cs.intern("tag_probes_lr");
+  c_.tag_probes_hr = cs.intern("tag_probes_hr");
+  c_.lr_phys_writes = cs.intern("lr_phys_writes");
+  c_.hr_phys_writes = cs.intern("hr_phys_writes");
+  c_.migrations = cs.intern("migrations");
+  c_.migrations_blocked = cs.intern("migrations_blocked");
+  c_.lr_evictions = cs.intern("lr_evictions");
+  c_.lr_forced_wb = cs.intern("lr_forced_wb");
+  c_.lr_forced_drop = cs.intern("lr_forced_drop");
+  c_.hr_evict_dirty = cs.intern("hr_evict_dirty");
+  c_.hr_evict_clean = cs.intern("hr_evict_clean");
+  c_.refreshes = cs.intern("refreshes");
+  c_.refresh_forced_wb = cs.intern("refresh_forced_wb");
+  c_.refresh_forced_drop = cs.intern("refresh_forced_drop");
+  c_.hr_expired_dirty = cs.intern("hr_expired_dirty");
+  c_.hr_expired_clean = cs.intern("hr_expired_clean");
+  c_.wear_rotations = cs.intern("wear_rotations");
+  c_.threshold_up = cs.intern("threshold_up");
+  c_.threshold_down = cs.intern("threshold_down");
+}
+
+Cycle TwoPartBank::impl_next_event() const {
+  Cycle next = kNoCycle;
+  if (!refresh_q_.empty() && refresh_q_.top().when < next) next = refresh_q_.top().when;
+  if (!hr_expiry_q_.empty() && hr_expiry_q_.top().when < next) next = hr_expiry_q_.top().when;
+  // The adaptation deadline must be an event even with nothing else going
+  // on: adapt_threshold() reschedules relative to the cycle it runs at, so
+  // firing late would shift every later interval.
+  if (config_.adaptive_threshold && next_adapt_ < next) next = next_adapt_;
+  return next;
 }
 
 void TwoPartBank::charge_lr_write(Addr addr) {
   ++lr_writes_since_rotation_;
-  ledger().add("l2.lr.data_write", lr_costs_.data_write_pj * write_energy_scale_);
-  ledger().add("l2.lr.tag_update", lr_costs_.tag_update_pj);
-  mutable_counters()["lr_phys_writes"] += 1;
+  ledger().add(e_.lr_data_write, lr_costs_.data_write_pj * write_energy_scale_);
+  ledger().add(e_.lr_tag_update, lr_costs_.tag_update_pj);
+  mutable_counters().at(c_.lr_phys_writes) += 1;
   const std::uint64_t set = lr_tags_.geometry().set_index(addr);
   if (const auto way = lr_tags_.probe(addr)) lr_wear_.record_write(set, *way);
 }
 
 void TwoPartBank::charge_hr_write(Addr addr) {
-  ledger().add("l2.hr.data_write", hr_costs_.data_write_pj * write_energy_scale_);
-  ledger().add("l2.hr.tag_update", hr_costs_.tag_update_pj);
-  mutable_counters()["hr_phys_writes"] += 1;
+  ledger().add(e_.hr_data_write, hr_costs_.data_write_pj * write_energy_scale_);
+  ledger().add(e_.hr_tag_update, hr_costs_.tag_update_pj);
+  mutable_counters().at(c_.hr_phys_writes) += 1;
   const std::uint64_t set = hr_tags_.geometry().set_index(addr);
   if (const auto way = hr_tags_.probe(addr)) hr_wear_.record_write(set, *way);
 }
@@ -114,7 +163,7 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
   if (fill_outstanding(line_addr)) {
     if (!replay) {
       request.is_store ? ++s.write_misses : ++s.read_misses;
-      if (request.is_store) mutable_counters()["w_demand"] += 1;
+      if (request.is_store) mutable_counters().at(c_.w_demand) += 1;
     }
     request_fill(line_addr, request, now);
     return;
@@ -126,14 +175,14 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
   Cycle search_lat = 0;
   const Addr lr_key = to_lr(line_addr);
   const auto probe_lr = [&] {
-    mutable_counters()["tag_probes_lr"] += 1;
-    ledger().add("l2.lr.tag_probe", lr_costs_.tag_probe_pj);
+    mutable_counters().at(c_.tag_probes_lr) += 1;
+    ledger().add(e_.lr_tag_probe, lr_costs_.tag_probe_pj);
     way = lr_tags_.probe(lr_key);
     in_lr = way.has_value();
   };
   const auto probe_hr = [&] {
-    mutable_counters()["tag_probes_hr"] += 1;
-    ledger().add("l2.hr.tag_probe", hr_costs_.tag_probe_pj);
+    mutable_counters().at(c_.tag_probes_hr) += 1;
+    ledger().add(e_.hr_tag_probe, hr_costs_.tag_probe_pj);
     way = hr_tags_.probe(line_addr);
     in_hr = way.has_value();
   };
@@ -166,7 +215,7 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
   const Cycle start = now + search_lat;
 
   if (request.is_store) {
-    if (!replay) mutable_counters()["w_demand"] += 1;
+    if (!replay) mutable_counters().at(c_.w_demand) += 1;
     if (in_lr) {
       if (!replay) ++s.write_hits;
       const Cycle done = lr_write_hit(lr_key, *way, start);
@@ -189,7 +238,7 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
     if (!replay) ++s.read_hits;
     hr_tags_.touch(line_addr, *way);
     const Cycle done = hr_data_.occupy(line_addr, start, hr_read_occ_);
-    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+    ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
     respond(request, done + config_.pipeline_cycles);
     return;
   }
@@ -197,7 +246,7 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
     if (!replay) ++s.read_hits;
     lr_tags_.touch(lr_key, *way);
     const Cycle done = lr_data_.occupy(lr_key, start, lr_read_occ_);
-    ledger().add("l2.lr.data_read", lr_costs_.data_read_pj);
+    ledger().add(e_.lr_data_read, lr_costs_.data_read_pj);
     respond(request, done + config_.pipeline_cycles);
     return;
   }
@@ -219,8 +268,8 @@ Cycle TwoPartBank::lr_write_hit(Addr lr_key, unsigned way, Cycle start) {
 
   const Cycle done = lr_data_.occupy(line_addr, start, lr_write_occ_);
   charge_lr_write(line_addr);
-  mutable_counters()["w_lr"] += 1;
-  mutable_counters()["w_lr_hit"] += 1;  // served directly by an LR hit
+  mutable_counters().at(c_.w_lr) += 1;
+  mutable_counters().at(c_.w_lr_hit) += 1;  // served directly by an LR hit
   return done;
 }
 
@@ -231,13 +280,13 @@ Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
 
   if (line.write_count >= threshold_ && !hr2lr_.full(start)) {
     // WWS monitor fired: migrate this block to LR and perform the write there.
-    mutable_counters()["migrations"] += 1;
+    mutable_counters().at(c_.migrations) += 1;
     ++interval_migrations_;
     const std::uint32_t wc = line.write_count + 1;
     hr_data_.occupy(line_addr, start, hr_read_occ_);  // read the block out of HR
-    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
-    ledger().add("l2.hr.tag_update", hr_costs_.tag_update_pj);
-    ledger().add("l2.buffer", buffer_entry_pj_);
+    ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
+    ledger().add(e_.hr_tag_update, hr_costs_.tag_update_pj);
+    ledger().add(e_.buffer, buffer_entry_pj_);
     hr_tags_.invalidate(line_addr, way);
 
     const Cycle done = lr_install(line_addr, /*dirty=*/true, wc, start, start);
@@ -245,7 +294,7 @@ Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
     return done;
   }
 
-  if (line.write_count >= threshold_) mutable_counters()["migrations_blocked"] += 1;
+  if (line.write_count >= threshold_) mutable_counters().at(c_.migrations_blocked) += 1;
 
   hr_tags_.touch(line_addr, way);
   line.dirty = true;
@@ -256,7 +305,7 @@ Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
 
   const Cycle done = hr_data_.occupy(line_addr, start, hr_write_occ_);
   charge_hr_write(line_addr);
-  mutable_counters()["w_hr"] += 1;
+  mutable_counters().at(c_.w_hr) += 1;
   return done;
 }
 
@@ -276,7 +325,7 @@ Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
 
   const Cycle done = lr_data_.occupy(key, now, lr_write_occ_);
   charge_lr_write(key);
-  mutable_counters()["w_lr"] += 1;
+  mutable_counters().at(c_.w_lr) += 1;
   return done;
 }
 
@@ -284,15 +333,15 @@ void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
   const cache::LineMeta old = lr_tags_.line(set, way);
   const Addr key = lr_tags_.geometry().addr_of_tag(old.tag);
   const Addr addr = from_lr(key);  // back to true address space
-  mutable_counters()["lr_evictions"] += 1;
+  mutable_counters().at(c_.lr_evictions) += 1;
   ++interval_evictions_;
 
   lr_data_.occupy(key, now, lr_read_occ_);  // read the block out of LR
-  ledger().add("l2.lr.data_read", lr_costs_.data_read_pj);
+  ledger().add(e_.lr_data_read, lr_costs_.data_read_pj);
   lr_tags_.invalidate(key, way);
 
   if (!lr2hr_.full(now)) {
-    ledger().add("l2.buffer", buffer_entry_pj_);
+    ledger().add(e_.buffer, buffer_entry_pj_);
     // The write counter counts writes since (re)insertion into HR and
     // restarts here. With TH1 the monitor is the modified bit, which a
     // dirty block naturally carries back into HR (the paper's free WWS
@@ -305,9 +354,9 @@ void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
   // Paper: on buffer full, dirty lines are forced to main memory.
   if (old.dirty) {
     dram_writeback(addr, now);
-    mutable_counters()["lr_forced_wb"] += 1;
+    mutable_counters().at(c_.lr_forced_wb) += 1;
   } else {
-    mutable_counters()["lr_forced_drop"] += 1;
+    mutable_counters().at(c_.lr_forced_drop) += 1;
   }
 }
 
@@ -316,12 +365,13 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
   const std::uint64_t set = hr_tags_.geometry().set_index(addr);
   const cache::LineMeta& old = hr_tags_.line(set, victim);
   if (old.valid && old.dirty) {
-    hr_data_.occupy(hr_tags_.geometry().addr_of_tag(old.tag), now, hr_read_occ_);
-    ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
-    dram_writeback(hr_tags_.geometry().addr_of_tag(old.tag), now);
-    mutable_counters()["hr_evict_dirty"] += 1;
+    const Addr victim_addr = hr_tags_.geometry().addr_of_tag(old.tag);
+    hr_data_.occupy(victim_addr, now, hr_read_occ_);
+    ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
+    dram_writeback(victim_addr, now);
+    mutable_counters().at(c_.hr_evict_dirty) += 1;
   } else if (old.valid) {
-    mutable_counters()["hr_evict_clean"] += 1;
+    mutable_counters().at(c_.hr_evict_clean) += 1;
   }
 
   cache::LineMeta& line = hr_tags_.fill(addr, victim, now);
@@ -367,7 +417,7 @@ void TwoPartBank::rotate_lr_mapping(Cycle now) {
   }
   lr_offset_ = (lr_offset_ + 1) % lr_tags_.geometry().num_sets();
   lr_writes_since_rotation_ = 0;
-  mutable_counters()["wear_rotations"] += 1;
+  mutable_counters().at(c_.wear_rotations) += 1;
 }
 
 void TwoPartBank::adapt_threshold(Cycle now) {
@@ -381,10 +431,10 @@ void TwoPartBank::adapt_threshold(Cycle now) {
                          static_cast<double>(interval_migrations_);
     if (churn > 0.5 && threshold_ < config_.max_threshold) {
       ++threshold_;
-      mutable_counters()["threshold_up"] += 1;
+      mutable_counters().at(c_.threshold_up) += 1;
     } else if (churn < 0.25 && threshold_ > config_.write_threshold) {
       --threshold_;
-      mutable_counters()["threshold_down"] += 1;
+      mutable_counters().at(c_.threshold_down) += 1;
     }
   }
   interval_migrations_ = 0;
@@ -403,10 +453,10 @@ void TwoPartBank::do_refresh(Cycle now) {
       const Addr raddr = lr_tags_.geometry().addr_of_tag(line.tag);
       lr_data_.occupy(raddr, now, lr_read_occ_);
       const Cycle done = lr_data_.occupy(raddr, now, lr_write_occ_);
-      ledger().add("l2.lr.refresh",
+      ledger().add(e_.lr_refresh,
                    lr_costs_.data_read_pj + lr_costs_.data_write_pj * write_energy_scale_);
-      mutable_counters()["refreshes"] += 1;
-      mutable_counters()["lr_phys_writes"] += 1;
+      mutable_counters().at(c_.refreshes) += 1;
+      mutable_counters().at(c_.lr_phys_writes) += 1;
       lr_wear_.record_write(e.set, e.way);
       line.retention_deadline = lr_retention_.deadline(now);
       refresh_q_.push({lr_retention_.refresh_due(now), e.set, e.way, line.retention_deadline});
@@ -417,9 +467,9 @@ void TwoPartBank::do_refresh(Cycle now) {
     const Addr key = lr_tags_.geometry().addr_of_tag(line.tag);
     if (line.dirty) {
       dram_writeback(from_lr(key), now);
-      mutable_counters()["refresh_forced_wb"] += 1;
+      mutable_counters().at(c_.refresh_forced_wb) += 1;
     } else {
-      mutable_counters()["refresh_forced_drop"] += 1;
+      mutable_counters().at(c_.refresh_forced_drop) += 1;
     }
     lr_tags_.invalidate(key, e.way);
   }
@@ -434,11 +484,11 @@ void TwoPartBank::do_hr_expiry(Cycle now) {
     const Addr addr = hr_tags_.geometry().addr_of_tag(line.tag);
     if (line.dirty) {
       hr_data_.occupy(addr, now, hr_read_occ_);
-      ledger().add("l2.hr.data_read", hr_costs_.data_read_pj);
+      ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
       dram_writeback(addr, now);
-      mutable_counters()["hr_expired_dirty"] += 1;
+      mutable_counters().at(c_.hr_expired_dirty) += 1;
     } else {
-      mutable_counters()["hr_expired_clean"] += 1;
+      mutable_counters().at(c_.hr_expired_clean) += 1;
     }
     hr_tags_.invalidate(addr, e.way);
   }

@@ -97,6 +97,7 @@ class TwoPartBank final : public BankBase {
   void process_request(const gpu::L2Request& request, Cycle now) override;
   void process_fill(Addr line_addr, Cycle now) override;
   void maintenance(Cycle now) override;
+  Cycle impl_next_event() const override;
 
  private:
   struct TimedLineRef {
@@ -180,6 +181,25 @@ class TwoPartBank final : public BankBase {
   // Wear-leveling state (extension; inert when disabled).
   std::uint64_t lr_offset_ = 0;
   std::uint64_t lr_writes_since_rotation_ = 0;
+
+  // Ledger/counter handles, interned once at construction so the per-access
+  // path indexes vectors instead of hashing category/counter names.
+  struct EnergyIds {
+    power::EnergyId lr_data_write, lr_tag_update, lr_tag_probe, lr_data_read, lr_refresh;
+    power::EnergyId hr_data_write, hr_tag_update, hr_tag_probe, hr_data_read;
+    power::EnergyId buffer;
+  } e_;
+  struct CounterIds {
+    CounterId w_demand, w_lr, w_lr_hit, w_hr;
+    CounterId tag_probes_lr, tag_probes_hr;
+    CounterId lr_phys_writes, hr_phys_writes;
+    CounterId migrations, migrations_blocked, lr_evictions;
+    CounterId lr_forced_wb, lr_forced_drop;
+    CounterId hr_evict_dirty, hr_evict_clean;
+    CounterId refreshes, refresh_forced_wb, refresh_forced_drop;
+    CounterId hr_expired_dirty, hr_expired_clean;
+    CounterId wear_rotations, threshold_up, threshold_down;
+  } c_;
 };
 
 }  // namespace sttgpu::sttl2

@@ -40,6 +40,20 @@ UniformBank::UniformBank(unsigned bank_id, const UniformBankConfig& config,
                    "UniformBank: ewt_flip_fraction must be in (0, 1]");
     write_energy_scale_ = config_.ewt_flip_fraction;
   }
+  e_.tag_probe = ledger().intern("l2.tag_probe");
+  e_.tag_update = ledger().intern("l2.tag_update");
+  e_.data_read = ledger().intern("l2.data_read");
+  e_.data_write = ledger().intern("l2.data_write");
+  c_.evict_dirty = mutable_counters().intern("evict_dirty");
+  c_.evict_clean = mutable_counters().intern("evict_clean");
+  c_.expired_dirty = mutable_counters().intern("expired_dirty");
+  c_.expired_clean = mutable_counters().intern("expired_clean");
+}
+
+Cycle UniformBank::impl_next_event() const {
+  // Possibly-stale entries are fine: the tick at entry.deadline pops and
+  // discards them, exactly as the per-cycle loop does.
+  return expiry_.empty() ? kNoCycle : expiry_.top().deadline;
 }
 
 void UniformBank::schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline) {
@@ -64,7 +78,7 @@ void UniformBank::process_request(const gpu::L2Request& request, Cycle now) {
   const Addr line_addr = line_base(request.addr);
   auto& s = mutable_stats();
 
-  ledger().add("l2.tag_probe", costs_.tag_probe_pj);
+  ledger().add(e_.tag_probe, costs_.tag_probe_pj);
 
   // A line with an outstanding fill is not yet present; merge.
   if (fill_outstanding(line_addr)) {
@@ -81,14 +95,14 @@ void UniformBank::process_request(const gpu::L2Request& request, Cycle now) {
     if (request.is_store) {
       ++s.write_hits;
       const Cycle done = data_.occupy(line_addr, now, write_occ_);
-      ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
-      ledger().add("l2.tag_update", costs_.tag_update_pj);
+      ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+      ledger().add(e_.tag_update, costs_.tag_update_pj);
       write_line(line, set, *way, now);
       respond(request, done + tag_lat_ + config_.pipeline_cycles);
     } else {
       ++s.read_hits;
       const Cycle done = data_.occupy(line_addr, now, read_occ_);
-      ledger().add("l2.data_read", costs_.data_read_pj);
+      ledger().add(e_.data_read, costs_.data_read_pj);
       respond(request, done + tag_lat_ + config_.pipeline_cycles);
     }
     return;
@@ -106,18 +120,18 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
   if (old.valid && old.dirty) {
     const Addr victim_addr = tags_.geometry().addr_of_tag(old.tag);
     data_.occupy(victim_addr, now, read_occ_);  // read the victim out
-    ledger().add("l2.data_read", costs_.data_read_pj);
+    ledger().add(e_.data_read, costs_.data_read_pj);
     dram_writeback(victim_addr, now);
-    mutable_counters()["evict_dirty"] += 1;
+    mutable_counters().at(c_.evict_dirty) += 1;
   } else if (old.valid) {
-    mutable_counters()["evict_clean"] += 1;
+    mutable_counters().at(c_.evict_clean) += 1;
   }
 
   // Install the line (a full-line write into the data array).
   cache::LineMeta& line = tags_.fill(line_addr, victim, now);
   Cycle done = data_.occupy(line_addr, now, write_occ_);
-  ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
-  ledger().add("l2.tag_update", costs_.tag_update_pj);
+  ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+  ledger().add(e_.tag_update, costs_.tag_update_pj);
   if (retention_cycles_ != 0) {
     line.retention_deadline = now + retention_cycles_;
     schedule_expiry(set, victim, line.retention_deadline);
@@ -129,7 +143,7 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
   for (const auto& req : w.reads) respond(req, done + tag_lat_ + config_.pipeline_cycles);
   for (const auto& req : w.writes) {
     done = data_.occupy(line_addr, now, write_occ_);
-    ledger().add("l2.data_write", costs_.data_write_pj * write_energy_scale_);
+    ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
     write_line(line, set, victim, now);
     respond(req, done + tag_lat_ + config_.pipeline_cycles);
   }
@@ -144,11 +158,11 @@ void UniformBank::maintenance(Cycle now) {
     const Addr addr = tags_.geometry().addr_of_tag(line.tag);
     if (line.dirty) {
       data_.occupy(addr, now, read_occ_);
-      ledger().add("l2.data_read", costs_.data_read_pj);
+      ledger().add(e_.data_read, costs_.data_read_pj);
       dram_writeback(addr, now);
-      mutable_counters()["expired_dirty"] += 1;
+      mutable_counters().at(c_.expired_dirty) += 1;
     } else {
-      mutable_counters()["expired_clean"] += 1;
+      mutable_counters().at(c_.expired_clean) += 1;
     }
     tags_.invalidate(addr, e.way);
   }

@@ -38,6 +38,7 @@ class UniformBank final : public BankBase {
   void process_request(const gpu::L2Request& request, Cycle now) override;
   void process_fill(Addr line_addr, Cycle now) override;
   void maintenance(Cycle now) override;
+  Cycle impl_next_event() const override;
 
  private:
   struct ExpiryEntry {
@@ -66,6 +67,14 @@ class UniformBank final : public BankBase {
   RewriteTracker rewrites_;
   cache::WriteVariationTracker write_var_;
   double write_energy_scale_ = 1.0;  ///< EWT factor (1.0 when disabled)
+
+  // Handles interned once at construction for the per-access path.
+  struct EnergyIds {
+    power::EnergyId tag_probe, tag_update, data_read, data_write;
+  } e_;
+  struct CounterIds {
+    CounterId evict_dirty, evict_clean, expired_dirty, expired_clean;
+  } c_;
 };
 
 }  // namespace sttgpu::sttl2

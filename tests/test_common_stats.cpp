@@ -97,5 +97,38 @@ TEST(CounterSet, GetAndMerge) {
   EXPECT_EQ(a.get("missing"), 0u);
 }
 
+TEST(CounterSet, InternedHandlesAliasStringKeys) {
+  CounterSet c;
+  const CounterId id = c.intern("hits");
+  EXPECT_EQ(c.intern("hits"), id);  // idempotent
+  c.at(id) += 5;
+  c["hits"] += 2;
+  EXPECT_EQ(c.get("hits"), 7u);
+  EXPECT_EQ(c.at(id), 7u);
+  // Interning alone creates the counter at zero (visible in all()).
+  const CounterId other = c.intern("misses");
+  EXPECT_EQ(c.at(other), 0u);
+  const auto all = c.all();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("misses"), 0u);
+}
+
+TEST(Histogram, CumulativeFractionTracksLaterAdds) {
+  // The prefix sums are cached; adding afterwards must invalidate the cache.
+  Histogram h({10, 20});
+  h.add(5);
+  h.add(5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 1.0);
+  h.add(15);
+  h.add(25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(2), 1.0);
+  h.reset();
+  h.add(25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(2), 1.0);
+}
+
 }  // namespace
 }  // namespace sttgpu

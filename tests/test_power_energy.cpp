@@ -32,6 +32,35 @@ TEST(EnergyLedger, MergeAndReset) {
   EXPECT_TRUE(a.categories().empty());
 }
 
+TEST(EnergyLedger, InternedHandlesAliasStringCategories) {
+  EnergyLedger l;
+  const EnergyId id = l.intern("l2.write");
+  EXPECT_EQ(l.intern("l2.write"), id);  // idempotent
+  l.add(id, 2.0);
+  l.add("l2.write", 3.0);
+  EXPECT_DOUBLE_EQ(l.category_pj("l2.write"), 5.0);
+  EXPECT_DOUBLE_EQ(l.total_pj(), 5.0);
+  // Interning alone creates the category at zero (visible in categories()).
+  l.intern("l2.read");
+  const auto cats = l.categories();
+  EXPECT_EQ(cats.size(), 2u);
+  EXPECT_DOUBLE_EQ(cats.at("l2.read"), 0.0);
+}
+
+TEST(EnergyLedger, MergeResolvesByNameNotById) {
+  // The same category can have different ids in different ledgers (banks
+  // intern in construction order); merge must match by name.
+  EnergyLedger a, b;
+  a.intern("alpha");
+  a.add("beta", 1.0);
+  b.add("beta", 2.0);
+  b.add("alpha", 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.category_pj("alpha"), 4.0);
+  EXPECT_DOUBLE_EQ(a.category_pj("beta"), 3.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 7.0);
+}
+
 TEST(PowerReport, ConvertsEnergyToWatts) {
   EnergyLedger ledger;
   ledger.add("x", 1e12);  // 1 J

@@ -57,7 +57,8 @@ int cmd_run(const Config& cfg) {
   const std::string benchmark = cfg.get_string("benchmark", "bfs");
   const double scale = cfg.get_double("scale", 0.5);
 
-  const sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
+  sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
+  spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
   const workload::Workload w = workload::make_benchmark(benchmark, scale);
   gpu::RunResult run;
   const sim::Metrics m = sim::run_one_detailed(spec, w, run);
@@ -89,7 +90,8 @@ int cmd_matrix(const Config& cfg) {
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
   const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
+  const bool fast_forward = cfg.get_int("fastforward", 1) != 0;
+  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs, fast_forward);
 
   TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
   for (const auto& m : rows) {
@@ -108,8 +110,9 @@ int cmd_matrix(const Config& cfg) {
 }
 
 int cmd_record(const Config& cfg) {
-  const sim::ArchSpec spec =
+  sim::ArchSpec spec =
       sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "sram")));
+  spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
   const workload::Workload w =
       workload::make_benchmark(cfg.get_string("benchmark", "bfs"), cfg.get_double("scale", 0.5));
   const std::string path = cfg.get_string("trace", "l2.trace");
@@ -144,7 +147,9 @@ int usage() {
                "  run:    arch=<sram|stt-base|C1|C2|C3> benchmark=<name> [scale=] [json=]\n"
                "  matrix: [scale=] [cache=] [jobs=] [json=]\n"
                "  record: arch= benchmark= trace=<path> [scale=]\n"
-               "  replay: trace=<path> arch=\n";
+               "  replay: trace=<path> arch=\n"
+               "  run/matrix/record also accept fastforward=<0|1> (default 1): toggles the\n"
+               "  event-driven idle-cycle skip in the simulator core; results are identical.\n";
   return 2;
 }
 
