@@ -24,6 +24,7 @@ struct LineMeta {
   Cycle insert_cycle = 0;
   Cycle last_write_cycle = kNoCycle;   ///< kNoCycle until first write
   Cycle retention_deadline = kNoCycle; ///< cycle at which data expires (STT parts)
+  Cycle fault_check_cycle = kNoCycle;  ///< last fault evaluation (fault injection only)
 };
 
 class TagArray {

@@ -23,7 +23,7 @@ void Sm::start_kernel(const workload::KernelSpec& kernel, std::deque<unsigned> b
   STTGPU_REQUIRE(resident_blocks > 0, "Sm: need at least one resident block slot");
   STTGPU_ASSERT_MSG(active_warps_ == 0, "Sm: previous kernel still running");
 
-  kernel_ = &kernel;
+  kernel_ = kernel;
   block_queue_ = std::move(block_queue);
   warps_in_grid_ = warps_in_grid;
   workload_seed_ = workload_seed;
@@ -50,7 +50,7 @@ void Sm::launch_block(unsigned slot, Cycle /*now*/) {
     WarpCtx& ctx = warps_[idx];
     const std::uint64_t warp_global =
         static_cast<std::uint64_t>(block_id) * warps_per_block_ + w;
-    ctx.stream.emplace(*kernel_, warp_global, warps_in_grid_, workload_seed_);
+    ctx.stream.emplace(kernel_, warp_global, warps_in_grid_, workload_seed_);
     ctx.pending.reset();
     ctx.state = WarpState::kReady;
     ctx.ready_at = 0;

@@ -48,6 +48,8 @@ class Sm {
   Sm(unsigned id, const GpuConfig& config, std::uint64_t seed);
 
   /// Begins executing @p kernel with the given block queue and residency.
+  /// The spec is copied: the caller's object need not outlive the kernel
+  /// (warp streams launched later reference the SM's own copy).
   void start_kernel(const workload::KernelSpec& kernel, std::deque<unsigned> block_queue,
                     unsigned resident_blocks, std::uint64_t warps_in_grid,
                     std::uint64_t workload_seed);
@@ -125,7 +127,7 @@ class Sm {
   L1Complex l1_;
 
   // Kernel state
-  const workload::KernelSpec* kernel_ = nullptr;
+  workload::KernelSpec kernel_;  ///< owned copy; WarpStreams point into it
   std::deque<unsigned> block_queue_;
   std::uint64_t warps_in_grid_ = 0;
   std::uint64_t workload_seed_ = 0;

@@ -19,14 +19,18 @@ std::mutex& stderr_mutex() {
   return m;
 }
 
-[[noreturn]] void rethrow_labelled(const Job& job, const std::exception_ptr& eptr) {
+std::string describe(const std::exception_ptr& eptr) {
   try {
     std::rethrow_exception(eptr);
   } catch (const std::exception& e) {
-    throw SimError("job '" + job.label + "' failed: " + e.what());
+    return e.what();
   } catch (...) {
-    throw SimError("job '" + job.label + "' failed with a non-standard exception");
+    return "non-standard exception";
   }
+}
+
+[[noreturn]] void rethrow_labelled(const Job& job, const std::exception_ptr& eptr) {
+  throw SimError("job '" + job.label + "' failed: " + describe(eptr));
 }
 
 }  // namespace
@@ -80,11 +84,26 @@ void run_jobs(std::vector<Job> jobs, unsigned n_threads) {
   for (std::size_t t = 0; t < want; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
 
-  // Report deterministically: the failure with the lowest job index, even
-  // if a later job happened to fail first in wall-clock order.
+  // Aggregate every captured failure into one deterministic SimError,
+  // ordered by job index (not wall-clock failure order): a sweep that lost
+  // three runs reports all three, not just the lowest-index one.
+  std::vector<std::size_t> failed_idx;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (errors[i]) rethrow_labelled(jobs[i], errors[i]);
+    if (errors[i]) failed_idx.push_back(i);
   }
+  if (failed_idx.empty()) return;
+  if (failed_idx.size() == 1) rethrow_labelled(jobs[failed_idx[0]], errors[failed_idx[0]]);
+
+  constexpr std::size_t kMaxDetailed = 5;
+  std::string msg = std::to_string(failed_idx.size()) + " jobs failed:";
+  for (std::size_t k = 0; k < failed_idx.size() && k < kMaxDetailed; ++k) {
+    const std::size_t i = failed_idx[k];
+    msg += "\n  job '" + jobs[i].label + "': " + describe(errors[i]);
+  }
+  if (failed_idx.size() > kMaxDetailed) {
+    msg += "\n  ... and " + std::to_string(failed_idx.size() - kMaxDetailed) + " more";
+  }
+  throw SimError(msg);
 }
 
 void log_line(const std::string& line) {

@@ -9,10 +9,12 @@
 //   * n_threads == 1 runs every job inline on the calling thread, with no
 //     threads spawned — bit-for-bit the old sequential behaviour.
 //   * Per-job exception capture: a throwing job does not tear down the
-//     pool. After all in-flight work drains, the failure with the lowest
-//     job index is re-thrown as SimError naming the job's label (for the
-//     matrix: "arch/benchmark"). Once a failure is recorded, not-yet-
-//     started jobs are skipped (fail fast), matching sequential semantics.
+//     pool. After all in-flight work drains, every captured failure is
+//     aggregated into one SimError, ordered by job index (labels for the
+//     first 5, then a count of the rest); a single failure keeps the exact
+//     "job '<label>' failed: <what>" message. Once a failure is recorded,
+//     not-yet-started jobs are skipped (fail fast), matching sequential
+//     semantics — in-flight jobs may still fail and are all reported.
 //   * Serialized progress: log_line() writes whole lines to stderr under a
 //     mutex so concurrent jobs never interleave mid-line.
 #pragma once

@@ -1,8 +1,57 @@
 #include "sim/report.hpp"
 
 #include "common/json.hpp"
+#include "sttl2/reliability.hpp"
+#include "sttl2/two_part_bank.hpp"
+#include "sttl2/uniform_bank.hpp"
 
 namespace sttgpu::sim {
+
+namespace {
+
+void add_fault_stream(FaultSummary& s, const sttl2::FaultModel& fm) {
+  if (!fm.enabled()) return;
+  s.enabled = true;
+  s.trials += fm.trials();
+  s.collapses += fm.collapses();
+  s.expected += fm.expected_collapses();
+  // Re-score the injector's own lifetime histogram with the analytic model:
+  // refresh_period 0 because realized lifetimes are already refresh-truncated.
+  s.predicted += sttl2::analyze_reliability(fm.lifetimes_ns(), fm.retention_s(),
+                                            /*refresh_period_s=*/0.0,
+                                            fm.overflow_lifetime_ns(),
+                                            fm.effective_spec_margin())
+                     .expected_failures;
+}
+
+void add_fault_counters(FaultSummary& s, const CounterSet& c) {
+  s.ecc_corrected += c.get("fault_ecc_corrected");
+  s.ecc_detected += c.get("fault_ecc_detected");
+  s.clean_refetch += c.get("fault_clean_refetch");
+  s.data_loss += c.get("fault_data_loss");
+  s.wv_retries += c.get("fault_wv_retries");
+  s.wv_escalations += c.get("fault_wv_escalations");
+}
+
+}  // namespace
+
+FaultSummary collect_fault_summary(gpu::Gpu& g) {
+  FaultSummary s;
+  for (unsigned i = 0; i < g.num_banks(); ++i) {
+    gpu::L2Bank& bank = g.bank(i);
+    if (const auto* tp = dynamic_cast<const sttl2::TwoPartBank*>(&bank)) {
+      add_fault_stream(s, tp->lr_faults());
+      add_fault_stream(s, tp->hr_faults());
+      if (tp->lr_faults().enabled() || tp->hr_faults().enabled()) {
+        add_fault_counters(s, tp->counters());
+      }
+    } else if (const auto* un = dynamic_cast<const sttl2::UniformBank*>(&bank)) {
+      add_fault_stream(s, un->faults());
+      if (un->faults().enabled()) add_fault_counters(s, un->counters());
+    }
+  }
+  return s;
+}
 
 namespace {
 
@@ -40,7 +89,8 @@ void write_matrix_json(std::ostream& os, const std::vector<Metrics>& rows) {
   w.end_object();
 }
 
-void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run) {
+void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run,
+                    const FaultSummary* faults) {
   JsonWriter w(os);
   w.begin_object();
   w.key("metrics").begin_object();
@@ -75,6 +125,21 @@ void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResu
   w.key("idle_cycles").value(run.sm.idle_cycles);
   w.key("stall_cycles").value(run.sm.stall_cycles);
   w.end_object();
+
+  if (faults != nullptr && faults->enabled) {
+    w.key("faults").begin_object();
+    w.key("trials").value(faults->trials);
+    w.key("injected_collapses").value(faults->collapses);
+    w.key("expected_collapses").value(faults->expected);
+    w.key("predicted_collapses").value(faults->predicted);
+    w.key("ecc_corrected").value(faults->ecc_corrected);
+    w.key("ecc_detected").value(faults->ecc_detected);
+    w.key("clean_refetch").value(faults->clean_refetch);
+    w.key("data_loss").value(faults->data_loss);
+    w.key("write_verify_retries").value(faults->wv_retries);
+    w.key("write_verify_escalations").value(faults->wv_escalations);
+    w.end_object();
+  }
   w.end_object();
 }
 

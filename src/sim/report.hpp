@@ -15,9 +15,35 @@ void write_metrics_json(std::ostream& os, const Metrics& metrics);
 /// A matrix of runs: {"runs": [ {...}, ... ]}.
 void write_matrix_json(std::ostream& os, const std::vector<Metrics>& rows);
 
+/// Aggregated fault-injection outcome of one run (summed over every bank
+/// and array part), with the analytic cross-check: `predicted` re-scores
+/// the exact lifetimes the injector evaluated with analyze_reliability, so
+/// injected/predicted converging is the end-to-end validation of the
+/// subsystem (tests/test_sttl2_faults.cpp automates it).
+struct FaultSummary {
+  bool enabled = false;
+  std::uint64_t trials = 0;     ///< evaluated data lifetimes
+  std::uint64_t collapses = 0;  ///< injected retention collapses
+  double expected = 0.0;        ///< exact analytic expectation (sum of p_i)
+  double predicted = 0.0;       ///< analyze_reliability over the same lifetimes
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_detected = 0;
+  std::uint64_t clean_refetch = 0;
+  std::uint64_t data_loss = 0;
+  std::uint64_t wv_retries = 0;
+  std::uint64_t wv_escalations = 0;
+};
+
+/// Walks the live GPU's banks (TwoPartBank / UniformBank) and sums their
+/// fault streams. enabled stays false when no bank injects faults.
+FaultSummary collect_fault_summary(gpu::Gpu& g);
+
 /// A full run with the implementation counters and per-category energy:
 /// {"arch": ..., "benchmark": ..., "metrics": {...}, "counters": {...},
-///  "energy_pj": {...}}.
-void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run);
+///  "energy_pj": {...}}. When @p faults is non-null and enabled, a
+/// "faults" object with the injected/predicted cross-check is appended
+/// (output is byte-identical to before when absent).
+void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run,
+                    const FaultSummary* faults = nullptr);
 
 }  // namespace sttgpu::sim

@@ -45,11 +45,13 @@ Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
 }
 
 Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
-                         gpu::RunResult& out_run) {
+                         gpu::RunResult& out_run, const BankInspector& inspect) {
   auto factory = make_factory(spec);
   gpu::Gpu g(spec.gpu, *factory);
   out_run = g.run(workload);
-  return metrics_from(spec, workload, out_run);
+  const Metrics m = metrics_from(spec, workload, out_run);
+  if (inspect) inspect(g);
+  return m;
 }
 
 namespace {
@@ -188,7 +190,7 @@ namespace {
 // Serializes everything a cached Metrics row depends on: the resolved
 // architecture registry (cache geometry, cell/energy parameters, GPU
 // model) and the benchmark suite. Any change to these invalidates caches.
-std::uint64_t compute_config_fingerprint() {
+std::string compute_config_serialization() {
   std::ostringstream os;
   os << std::setprecision(17);
   os << kCacheMagic;
@@ -231,20 +233,35 @@ std::uint64_t compute_config_fingerprint() {
     os << "|bench:" << w.name << ':' << w.region << ':' << w.seed << ':'
        << w.kernels.size() << ':' << w.total_instructions();
   }
-  return fnv1a(os.str());
+  return os.str();
+}
+
+const std::string& config_serialization() {
+  // The registry and suite are compile-time fixed, so serialize them once;
+  // write-through persistence fingerprints after every completed run.
+  static const std::string s = compute_config_serialization();
+  return s;
 }
 
 }  // namespace
 
-std::uint64_t config_fingerprint() {
-  // The registry and suite are compile-time fixed, so hash them once;
-  // write-through persistence calls this after every completed run.
-  static const std::uint64_t fp = compute_config_fingerprint();
-  return fp;
+std::uint64_t config_fingerprint() { return fnv1a(config_serialization()); }
+
+std::uint64_t config_fingerprint(const sttl2::FaultInjectionConfig& faults) {
+  // Disabled faults contribute no tokens: the hash — and therefore every
+  // existing baseline cache — is exactly what it was before the fault
+  // subsystem existed.
+  if (!faults.enabled) return config_fingerprint();
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "|faults:1:" << faults.seed << ':' << faults.accel << ':' << faults.ecc << ':'
+     << faults.spec_margin << ':' << faults.write_fail_prob << ':'
+     << faults.write_retry_limit;
+  return fnv1a(config_serialization() + os.str());
 }
 
-std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path,
-                                                                  double scale) {
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(
+    const std::string& path, double scale, const sttl2::FaultInjectionConfig& faults) {
   std::map<std::pair<std::string, std::string>, Metrics> cache;
   std::ifstream in(path);
   if (!in) return cache;
@@ -270,7 +287,7 @@ std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::str
     return cache;
   }
   std::ostringstream want;
-  want << std::hex << config_fingerprint();
+  want << std::hex << config_fingerprint(faults);
   if (*file_config != want.str()) {
     std::cerr << "[cache] " << path
               << ": simulator config fingerprint mismatch (cache " << *file_config
@@ -297,7 +314,8 @@ std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::str
   return cache;
 }
 
-void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows) {
+void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows,
+                const sttl2::FaultInjectionConfig& faults) {
   // Write-through callers persist after every run: write to a temp file and
   // rename so a crash mid-write never leaves a truncated cache behind.
   const std::string tmp = path + ".tmp";
@@ -306,7 +324,7 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
     STTGPU_REQUIRE(static_cast<bool>(out), "cannot write result cache: " + tmp);
     out << std::setprecision(17);
     out << kCacheMagic << " scale=" << format_scale(scale) << " config=" << std::hex
-        << config_fingerprint() << std::dec << '\n';
+        << config_fingerprint(faults) << std::dec << '\n';
     out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n";
     for (const Metrics& m : rows) {
       out << m.arch << ',' << m.benchmark << ',' << m.ipc << ',' << m.cycles << ','
@@ -322,19 +340,19 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
                                 const std::string& cache_path, unsigned jobs,
-                                bool fast_forward) {
+                                bool fast_forward, const sttl2::FaultInjectionConfig& faults) {
   return run_matrix(archs, workload::benchmark_names(), scale, cache_path, jobs,
-                    fast_forward);
+                    fast_forward, faults);
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
                                 const std::vector<std::string>& benchmarks, double scale,
                                 const std::string& cache_path, unsigned jobs,
-                                bool fast_forward) {
+                                bool fast_forward, const sttl2::FaultInjectionConfig& faults) {
   const unsigned n_threads = jobs == 0 ? default_jobs() : jobs;
   auto cache = cache_path.empty()
                    ? std::map<std::pair<std::string, std::string>, Metrics>{}
-                   : load_cache(cache_path, scale);
+                   : load_cache(cache_path, scale, faults);
 
   // Lay out the result slots up front: results are collected by slot index,
   // so the returned order is (arch, benchmark) regardless of completion
@@ -350,6 +368,11 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   for (const Architecture arch : archs) {
     ArchSpec spec = make_arch(arch);
     spec.gpu.fast_forward = fast_forward;
+    if (spec.two_part) {
+      spec.two_part_cfg.faults = faults;
+    } else {
+      spec.uniform.faults = faults;
+    }
     for (const std::string& name : benchmarks) {
       if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
         rows[slot] = it->second;
@@ -360,11 +383,11 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
     }
   }
 
-  const auto persist = [&cache, &cache_path, scale]() {
+  const auto persist = [&cache, &cache_path, scale, &faults]() {
     std::vector<Metrics> all;
     all.reserve(cache.size());
     for (const auto& [k, v] : cache) all.push_back(v);
-    save_cache(cache_path, scale, all);
+    save_cache(cache_path, scale, all, faults);
   };
 
   if (!pending.empty() && !cache_path.empty()) {

@@ -51,9 +51,10 @@ Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
                 const BankInspector& inspect = {});
 
 /// Like run_one, but also hands back the full gpu::RunResult (counters,
-/// per-category energy, SM stats) for detailed reporting.
+/// per-category energy, SM stats) for detailed reporting. @p inspect
+/// (optional) sees the finished GPU before teardown.
 Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
-                         gpu::RunResult& out_run);
+                         gpu::RunResult& out_run, const BankInspector& inspect = {});
 
 /// The Fig. 8 matrix: every benchmark on every listed architecture.
 /// Results are cached in @p cache_path (CSV, format v2 — see load_cache);
@@ -66,15 +67,21 @@ Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workloa
 /// core (gpu::GpuConfig::fast_forward); results are identical either way,
 /// so it is not part of the cache fingerprint — `false` exists for A/B
 /// validation of the skip logic.
+/// @p faults enables in-simulation fault injection on every bank (see
+/// sttl2/fault_model.hpp). Unlike fast_forward it changes results, so its
+/// knobs ARE part of the cache fingerprint: a fault run can never reuse or
+/// pollute a baseline cache (and vice versa).
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
                                 const std::string& cache_path, unsigned jobs = 1,
-                                bool fast_forward = true);
+                                bool fast_forward = true,
+                                const sttl2::FaultInjectionConfig& faults = {});
 
 /// Same, restricted to an explicit benchmark subset (tests, quick sweeps).
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
                                 const std::vector<std::string>& benchmarks, double scale,
                                 const std::string& cache_path, unsigned jobs = 1,
-                                bool fast_forward = true);
+                                bool fast_forward = true,
+                                const sttl2::FaultInjectionConfig& faults = {});
 
 /// Fingerprint of the simulator configuration that cached results depend
 /// on: hashes the resolved Table-2 architecture registry (cache geometry,
@@ -82,18 +89,24 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
 /// recorded fingerprint differs are stale and must be discarded.
 std::uint64_t config_fingerprint();
 
+/// Fault-aware fingerprint: identical to config_fingerprint() when faults
+/// are disabled (so existing caches stay valid) and folds every fault knob
+/// in when enabled.
+std::uint64_t config_fingerprint(const sttl2::FaultInjectionConfig& faults);
+
 /// Loads a v2 result cache. Returns an empty map — with a stderr warning —
 /// if the file is missing, is not format v2 (e.g. a pre-versioning v1
 /// file), or was written at a different scale / config fingerprint.
 /// Malformed rows (wrong field count, non-numeric cells) are skipped with
 /// a warning instead of corrupting neighbouring values.
-std::map<std::pair<std::string, std::string>, Metrics> load_cache(const std::string& path,
-                                                                  double scale);
+std::map<std::pair<std::string, std::string>, Metrics> load_cache(
+    const std::string& path, double scale, const sttl2::FaultInjectionConfig& faults = {});
 
 /// Saves @p rows as a v2 cache: header line first, then one CSV row per
 /// Metrics, written to a temp file and atomically renamed over @p path.
 /// Throws SimError if the path is not writable.
-void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows);
+void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows,
+                const sttl2::FaultInjectionConfig& faults = {});
 
 /// Index @p rows by benchmark for one architecture.
 std::map<std::string, Metrics> by_benchmark(const std::vector<Metrics>& rows,

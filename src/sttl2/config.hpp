@@ -19,6 +19,41 @@ enum class SearchPolicy : std::uint8_t {
 
 const char* to_string(SearchPolicy p) noexcept;
 
+/// In-simulation STT-RAM fault injection (fault_model.hpp). Off by default:
+/// with enabled == false no RNG is constructed, no counter is interned and
+/// no code path diverges, so results are byte-identical to a build without
+/// the subsystem. All probabilities derive from the same Néel–Arrhenius
+/// device model the analytic reliability report uses, which is what makes
+/// the injected/predicted cross-validation meaningful.
+struct FaultInjectionConfig {
+  bool enabled = false;
+  std::uint64_t seed = 42;  ///< fault RNG seed (independent of workload seed)
+
+  /// Hazard acceleration factor: multiplies the retention collapse rate so
+  /// failure statistics converge in feasible simulation horizons. 1.0 is the
+  /// physical rate (per-run expectations << 1 at realistic guard bands).
+  double accel = 1.0;
+
+  /// SECDED-style line ECC: correct single-bit collapses (with a scrub
+  /// write), detect multi-bit ones. Off => every dirty-line collapse is
+  /// silent data loss.
+  bool ecc = true;
+
+  /// Thermal guard band of the quoted retention time (mean thermal life =
+  /// retention * spec_margin) — same convention and default as
+  /// analyze_reliability().
+  double spec_margin = 20.0;
+
+  /// Per-attempt probability that a line write fails verification (also
+  /// scaled by accel when accel > 1; accel < 1 never weakens it, so
+  /// accel=0 isolates the write-failure mechanism from retention faults).
+  double write_fail_prob = 1e-4;
+
+  /// Write-verify retries before the controller escalates to a boosted
+  /// (2x-energy) pulse that always succeeds.
+  unsigned write_retry_limit = 3;
+};
+
 /// A conventional single-array L2 bank (SRAM baseline or naive STT baseline).
 struct UniformBankConfig {
   std::uint64_t capacity_bytes = 64 * 1024;  ///< per bank
@@ -34,6 +69,8 @@ struct UniformBankConfig {
   unsigned input_queue = 32;
   /// Independently ported subarrays within the data array.
   unsigned subbanks = 2;
+  /// Fault injection (inert for SRAM cells and when disabled).
+  FaultInjectionConfig faults;
 };
 
 /// The paper's proposed two-part bank.
@@ -89,6 +126,8 @@ struct TwoPartBankConfig {
   /// Independently ported subarrays within each part's data array.
   unsigned hr_subbanks = 2;
   unsigned lr_subbanks = 2;
+  /// Fault injection (one model per part, seeded independently).
+  FaultInjectionConfig faults;
 };
 
 }  // namespace sttgpu::sttl2

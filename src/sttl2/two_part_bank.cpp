@@ -48,6 +48,10 @@ TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
       lr_tags_(lr_geometry(config), cache::ReplacementKind::kLru, bank_id + 37),
       hr_retention_(config.hr_retention_s, config.hr_counter_bits, clock),
       lr_retention_(config.lr_retention_s, config.lr_counter_bits, clock),
+      // Distinct RNG streams per (bank, part) keep the fault sequence
+      // deterministic regardless of thread count or fast-forward mode.
+      lr_faults_(config.faults, config.lr_retention_s, clock, bank_id * 2ull),
+      hr_faults_(config.faults, config.hr_retention_s, clock, bank_id * 2ull + 1),
       hr_data_(config.hr_subbanks),
       lr_data_(config.lr_subbanks),
       hr2lr_(config.buffer_lines),
@@ -113,6 +117,15 @@ TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
   c_.wear_rotations = cs.intern("wear_rotations");
   c_.threshold_up = cs.intern("threshold_up");
   c_.threshold_down = cs.intern("threshold_down");
+  if (config_.faults.enabled) {
+    e_.fault_scrub = ledger().intern("l2.fault.scrub");
+    c_.fault_ecc_corrected = cs.intern("fault_ecc_corrected");
+    c_.fault_ecc_detected = cs.intern("fault_ecc_detected");
+    c_.fault_clean_refetch = cs.intern("fault_clean_refetch");
+    c_.fault_data_loss = cs.intern("fault_data_loss");
+    c_.fault_wv_retries = cs.intern("fault_wv_retries");
+    c_.fault_wv_escalations = cs.intern("fault_wv_escalations");
+  }
 }
 
 Cycle TwoPartBank::impl_next_event() const {
@@ -141,6 +154,104 @@ void TwoPartBank::charge_hr_write(Addr addr) {
   mutable_counters().at(c_.hr_phys_writes) += 1;
   const std::uint64_t set = hr_tags_.geometry().set_index(addr);
   if (const auto way = hr_tags_.probe(addr)) hr_wear_.record_write(set, *way);
+}
+
+Cycle TwoPartBank::apply_write_verify(FaultModel& fm, SubbankedServer& data, Addr key,
+                                      Cycle done, Cycle occ, power::EnergyId cat,
+                                      PicoJoule pulse_pj) {
+  const FaultModel::WriteVerify wv = fm.run_write_verify();
+  if (wv.retries != 0) {
+    mutable_counters().at(c_.fault_wv_retries) += wv.retries;
+    for (unsigned i = 0; i < wv.retries; ++i) {
+      done = data.occupy(key, done, occ);
+      ledger().add(cat, pulse_pj);
+    }
+  }
+  if (wv.escalated) {
+    // Boosted pulse: twice the energy and pulse width, always sticks.
+    mutable_counters().at(c_.fault_wv_escalations) += 1;
+    done = data.occupy(key, done, 2 * occ);
+    ledger().add(cat, 2.0 * pulse_pj);
+  }
+  return done;
+}
+
+Cycle TwoPartBank::lr_data_write(Addr key, Cycle now) {
+  Cycle done = lr_data_.occupy(key, now, lr_write_occ_);
+  charge_lr_write(key);
+  if (lr_faults_.enabled()) {
+    done = apply_write_verify(lr_faults_, lr_data_, key, done, lr_write_occ_,
+                              e_.lr_data_write, lr_costs_.data_write_pj * write_energy_scale_);
+  }
+  return done;
+}
+
+Cycle TwoPartBank::hr_data_write(Addr addr, Cycle now) {
+  Cycle done = hr_data_.occupy(addr, now, hr_write_occ_);
+  charge_hr_write(addr);
+  if (hr_faults_.enabled()) {
+    done = apply_write_verify(hr_faults_, hr_data_, addr, done, hr_write_occ_,
+                              e_.hr_data_write, hr_costs_.data_write_pj * write_energy_scale_);
+  }
+  return done;
+}
+
+bool TwoPartBank::fault_read_check(bool lr_part, Addr key, unsigned way, Cycle now) {
+  FaultModel& fm = lr_part ? lr_faults_ : hr_faults_;
+  if (!fm.enabled()) return false;
+  cache::TagArray& tags = lr_part ? lr_tags_ : hr_tags_;
+  const RetentionClock& rc = lr_part ? lr_retention_ : hr_retention_;
+  const std::uint64_t set = tags.geometry().set_index(key);
+  cache::LineMeta& line = tags.line(set, way);
+  const auto collapse = fm.sample_collapse(fault_interval_start(line, rc.retention_cycles()), now);
+  line.fault_check_cycle = now;
+  if (collapse == FaultModel::Collapse::kNone) return false;
+  if (config_.faults.ecc && collapse == FaultModel::Collapse::kSingleBit) {
+    // SECDED corrects the word in flight; the controller scrubs (rewrites
+    // the corrected line), which restarts the decay clock.
+    mutable_counters().at(c_.fault_ecc_corrected) += 1;
+    (lr_part ? lr_data_ : hr_data_).occupy(key, now, lr_part ? lr_write_occ_ : hr_write_occ_);
+    ledger().add(e_.fault_scrub,
+                 (lr_part ? lr_costs_ : hr_costs_).data_write_pj * write_energy_scale_);
+    line.retention_deadline = rc.deadline(now);
+    if (lr_part) {
+      refresh_q_.push({rc.refresh_due(now), set, way, line.retention_deadline});
+    } else {
+      hr_expiry_q_.push({line.retention_deadline, set, way, line.retention_deadline});
+    }
+    return false;
+  }
+  if (!line.dirty) {
+    // Clean data collapsed: drop the line; the demand access falls through
+    // to the miss path and re-fetches from DRAM transparently.
+    mutable_counters().at(c_.fault_clean_refetch) += 1;
+  } else {
+    // Dirty and uncorrectable: the only up-to-date copy is gone. The line
+    // is dropped so later accesses at least see consistent (stale) data.
+    if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
+    mutable_counters().at(c_.fault_data_loss) += 1;
+  }
+  tags.invalidate(key, way);
+  return true;
+}
+
+TwoPartBank::Carry TwoPartBank::fault_carry_trial(FaultModel& fm, cache::LineMeta& line,
+                                                  Cycle retention_cycles, Cycle now) {
+  if (!fm.enabled()) return Carry::kOk;
+  const auto collapse = fm.sample_collapse(fault_interval_start(line, retention_cycles), now);
+  line.fault_check_cycle = now;
+  if (collapse == FaultModel::Collapse::kNone) return Carry::kOk;
+  if (config_.faults.ecc && collapse == FaultModel::Collapse::kSingleBit) {
+    mutable_counters().at(c_.fault_ecc_corrected) += 1;  // corrected in flight
+    return Carry::kOk;
+  }
+  if (!line.dirty) {
+    mutable_counters().at(c_.fault_clean_refetch) += 1;
+    return Carry::kDrop;
+  }
+  if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
+  mutable_counters().at(c_.fault_data_loss) += 1;
+  return Carry::kDrop;
 }
 
 double TwoPartBank::lr_write_utilization() const noexcept {
@@ -212,6 +323,18 @@ void TwoPartBank::service(const gpu::L2Request& request, Cycle now, bool replay)
     }
   }
 
+  // Fault injection: a hit observes the line's stored data, so its decay
+  // interval is evaluated here. An unrecoverable collapse invalidates the
+  // line and the access falls through to the miss path — the transparent
+  // re-fetch from DRAM. (No-op when faults are disabled.)
+  if (in_lr && fault_read_check(/*lr_part=*/true, lr_key, *way, now)) {
+    in_lr = false;
+    way.reset();
+  } else if (in_hr && fault_read_check(/*lr_part=*/false, line_addr, *way, now)) {
+    in_hr = false;
+    way.reset();
+  }
+
   const Cycle start = now + search_lat;
 
   if (request.is_store) {
@@ -266,8 +389,7 @@ Cycle TwoPartBank::lr_write_hit(Addr lr_key, unsigned way, Cycle start) {
   line.retention_deadline = lr_retention_.deadline(start);
   refresh_q_.push({lr_retention_.refresh_due(start), set, way, line.retention_deadline});
 
-  const Cycle done = lr_data_.occupy(line_addr, start, lr_write_occ_);
-  charge_lr_write(line_addr);
+  const Cycle done = lr_data_write(line_addr, start);
   mutable_counters().at(c_.w_lr) += 1;
   mutable_counters().at(c_.w_lr_hit) += 1;  // served directly by an LR hit
   return done;
@@ -303,8 +425,7 @@ Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
   line.retention_deadline = hr_retention_.deadline(start);
   hr_expiry_q_.push({line.retention_deadline, set, way, line.retention_deadline});
 
-  const Cycle done = hr_data_.occupy(line_addr, start, hr_write_occ_);
-  charge_hr_write(line_addr);
+  const Cycle done = hr_data_write(line_addr, start);
   mutable_counters().at(c_.w_hr) += 1;
   return done;
 }
@@ -323,8 +444,7 @@ Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
   line.retention_deadline = lr_retention_.deadline(now);
   refresh_q_.push({lr_retention_.refresh_due(now), set, way, line.retention_deadline});
 
-  const Cycle done = lr_data_.occupy(key, now, lr_write_occ_);
-  charge_lr_write(key);
+  const Cycle done = lr_data_write(key, now);
   mutable_counters().at(c_.w_lr) += 1;
   return done;
 }
@@ -338,7 +458,10 @@ void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
 
   lr_data_.occupy(key, now, lr_read_occ_);  // read the block out of LR
   ledger().add(e_.lr_data_read, lr_costs_.data_read_pj);
+  const Carry carry =
+      fault_carry_trial(lr_faults_, lr_tags_.line(set, way), lr_retention_.retention_cycles(), now);
   lr_tags_.invalidate(key, way);
+  if (carry == Carry::kDrop) return;  // collapsed in LR: nothing usable to carry
 
   if (!lr2hr_.full(now)) {
     ledger().add(e_.buffer, buffer_entry_pj_);
@@ -368,7 +491,10 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
     const Addr victim_addr = hr_tags_.geometry().addr_of_tag(old.tag);
     hr_data_.occupy(victim_addr, now, hr_read_occ_);
     ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
-    dram_writeback(victim_addr, now);
+    if (fault_carry_trial(hr_faults_, hr_tags_.line(set, victim),
+                          hr_retention_.retention_cycles(), now) == Carry::kOk) {
+      dram_writeback(victim_addr, now);
+    }
     mutable_counters().at(c_.hr_evict_dirty) += 1;
   } else if (old.valid) {
     mutable_counters().at(c_.hr_evict_clean) += 1;
@@ -381,8 +507,7 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
   line.retention_deadline = hr_retention_.deadline(now);
   hr_expiry_q_.push({line.retention_deadline, set, victim, line.retention_deadline});
 
-  const Cycle done = hr_data_.occupy(addr, now, hr_write_occ_);
-  charge_hr_write(addr);
+  const Cycle done = hr_data_write(addr, now);
   return done;
 }
 
@@ -448,11 +573,22 @@ void TwoPartBank::do_refresh(Cycle now) {
     cache::LineMeta& line = lr_tags_.line(e.set, e.way);
     if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
 
+    // Refresh-as-scrub: the refresh read passes through the ECC check, so a
+    // collapse that happened since the last write is caught here rather
+    // than refreshed into a "fresh" corrupt line. Correctable collapses are
+    // repaired by the rewrite below; unrecoverable ones drop the line.
+    if (lr_faults_.enabled() &&
+        fault_carry_trial(lr_faults_, line, lr_retention_.retention_cycles(), now) ==
+            Carry::kDrop) {
+      lr_tags_.invalidate(lr_tags_.geometry().addr_of_tag(line.tag), e.way);
+      continue;
+    }
+
     if (!lr2hr_.full(now)) {
       // In-place refresh staged through the LR->HR buffer: read + rewrite.
       const Addr raddr = lr_tags_.geometry().addr_of_tag(line.tag);
       lr_data_.occupy(raddr, now, lr_read_occ_);
-      const Cycle done = lr_data_.occupy(raddr, now, lr_write_occ_);
+      Cycle done = lr_data_.occupy(raddr, now, lr_write_occ_);
       ledger().add(e_.lr_refresh,
                    lr_costs_.data_read_pj + lr_costs_.data_write_pj * write_energy_scale_);
       mutable_counters().at(c_.refreshes) += 1;
@@ -460,6 +596,10 @@ void TwoPartBank::do_refresh(Cycle now) {
       lr_wear_.record_write(e.set, e.way);
       line.retention_deadline = lr_retention_.deadline(now);
       refresh_q_.push({lr_retention_.refresh_due(now), e.set, e.way, line.retention_deadline});
+      if (lr_faults_.enabled()) {
+        done = apply_write_verify(lr_faults_, lr_data_, raddr, done, lr_write_occ_,
+                                  e_.lr_refresh, lr_costs_.data_write_pj * write_energy_scale_);
+      }
       lr2hr_.add(done);
       continue;
     }
@@ -485,7 +625,12 @@ void TwoPartBank::do_hr_expiry(Cycle now) {
     if (line.dirty) {
       hr_data_.occupy(addr, now, hr_read_occ_);
       ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
-      dram_writeback(addr, now);
+      // The expiry writeback reads the data out at the very end of its
+      // retention window — the most collapse-prone moment in HR.
+      if (fault_carry_trial(hr_faults_, line, hr_retention_.retention_cycles(), now) ==
+          Carry::kOk) {
+        dram_writeback(addr, now);
+      }
       mutable_counters().at(c_.hr_expired_dirty) += 1;
     } else {
       mutable_counters().at(c_.hr_expired_clean) += 1;

@@ -30,6 +30,7 @@
 #include "power/array_model.hpp"
 #include "sttl2/bank_base.hpp"
 #include "sttl2/config.hpp"
+#include "sttl2/fault_model.hpp"
 #include "sttl2/retention.hpp"
 #include "sttl2/rewrite_tracker.hpp"
 
@@ -93,6 +94,10 @@ class TwoPartBank final : public BankBase {
   /// Current LR index rotation (wear-leveling extension).
   std::uint64_t lr_rotation_offset() const noexcept { return lr_offset_; }
 
+  /// Fault-injection streams (inert when config().faults.enabled is false).
+  const FaultModel& lr_faults() const noexcept { return lr_faults_; }
+  const FaultModel& hr_faults() const noexcept { return hr_faults_; }
+
  protected:
   void process_request(const gpu::L2Request& request, Cycle now) override;
   void process_fill(Addr line_addr, Cycle now) override;
@@ -138,6 +143,32 @@ class TwoPartBank final : public BankBase {
   void charge_lr_write(Addr addr);
   void charge_hr_write(Addr addr);
 
+  // --- fault injection (every helper is a no-op when faults are disabled) ---
+
+  /// One physical data-array write (occupancy + energy + write-verify
+  /// retries). Replaces the occupy/charge pair on every write path; returns
+  /// the completion cycle of the last pulse.
+  Cycle lr_data_write(Addr key, Cycle now);
+  Cycle hr_data_write(Addr addr, Cycle now);
+
+  /// Evaluates the decay interval of the hit line ending at @p now and
+  /// applies recovery: ECC-corrects a single-bit collapse with a scrub
+  /// write; invalidates unrecoverable lines (clean -> the demand access
+  /// falls through to a transparent DRAM re-fetch; dirty -> counted data
+  /// loss). Returns true if the line was invalidated.
+  bool fault_read_check(bool lr_part, Addr key, unsigned way, Cycle now);
+
+  enum class Carry { kOk, kDrop };
+  /// Evaluates the decay interval of a line whose data was just read out to
+  /// be carried elsewhere (eviction, writeback, refresh). kDrop: the data is
+  /// unrecoverable (or clean and re-fetchable) and must not be propagated.
+  Carry fault_carry_trial(FaultModel& fm, cache::LineMeta& line, Cycle retention_cycles,
+                          Cycle now);
+
+  /// Applies the write-verify retry policy to a write finishing at @p done.
+  Cycle apply_write_verify(FaultModel& fm, SubbankedServer& data, Addr key, Cycle done,
+                           Cycle occ, power::EnergyId cat, PicoJoule pulse_pj);
+
   TwoPartBankConfig config_;
   Clock clock_;
 
@@ -148,6 +179,9 @@ class TwoPartBank final : public BankBase {
 
   RetentionClock hr_retention_;
   RetentionClock lr_retention_;
+
+  FaultModel lr_faults_;
+  FaultModel hr_faults_;
 
   SubbankedServer hr_data_;
   SubbankedServer lr_data_;
@@ -188,6 +222,9 @@ class TwoPartBank final : public BankBase {
     power::EnergyId lr_data_write, lr_tag_update, lr_tag_probe, lr_data_read, lr_refresh;
     power::EnergyId hr_data_write, hr_tag_update, hr_tag_probe, hr_data_read;
     power::EnergyId buffer;
+    // Interned only when fault injection is enabled, so disabled runs report
+    // the exact same category set as before the subsystem existed.
+    power::EnergyId fault_scrub = 0;
   } e_;
   struct CounterIds {
     CounterId w_demand, w_lr, w_lr_hit, w_hr;
@@ -199,6 +236,11 @@ class TwoPartBank final : public BankBase {
     CounterId refreshes, refresh_forced_wb, refresh_forced_drop;
     CounterId hr_expired_dirty, hr_expired_clean;
     CounterId wear_rotations, threshold_up, threshold_down;
+    // Fault-injection counters; interned only when enabled (a CounterId of 0
+    // would alias the first real counter, so every use is gated).
+    CounterId fault_ecc_corrected = 0, fault_ecc_detected = 0;
+    CounterId fault_clean_refetch = 0, fault_data_loss = 0;
+    CounterId fault_wv_retries = 0, fault_wv_escalations = 0;
   } c_;
 };
 

@@ -27,6 +27,8 @@ UniformBank::UniformBank(unsigned bank_id, const UniformBankConfig& config,
       tags_({config.capacity_bytes, config.associativity, config.line_bytes},
             cache::ReplacementKind::kLru, /*seed=*/bank_id + 17),
       data_(config.subbanks),
+      // SRAM cells (retention_s == 0) force the model inert inside the ctor.
+      faults_(config.faults, config.cell.retention_s, clock, bank_id),
       rewrites_(clock),
       write_var_(tags_.geometry().num_sets(), tags_.geometry().associativity()) {
   tag_lat_ = clock_.cycles_for_ns(costs_.tag_latency_ns);
@@ -48,6 +50,16 @@ UniformBank::UniformBank(unsigned bank_id, const UniformBankConfig& config,
   c_.evict_clean = mutable_counters().intern("evict_clean");
   c_.expired_dirty = mutable_counters().intern("expired_dirty");
   c_.expired_clean = mutable_counters().intern("expired_clean");
+  if (faults_.enabled()) {
+    e_.fault_scrub = ledger().intern("l2.fault.scrub");
+    CounterSet& cs = mutable_counters();
+    c_.fault_ecc_corrected = cs.intern("fault_ecc_corrected");
+    c_.fault_ecc_detected = cs.intern("fault_ecc_detected");
+    c_.fault_clean_refetch = cs.intern("fault_clean_refetch");
+    c_.fault_data_loss = cs.intern("fault_data_loss");
+    c_.fault_wv_retries = cs.intern("fault_wv_retries");
+    c_.fault_wv_escalations = cs.intern("fault_wv_escalations");
+  }
 }
 
 Cycle UniformBank::impl_next_event() const {
@@ -59,6 +71,76 @@ Cycle UniformBank::impl_next_event() const {
 void UniformBank::schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline) {
   if (retention_cycles_ == 0) return;
   expiry_.push({deadline, set, way});
+}
+
+Cycle UniformBank::data_write(Addr line_addr, Cycle now) {
+  Cycle done = data_.occupy(line_addr, now, write_occ_);
+  ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+  if (faults_.enabled()) {
+    const FaultModel::WriteVerify wv = faults_.run_write_verify();
+    if (wv.retries != 0) {
+      mutable_counters().at(c_.fault_wv_retries) += wv.retries;
+      for (unsigned i = 0; i < wv.retries; ++i) {
+        done = data_.occupy(line_addr, done, write_occ_);
+        ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+      }
+    }
+    if (wv.escalated) {
+      // Boosted pulse: twice the energy and pulse width, always sticks.
+      mutable_counters().at(c_.fault_wv_escalations) += 1;
+      done = data_.occupy(line_addr, done, 2 * write_occ_);
+      ledger().add(e_.data_write, 2.0 * costs_.data_write_pj * write_energy_scale_);
+    }
+  }
+  return done;
+}
+
+bool UniformBank::fault_read_check(Addr line_addr, unsigned way, Cycle now) {
+  if (!faults_.enabled()) return false;
+  const std::uint64_t set = tags_.geometry().set_index(line_addr);
+  cache::LineMeta& line = tags_.line(set, way);
+  const auto collapse = faults_.sample_collapse(fault_interval_start(line, retention_cycles_), now);
+  line.fault_check_cycle = now;
+  if (collapse == FaultModel::Collapse::kNone) return false;
+  if (config_.faults.ecc && collapse == FaultModel::Collapse::kSingleBit) {
+    // SECDED corrects in flight; the controller scrubs (rewrites the
+    // corrected line), which restarts the decay clock.
+    mutable_counters().at(c_.fault_ecc_corrected) += 1;
+    data_.occupy(line_addr, now, write_occ_);
+    ledger().add(e_.fault_scrub, costs_.data_write_pj * write_energy_scale_);
+    if (retention_cycles_ != 0) {
+      line.retention_deadline = now + retention_cycles_;
+      schedule_expiry(set, way, line.retention_deadline);
+    }
+    return false;
+  }
+  if (!line.dirty) {
+    // Clean data collapsed: the demand access re-fetches from DRAM.
+    mutable_counters().at(c_.fault_clean_refetch) += 1;
+  } else {
+    if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
+    mutable_counters().at(c_.fault_data_loss) += 1;
+  }
+  tags_.invalidate(line_addr, way);
+  return true;
+}
+
+UniformBank::Carry UniformBank::fault_carry_trial(cache::LineMeta& line, Cycle now) {
+  if (!faults_.enabled()) return Carry::kOk;
+  const auto collapse = faults_.sample_collapse(fault_interval_start(line, retention_cycles_), now);
+  line.fault_check_cycle = now;
+  if (collapse == FaultModel::Collapse::kNone) return Carry::kOk;
+  if (config_.faults.ecc && collapse == FaultModel::Collapse::kSingleBit) {
+    mutable_counters().at(c_.fault_ecc_corrected) += 1;  // corrected in flight
+    return Carry::kOk;
+  }
+  if (!line.dirty) {
+    mutable_counters().at(c_.fault_clean_refetch) += 1;
+    return Carry::kDrop;
+  }
+  if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
+  mutable_counters().at(c_.fault_data_loss) += 1;
+  return Carry::kDrop;
 }
 
 void UniformBank::write_line(cache::LineMeta& line, std::uint64_t set, unsigned way,
@@ -87,15 +169,18 @@ void UniformBank::process_request(const gpu::L2Request& request, Cycle now) {
     return;
   }
 
-  const auto way = tags_.probe(line_addr);
+  auto way = tags_.probe(line_addr);
+  // Fault injection: a hit observes the stored data; evaluate its decay
+  // interval. An unrecoverable collapse drops the line and the access falls
+  // through to the miss path (transparent DRAM re-fetch).
+  if (way && fault_read_check(line_addr, *way, now)) way.reset();
   if (way) {
     const std::uint64_t set = tags_.geometry().set_index(line_addr);
     cache::LineMeta& line = tags_.line(set, *way);
     tags_.touch(line_addr, *way);
     if (request.is_store) {
       ++s.write_hits;
-      const Cycle done = data_.occupy(line_addr, now, write_occ_);
-      ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+      const Cycle done = data_write(line_addr, now);
       ledger().add(e_.tag_update, costs_.tag_update_pj);
       write_line(line, set, *way, now);
       respond(request, done + tag_lat_ + config_.pipeline_cycles);
@@ -121,7 +206,9 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
     const Addr victim_addr = tags_.geometry().addr_of_tag(old.tag);
     data_.occupy(victim_addr, now, read_occ_);  // read the victim out
     ledger().add(e_.data_read, costs_.data_read_pj);
-    dram_writeback(victim_addr, now);
+    if (fault_carry_trial(tags_.line(set, victim), now) == Carry::kOk) {
+      dram_writeback(victim_addr, now);
+    }
     mutable_counters().at(c_.evict_dirty) += 1;
   } else if (old.valid) {
     mutable_counters().at(c_.evict_clean) += 1;
@@ -129,8 +216,7 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
 
   // Install the line (a full-line write into the data array).
   cache::LineMeta& line = tags_.fill(line_addr, victim, now);
-  Cycle done = data_.occupy(line_addr, now, write_occ_);
-  ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+  Cycle done = data_write(line_addr, now);
   ledger().add(e_.tag_update, costs_.tag_update_pj);
   if (retention_cycles_ != 0) {
     line.retention_deadline = now + retention_cycles_;
@@ -142,8 +228,7 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
   Waiters w = take_waiters(line_addr);
   for (const auto& req : w.reads) respond(req, done + tag_lat_ + config_.pipeline_cycles);
   for (const auto& req : w.writes) {
-    done = data_.occupy(line_addr, now, write_occ_);
-    ledger().add(e_.data_write, costs_.data_write_pj * write_energy_scale_);
+    done = data_write(line_addr, now);
     write_line(line, set, victim, now);
     respond(req, done + tag_lat_ + config_.pipeline_cycles);
   }
@@ -159,7 +244,7 @@ void UniformBank::maintenance(Cycle now) {
     if (line.dirty) {
       data_.occupy(addr, now, read_occ_);
       ledger().add(e_.data_read, costs_.data_read_pj);
-      dram_writeback(addr, now);
+      if (fault_carry_trial(line, now) == Carry::kOk) dram_writeback(addr, now);
       mutable_counters().at(c_.expired_dirty) += 1;
     } else {
       mutable_counters().at(c_.expired_clean) += 1;

@@ -16,6 +16,7 @@
 #include "power/array_model.hpp"
 #include "sttl2/bank_base.hpp"
 #include "sttl2/config.hpp"
+#include "sttl2/fault_model.hpp"
 #include "sttl2/rewrite_tracker.hpp"
 
 namespace sttgpu::sttl2 {
@@ -34,6 +35,9 @@ class UniformBank final : public BankBase {
   /// Demand-write variation across sets/ways (i2WAP COV, paper Fig. 3).
   const cache::WriteVariationTracker& write_variation() const noexcept { return write_var_; }
 
+  /// Fault-injection stream (auto-inert for SRAM cells or when disabled).
+  const FaultModel& faults() const noexcept { return faults_; }
+
  protected:
   void process_request(const gpu::L2Request& request, Cycle now) override;
   void process_fill(Addr line_addr, Cycle now) override;
@@ -51,11 +55,24 @@ class UniformBank final : public BankBase {
   void write_line(cache::LineMeta& line, std::uint64_t set, unsigned way, Cycle now);
   void schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline);
 
+  // --- fault injection (every helper is a no-op when faults are inert) ---
+
+  /// One physical data-array write incl. write-verify retries.
+  Cycle data_write(Addr line_addr, Cycle now);
+  /// Decay evaluation + recovery on a demand hit; true = line invalidated
+  /// (the access falls through to the miss path).
+  bool fault_read_check(Addr line_addr, unsigned way, Cycle now);
+  enum class Carry { kOk, kDrop };
+  /// Decay evaluation on data read out for a writeback; kDrop = do not
+  /// propagate (clean re-fetchable or counted data loss).
+  Carry fault_carry_trial(cache::LineMeta& line, Cycle now);
+
   UniformBankConfig config_;
   Clock clock_;
   power::ArrayCosts costs_;
   cache::TagArray tags_;
   SubbankedServer data_;
+  FaultModel faults_;
 
   // cycles
   Cycle tag_lat_;
@@ -71,9 +88,15 @@ class UniformBank final : public BankBase {
   // Handles interned once at construction for the per-access path.
   struct EnergyIds {
     power::EnergyId tag_probe, tag_update, data_read, data_write;
+    power::EnergyId fault_scrub = 0;  ///< interned only when faults are live
   } e_;
   struct CounterIds {
     CounterId evict_dirty, evict_clean, expired_dirty, expired_clean;
+    // Fault-injection counters; interned only when faults are live (a
+    // CounterId of 0 would alias the first real counter, so uses are gated).
+    CounterId fault_ecc_corrected = 0, fault_ecc_detected = 0;
+    CounterId fault_clean_refetch = 0, fault_data_loss = 0;
+    CounterId fault_wv_retries = 0, fault_wv_escalations = 0;
   } c_;
 };
 

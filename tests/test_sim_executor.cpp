@@ -101,6 +101,35 @@ TEST(Executor, ParallelFailureReportsLowestIndex) {
   }
 }
 
+TEST(Executor, AggregatesMultipleFailuresWithCountAndLabels) {
+  // All eight jobs rendezvous before any of them throws, so every failure is
+  // in flight when the fail-fast flag trips and all eight must be reported:
+  // a count, the first five labels in index order, and a tally of the rest.
+  constexpr int kJobs = 8;
+  std::atomic<int> started{0};
+  std::vector<Job> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back(Job{"fail" + std::to_string(i), [&started]() {
+                         ++started;
+                         while (started.load() < kJobs) std::this_thread::yield();
+                         throw SimError("boom");
+                       }});
+  }
+  try {
+    run_jobs(std::move(jobs), kJobs);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("8 jobs failed"), std::string::npos) << what;
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_NE(what.find("'fail" + std::to_string(i) + "'"), std::string::npos) << what;
+    }
+    EXPECT_EQ(what.find("'fail5'"), std::string::npos) << what;
+    EXPECT_NE(what.find("and 3 more"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
 TEST(Executor, ParallelRunsAllJobsWhenHealthy) {
   std::atomic<int> count{0};
   std::vector<Job> jobs;

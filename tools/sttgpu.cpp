@@ -21,9 +21,11 @@
 //       Drive the chosen architecture's L2 banks from a trace (no GPU) and
 //       print the resulting cache statistics — fast architecture sweeps.
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 
 #include "common/config.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "sim/executor.hpp"
 #include "sim/probe.hpp"
@@ -34,6 +36,41 @@
 namespace {
 
 using namespace sttgpu;
+
+/// Rejects typo'd knobs: every key must appear in @p valid, otherwise the
+/// command aborts with a SimError naming the knobs it does accept. Without
+/// this a misspelling like `fastfoward=0` would silently run the default.
+void require_known_keys(const Config& cfg, const std::string& command,
+                        std::initializer_list<const char*> valid) {
+  for (const auto& [key, value] : cfg.all()) {
+    bool known = false;
+    for (const char* v : valid) {
+      if (key == v) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string msg = "unknown knob '" + key + "' for 'sttgpu " + command + "'; valid knobs:";
+    for (const char* v : valid) {
+      msg += ' ';
+      msg += v;
+    }
+    throw SimError(msg);
+  }
+}
+
+/// Builds the fault-injection config shared by run/matrix from the
+/// `faults= fault_seed= fault_accel= ecc=` knobs (defaults: disabled).
+sttl2::FaultInjectionConfig fault_config_from(const Config& cfg) {
+  sttl2::FaultInjectionConfig f;
+  f.enabled = cfg.get_int("faults", 0) != 0;
+  f.seed = static_cast<std::uint64_t>(
+      cfg.get_int("fault_seed", static_cast<std::int64_t>(f.seed)));
+  f.accel = cfg.get_double("fault_accel", f.accel);
+  f.ecc = cfg.get_bool("ecc", f.ecc);
+  return f;
+}
 
 int cmd_list() {
   std::cout << "architectures:\n";
@@ -53,15 +90,28 @@ int cmd_list() {
 }
 
 int cmd_run(const Config& cfg) {
+  require_known_keys(cfg, "run",
+                     {"arch", "benchmark", "scale", "json", "fastforward", "faults",
+                      "fault_seed", "fault_accel", "ecc"});
   const std::string arch_name = cfg.get_string("arch", "C1");
   const std::string benchmark = cfg.get_string("benchmark", "bfs");
   const double scale = cfg.get_double("scale", 0.5);
+  const sttl2::FaultInjectionConfig faults = fault_config_from(cfg);
 
   sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
   spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
+  if (spec.two_part) {
+    spec.two_part_cfg.faults = faults;
+  } else {
+    spec.uniform.faults = faults;
+  }
   const workload::Workload w = workload::make_benchmark(benchmark, scale);
   gpu::RunResult run;
-  const sim::Metrics m = sim::run_one_detailed(spec, w, run);
+  sim::FaultSummary fault_summary;
+  const sim::Metrics m = sim::run_one_detailed(
+      spec, w, run, [&fault_summary](gpu::Gpu& g) {
+        fault_summary = sim::collect_fault_summary(g);
+      });
 
   std::cout << arch_name << " / " << benchmark << " (scale " << scale << ")\n"
             << "  IPC        " << m.ipc << "\n"
@@ -76,22 +126,42 @@ int cmd_run(const Config& cfg) {
       std::cout << "    " << name << " = " << value << "\n";
     }
   }
+  if (fault_summary.enabled) {
+    std::cout << "  faults (seed " << faults.seed << ", accel " << faults.accel
+              << ", ecc " << (faults.ecc ? "on" : "off") << "):\n"
+              << "    lifetime trials     " << fault_summary.trials << "\n"
+              << "    injected collapses  " << fault_summary.collapses << "\n"
+              << "    expected collapses  " << fault_summary.expected << "\n"
+              << "    predicted (analytic " << fault_summary.predicted
+              << " via analyze_reliability)\n"
+              << "    ecc corrected " << fault_summary.ecc_corrected << ", detected "
+              << fault_summary.ecc_detected << ", clean refetch "
+              << fault_summary.clean_refetch << ", data loss "
+              << fault_summary.data_loss << "\n"
+              << "    write-verify retries " << fault_summary.wv_retries
+              << ", escalations " << fault_summary.wv_escalations << "\n";
+  }
 
   if (cfg.has("json")) {
     std::ofstream out(cfg.get_string("json", ""));
     STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
-    sim::write_run_json(out, m, run);
+    sim::write_run_json(out, m, run, fault_summary.enabled ? &fault_summary : nullptr);
     out << "\n";
   }
   return 0;
 }
 
 int cmd_matrix(const Config& cfg) {
+  require_known_keys(cfg, "matrix",
+                     {"scale", "cache", "jobs", "json", "fastforward", "faults",
+                      "fault_seed", "fault_accel", "ecc"});
   const double scale = cfg.get_double("scale", 0.5);
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
   const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
   const bool fast_forward = cfg.get_int("fastforward", 1) != 0;
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs, fast_forward);
+  const sttl2::FaultInjectionConfig faults = fault_config_from(cfg);
+  const auto rows =
+      sim::run_matrix(sim::all_architectures(), scale, cache, jobs, fast_forward, faults);
 
   TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
   for (const auto& m : rows) {
@@ -110,6 +180,7 @@ int cmd_matrix(const Config& cfg) {
 }
 
 int cmd_record(const Config& cfg) {
+  require_known_keys(cfg, "record", {"arch", "benchmark", "trace", "scale", "fastforward"});
   sim::ArchSpec spec =
       sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "sram")));
   spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
@@ -123,6 +194,7 @@ int cmd_record(const Config& cfg) {
 }
 
 int cmd_replay(const Config& cfg) {
+  require_known_keys(cfg, "replay", {"trace", "arch"});
   const auto records = sim::load_trace(cfg.get_string("trace", "l2.trace"));
   const sim::ArchSpec spec =
       sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "C1")));
@@ -149,7 +221,15 @@ int usage() {
                "  record: arch= benchmark= trace=<path> [scale=]\n"
                "  replay: trace=<path> arch=\n"
                "  run/matrix/record also accept fastforward=<0|1> (default 1): toggles the\n"
-               "  event-driven idle-cycle skip in the simulator core; results are identical.\n";
+               "  event-driven idle-cycle skip in the simulator core; results are identical.\n"
+               "  run/matrix also accept STT-RAM fault injection (see EXPERIMENTS.md):\n"
+               "    faults=<0|1>     enable the seeded retention/write-failure injector\n"
+               "    fault_seed=<n>   RNG seed (default 42)\n"
+               "    fault_accel=<x>  error-rate acceleration factor (default 1)\n"
+               "    ecc=<0|1>        SECDED recovery on collapsed lines (default 1)\n"
+               "  fault runs use a separate matrix cache fingerprint; faults=0 is\n"
+               "  byte-identical to builds without the injector.\n"
+               "  unknown key=value knobs are rejected with the valid list for the command.\n";
   return 2;
 }
 
