@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
   const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
 
-  const auto rows = sim::run_matrix(sim::all_architectures(), scale, cache, jobs);
+  const auto rows = sim::run_matrix(sim::all_architectures(),
+                                    {.scale = scale, .cache_path = cache, .jobs = jobs});
   const auto base = sim::by_benchmark(rows, "sram");
 
   std::cout << "Figure 8(a): speedup over the SRAM baseline\n\n";

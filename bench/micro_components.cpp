@@ -87,7 +87,7 @@ BENCHMARK(BM_WriteVariationCov);
 
 void BM_FullTinyRun(benchmark::State& state) {
   for (auto _ : state) {
-    const sim::Metrics m = sim::run_one(sim::Architecture::kC1, "hotspot", 0.05);
+    const sim::Metrics m = sim::run_one(sim::Architecture::kC1, "hotspot", {.scale = 0.05});
     benchmark::DoNotOptimize(m.ipc);
   }
 }

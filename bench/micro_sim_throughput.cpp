@@ -63,12 +63,13 @@ struct Sample {
   double cycles_per_s = 0.0;
 };
 
-Sample measure(const sim::ArchSpec& spec, const workload::Workload& w, unsigned reps) {
+Sample measure(const sim::ArchSpec& spec, const workload::Workload& w, unsigned reps,
+               bool fast_forward) {
   Sample best;
   for (unsigned r = 0; r < reps; ++r) {
     gpu::RunResult run;
     const auto t0 = std::chrono::steady_clock::now();
-    (void)sim::run_one_detailed(spec, w, run);
+    (void)sim::run_one_detailed(spec, w, run, {.fast_forward = fast_forward});
     const auto t1 = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(t1 - t0).count();
     if (r == 0 || wall < best.wall_s) {
@@ -124,10 +125,8 @@ int main(int argc, char** argv) {
   for (Case& c : cases) {
     Row row;
     row.workload = c.name;
-    c.spec.gpu.fast_forward = false;
-    row.off = measure(c.spec, c.w, reps);
-    c.spec.gpu.fast_forward = true;
-    row.on = measure(c.spec, c.w, reps);
+    row.off = measure(c.spec, c.w, reps, /*fast_forward=*/false);
+    row.on = measure(c.spec, c.w, reps, /*fast_forward=*/true);
     STTGPU_REQUIRE(row.on.cycles == row.off.cycles && row.on.instructions == row.off.instructions,
                    "micro_sim_throughput: fastforward changed results on " + c.name);
     row.speedup = row.off.wall_s > 0.0 ? row.off.wall_s / row.on.wall_s : 0.0;

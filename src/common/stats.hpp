@@ -110,9 +110,22 @@ class CounterSet {
   std::uint64_t& at(CounterId id) noexcept { return values_[id]; }
   std::uint64_t at(CounterId id) const noexcept { return values_[id]; }
 
-  /// Cold-path/compatibility shim: interns on every call.
-  std::uint64_t& operator[](const std::string& name) { return values_[intern(name)]; }
+  /// Cold-path/compatibility shim: interns on every call. Per-access paths
+  /// must intern once and go through at(CounterId); outside the test suite
+  /// (which defines STTGPU_ALLOW_STRING_COUNTERS to exercise the shim) new
+  /// uses are flagged at compile time.
+#if !defined(STTGPU_ALLOW_STRING_COUNTERS)
+  [[deprecated("intern the counter name once and use at(CounterId) instead")]]
+#endif
+  std::uint64_t& operator[](const std::string& name) {
+    return values_[intern(name)];
+  }
   std::uint64_t get(const std::string& name) const;
+
+  /// Enumeration by dense id (telemetry sampling, report loops): ids are
+  /// 0..size()-1 in interning order.
+  std::size_t size() const noexcept { return values_.size(); }
+  const std::string& name(CounterId id) const noexcept { return names_[id]; }
 
   /// Report-time view: name -> value, sorted by name. Materialized on demand.
   std::map<std::string, std::uint64_t> all() const;

@@ -1,0 +1,256 @@
+#include "common/telemetry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace sttgpu {
+
+Telemetry::Telemetry(Cycle interval_cycles) : interval_(interval_cycles) {
+  STTGPU_REQUIRE(interval_ >= 1, "Telemetry: interval must be >= 1 cycle");
+}
+
+void Telemetry::set_us_per_cycle(double us_per_cycle) {
+  STTGPU_REQUIRE(us_per_cycle > 0.0, "Telemetry: us_per_cycle must be positive");
+  us_per_cycle_ = us_per_cycle;
+}
+
+void Telemetry::begin_frame(Cycle now) {
+  STTGPU_REQUIRE(!in_frame_, "Telemetry: begin_frame with a frame already open");
+  STTGPU_REQUIRE(frame_cycles_.empty() || now > frame_cycles_.back(),
+                 "Telemetry: frames must advance in time");
+  frame_cycles_.push_back(now);
+  in_frame_ = true;
+}
+
+Telemetry::Track& Telemetry::track_for(std::string_view name, bool is_counter) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Track& t = tracks_[it->second];
+    STTGPU_REQUIRE(t.is_counter == is_counter,
+                   "Telemetry: track '" + t.name + "' sampled as both counter and gauge");
+    return t;
+  }
+  const std::size_t id = tracks_.size();
+  index_.emplace(std::string(name), id);
+  Track t;
+  t.name = std::string(name);
+  t.is_counter = is_counter;
+  // Frames before this track first appeared read as zero (counters started
+  // cumulative at zero; a gauge nobody sampled was not meaningful yet).
+  t.samples.assign(frame_cycles_.empty() ? 0 : frame_cycles_.size() - 1, 0.0);
+  tracks_.push_back(std::move(t));
+  return tracks_.back();
+}
+
+void Telemetry::record(std::string_view name, bool is_counter, double value) {
+  STTGPU_REQUIRE(in_frame_, "Telemetry: sample outside begin_frame/end_frame");
+  Track& t = track_for(name, is_counter);
+  STTGPU_REQUIRE(t.samples.size() < frame_cycles_.size(),
+                 "Telemetry: track '" + t.name + "' sampled twice in one frame");
+  t.samples.push_back(value);
+}
+
+void Telemetry::counter(std::string_view track, std::uint64_t cumulative) {
+  record(track, /*is_counter=*/true, static_cast<double>(cumulative));
+}
+
+void Telemetry::gauge(std::string_view track, double value) {
+  record(track, /*is_counter=*/false, value);
+}
+
+void Telemetry::end_frame() {
+  STTGPU_REQUIRE(in_frame_, "Telemetry: end_frame without an open frame");
+  for (Track& t : tracks_) {
+    // Not sampled this frame: carry the last value forward (zero increment
+    // for counters, held reading for gauges).
+    if (t.samples.size() < frame_cycles_.size()) {
+      t.samples.push_back(t.samples.empty() ? 0.0 : t.samples.back());
+    }
+  }
+  in_frame_ = false;
+}
+
+void Telemetry::slice(std::string_view track, std::string_view name, Cycle begin, Cycle end) {
+  STTGPU_REQUIRE(end >= begin, "Telemetry: slice ends before it begins");
+  slices_.push_back(Slice{std::string(track), std::string(name), begin, end});
+}
+
+void Telemetry::instant(std::string_view track, std::string_view name, Cycle at) {
+  instants_.push_back(Instant{std::string(track), std::string(name), at});
+}
+
+std::vector<double> Telemetry::track_deltas(std::size_t track) const {
+  const Track& t = tracks_.at(track);
+  std::vector<double> out;
+  out.reserve(t.samples.size());
+  double prev = 0.0;
+  for (const double v : t.samples) {
+    out.push_back(t.is_counter ? v - prev : v);
+    prev = v;
+  }
+  return out;
+}
+
+std::size_t Telemetry::find_track(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? npos : it->second;
+}
+
+void Telemetry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("interval").value(static_cast<std::uint64_t>(interval_));
+  w.key("us_per_cycle").value(us_per_cycle_);
+  w.key("cycle").begin_array();
+  for (const Cycle c : frame_cycles_) w.value(static_cast<std::uint64_t>(c));
+  w.end_array();
+  w.key("counters").begin_object();
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    if (!tracks_[t].is_counter) continue;
+    w.key(tracks_[t].name).begin_array();
+    for (const double v : track_deltas(t)) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const Track& t : tracks_) {
+    if (t.is_counter) continue;
+    w.key(t.name).begin_array();
+    for (const double v : t.samples) w.value(v);
+    w.end_array();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+namespace {
+
+/// One pre-sorted trace event; `kind` disambiguates the payload.
+struct TraceEvent {
+  enum Kind { kCounter, kSlice, kInstant } kind = kCounter;
+  double ts = 0.0;
+  double dur = 0.0;           ///< slices
+  double value = 0.0;         ///< counters
+  const std::string* name = nullptr;
+  unsigned tid = 0;           ///< slices / instants
+};
+
+}  // namespace
+
+void Telemetry::write_chrome_trace(std::ostream& os) const {
+  // Slice/instant tracks become named threads so Perfetto draws each on its
+  // own row; counter tracks are grouped by event name automatically.
+  std::unordered_map<std::string, unsigned> tids;
+  std::vector<const std::string*> tid_names;
+  const auto tid_of = [&](const std::string& track) {
+    const auto it = tids.find(track);
+    if (it != tids.end()) return it->second;
+    const unsigned tid = static_cast<unsigned>(tids.size()) + 1;
+    tids.emplace(track, tid);
+    tid_names.push_back(&tids.find(track)->first);
+    return tid;
+  };
+
+  std::vector<TraceEvent> events;
+  std::vector<std::vector<double>> deltas(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) deltas[t] = track_deltas(t);
+  events.reserve(frame_cycles_.size() * tracks_.size() + slices_.size() + instants_.size());
+  for (std::size_t f = 0; f < frame_cycles_.size(); ++f) {
+    const double ts = static_cast<double>(frame_cycles_[f]) * us_per_cycle_;
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      TraceEvent e;
+      e.kind = TraceEvent::kCounter;
+      e.ts = ts;
+      e.value = deltas[t][f];
+      e.name = &tracks_[t].name;
+      events.push_back(e);
+    }
+  }
+  for (const Slice& s : slices_) {
+    TraceEvent e;
+    e.kind = TraceEvent::kSlice;
+    e.ts = static_cast<double>(s.begin) * us_per_cycle_;
+    e.dur = static_cast<double>(s.end - s.begin) * us_per_cycle_;
+    e.name = &s.name;
+    e.tid = tid_of(s.track);
+    events.push_back(e);
+  }
+  for (const Instant& i : instants_) {
+    TraceEvent e;
+    e.kind = TraceEvent::kInstant;
+    e.ts = static_cast<double>(i.at) * us_per_cycle_;
+    e.name = &i.name;
+    e.tid = tid_of(i.track);
+    events.push_back(e);
+  }
+  // Trace viewers require non-decreasing timestamps; stable sort keeps the
+  // deterministic emission order among same-cycle events.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(0u);
+  w.key("args").begin_object().key("name").value("sttgpu").end_object();
+  w.end_object();
+  for (unsigned tid = 1; tid <= tid_names.size(); ++tid) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(0u);
+    w.key("tid").value(tid);
+    w.key("args").begin_object().key("name").value(*tid_names[tid - 1]).end_object();
+    w.end_object();
+  }
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(*e.name);
+    switch (e.kind) {
+      case TraceEvent::kCounter:
+        w.key("ph").value("C");
+        w.key("pid").value(0u);
+        w.key("ts").value(e.ts);
+        w.key("args").begin_object().key("value").value(e.value).end_object();
+        break;
+      case TraceEvent::kSlice:
+        w.key("ph").value("X");
+        w.key("pid").value(0u);
+        w.key("tid").value(e.tid);
+        w.key("ts").value(e.ts);
+        w.key("dur").value(e.dur);
+        break;
+      case TraceEvent::kInstant:
+        w.key("ph").value("i");
+        w.key("pid").value(0u);
+        w.key("tid").value(e.tid);
+        w.key("ts").value(e.ts);
+        w.key("s").value("t");
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void Telemetry::write_csv(std::ostream& os) const {
+  os << "cycle";
+  for (const Track& t : tracks_) os << ',' << t.name;
+  os << '\n';
+  std::vector<std::vector<double>> deltas(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) deltas[t] = track_deltas(t);
+  for (std::size_t f = 0; f < frame_cycles_.size(); ++f) {
+    os << frame_cycles_[f];
+    for (std::size_t t = 0; t < tracks_.size(); ++t) os << ',' << deltas[t][f];
+    os << '\n';
+  }
+}
+
+}  // namespace sttgpu

@@ -1,6 +1,9 @@
 #include "gpu/dram.hpp"
 
+#include <string>
+
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace sttgpu::gpu {
 
@@ -64,6 +67,16 @@ Cycle DramChannel::next_event_cycle() const noexcept {
   Cycle next = kNoCycle;
   for (const Pending& p : pending_) next = p.ready < next ? p.ready : next;
   return next;
+}
+
+void DramChannel::sample_telemetry(unsigned channel, Telemetry& out) const {
+  const std::string p = "dram" + std::to_string(channel) + '.';
+  out.counter(p + "reads", reads_);
+  out.counter(p + "writes", writes_);
+  if (open_page_) {
+    out.counter(p + "row_hits", row_hits_);
+    out.counter(p + "row_misses", row_misses_);
+  }
 }
 
 }  // namespace sttgpu::gpu

@@ -17,6 +17,10 @@
 #include "gpu/gpu_config.hpp"
 #include "gpu/pipe.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::gpu {
 
 class DramChannel {
@@ -37,6 +41,11 @@ class DramChannel {
   /// Earliest absolute cycle at which this channel has a completion to
   /// deliver; kNoCycle when nothing is pending.
   Cycle next_event_cycle() const noexcept;
+
+  /// Contributes this channel's counter tracks ("dramN.reads", ...) to the
+  /// open telemetry frame; per-interval bandwidth is the increment times the
+  /// line size over the interval's wall time.
+  void sample_telemetry(unsigned channel, Telemetry& out) const;
 
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }

@@ -1,6 +1,7 @@
 #include "gpu/gpu.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "gpu/occupancy.hpp"
 
 namespace sttgpu::gpu {
@@ -40,6 +41,25 @@ Gpu::Gpu(const GpuConfig& config, L2BankFactory& l2_factory)
       return id;
     });
   }
+  if (config_.telemetry != nullptr) {
+    tel_ = config_.telemetry;
+    STTGPU_REQUIRE(tel_->frame_count() == 0 && !tel_->in_frame(),
+                   "Gpu: telemetry sink already holds frames — attach a fresh "
+                   "Telemetry per run");
+    tel_->set_us_per_cycle(1e6 / config_.core_clock_hz);
+    tel_interval_ = tel_->interval();
+    tel_next_ = tel_interval_;
+    for (auto& bank : banks_) bank->attach_telemetry(tel_);
+  }
+}
+
+void Gpu::telemetry_sample(Cycle at) {
+  tel_->begin_frame(at);
+  for (const auto& sm : sms_) sm->sample_telemetry(*tel_);
+  for (auto& bank : banks_) bank->sample_telemetry(at, *tel_);
+  for (unsigned c = 0; c < dram_.size(); ++c) dram_[c]->sample_telemetry(c, *tel_);
+  icnt_.sample_telemetry(*tel_);
+  tel_->end_frame();
 }
 
 unsigned Gpu::bank_of(Addr addr) const noexcept {
@@ -66,6 +86,13 @@ void Gpu::step() {
     sms_[s]->cycle(now_, senders_[s]);
   }
   ++now_;
+  // Interval boundary: every cycle < now_ is fully processed, cycle now_ has
+  // not started — the exact state the fast-forward walk reproduces.
+  // tel_next_ is kNoCycle when telemetry is off, so this never fires then.
+  if (now_ == tel_next_) {
+    telemetry_sample(now_);
+    tel_next_ += tel_interval_;
+  }
 }
 
 Cycle Gpu::next_event_cycle() const {
@@ -107,7 +134,20 @@ void Gpu::fast_forward() {
   // Every skipped cycle is provably a no-op: no packet arrives, no bank has
   // input or a maturing deadline, no warp is ready or due to wake — the only
   // architected effect of stepping through them would be SM idle accounting.
-  for (auto& sm : sms_) sm->account_skipped_cycles(next - now_);
+  // Interval boundaries inside (now_, next] are walked in closed form: the
+  // plain loop samples when its post-increment now_ reaches tel_next_, i.e.
+  // after processing cycle tel_next_-1 — inside this gap that state is
+  // exactly "idle accounting applied up to the boundary". Boundary == next
+  // is included (the plain loop samples there before executing cycle next);
+  // account_skipped_cycles is linear, so the split sums to next - now_.
+  Cycle cur = now_;
+  while (tel_next_ <= next) {
+    for (auto& sm : sms_) sm->account_skipped_cycles(tel_next_ - cur);
+    cur = tel_next_;
+    telemetry_sample(cur);
+    tel_next_ += tel_interval_;
+  }
+  for (auto& sm : sms_) sm->account_skipped_cycles(next - cur);
   now_ = next;
 }
 
@@ -137,6 +177,7 @@ void Gpu::drain_memory() {
 }
 
 void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
+  const Cycle kernel_start = now_;
   const Occupancy occ = compute_occupancy(kernel, config_);
 
   std::vector<std::deque<unsigned>> queues(config_.num_sms);
@@ -167,9 +208,15 @@ void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
     if (!all_done()) fast_forward();
   }
 
+  if (tel_ != nullptr) tel_->slice("kernel", kernel.name, kernel_start, now_);
+
   // Inter-kernel boundary: L1s are flushed (no coherence across launches).
+  const Cycle drain_start = now_;
   for (unsigned s = 0; s < config_.num_sms; ++s) sms_[s]->flush_l1(now_, senders_[s]);
   drain_memory();
+  if (tel_ != nullptr && now_ > drain_start) {
+    tel_->slice("drain", kernel.name, drain_start, now_);
+  }
 }
 
 RunResult Gpu::run(const workload::Workload& workload) {
@@ -178,6 +225,11 @@ RunResult Gpu::run(const workload::Workload& workload) {
   for (std::size_t k = 0; k < workload.kernels.size(); ++k) {
     run_kernel(workload.kernels[k], workload.seed + 0x1000 * (k + 1));
   }
+
+  // Final partial interval: both loop modes end at the identical now_, so
+  // this closing frame is identical too. Skipped when the run happened to
+  // end exactly on a sampled boundary.
+  if (tel_ != nullptr && now_ > tel_next_ - tel_interval_) telemetry_sample(now_);
 
   RunResult r;
   r.cycles = now_;

@@ -83,7 +83,14 @@ class Gpu {
   /// future, jump now_ straight to the earliest one (skipped cycles would
   /// have been pure no-ops except SM idle accounting, which is applied).
   /// No-op when config_.fast_forward is off or an event is due now.
+  /// When telemetry is attached, interval boundaries inside the skipped
+  /// stretch are walked in closed form: each boundary gets the SM idle
+  /// accounting up to it and a sample at exactly the cycle the plain loop
+  /// would have sampled, so the series is identical in both modes.
   void fast_forward();
+
+  /// Opens a telemetry frame at @p at and polls every component.
+  void telemetry_sample(Cycle at);
 
   /// After a failed skip attempt the next one waits this many cycles, so the
   /// component scan stays off the critical path of busy stretches. Stepping
@@ -101,6 +108,14 @@ class Gpu {
 
   Cycle now_ = 0;
   Cycle ff_next_try_ = 0;  ///< earliest cycle for the next fast-forward scan
+
+  // Interval telemetry (null/kNoCycle when disabled, so the per-cycle cost
+  // of the disabled path is a single integer compare in step()).
+  Telemetry* tel_ = nullptr;
+  Cycle tel_interval_ = 0;
+  Cycle tel_next_ = kNoCycle;  ///< next interval boundary to sample
+
+
   std::uint64_t next_request_id_ = 1;
   std::vector<L2Response> response_scratch_;
   std::vector<SendTxnFn> senders_;  ///< one bound sender per SM

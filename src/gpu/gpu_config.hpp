@@ -8,6 +8,10 @@
 
 #include "common/units.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::gpu {
 
 /// Warp scheduler policy.
@@ -69,6 +73,12 @@ struct GpuConfig {
   /// are identical either way (the equivalence is tested); disable to A/B
   /// against the plain loop.
   bool fast_forward = true;
+
+  /// Optional interval-telemetry sink (not owned; must outlive the Gpu).
+  /// Purely observational: attaching one never changes simulated results,
+  /// so it is not part of the result-cache config fingerprint. Use a fresh
+  /// Telemetry per run.
+  Telemetry* telemetry = nullptr;
 
   Clock clock() const noexcept { return Clock{core_clock_hz}; }
 };

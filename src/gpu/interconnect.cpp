@@ -1,6 +1,7 @@
 #include "gpu/interconnect.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace sttgpu::gpu {
 
@@ -46,6 +47,12 @@ Cycle Interconnect::next_event_cycle() const noexcept {
     if (!q.empty() && q.front().arrival < next) next = q.front().arrival;
   }
   return next;
+}
+
+void Interconnect::sample_telemetry(Telemetry& out) const {
+  out.counter("icnt.request_flits", request_flits_);
+  out.counter("icnt.response_flits", response_flits_);
+  out.gauge("icnt.in_flight", static_cast<double>(in_flight_));
 }
 
 }  // namespace sttgpu::gpu

@@ -16,6 +16,10 @@
 #include "gpu/pipe.hpp"
 #include "gpu/request.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::gpu {
 
 class Interconnect {
@@ -64,6 +68,10 @@ class Interconnect {
   /// passed (bank backpressure) reports that past cycle, which correctly
   /// blocks fast-forwarding over it.
   Cycle next_event_cycle() const noexcept;
+
+  /// Contributes network counter tracks and the in-flight gauge to the open
+  /// telemetry frame.
+  void sample_telemetry(Telemetry& out) const;
 
   std::uint64_t request_flits() const noexcept { return request_flits_; }
   std::uint64_t response_flits() const noexcept { return response_flits_; }

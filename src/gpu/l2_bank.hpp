@@ -19,6 +19,10 @@
 #include "gpu/request.hpp"
 #include "power/energy.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::gpu {
 
 class L2Bank {
@@ -50,6 +54,15 @@ class L2Bank {
   /// nothing is scheduled. The default is the always-safe 0, which simply
   /// disables fast-forward around implementations that don't model events.
   virtual Cycle next_event_cycle() const { return 0; }
+
+  /// Interval-telemetry hookup (optional; default: banks emit nothing).
+  /// attach_telemetry is called once by the GPU before the run starts so
+  /// implementations can mark timeline events (refresh storms, fault data
+  /// loss) as they happen; sample_telemetry is called inside an open frame
+  /// at every interval boundary and contributes this bank's counter/gauge
+  /// samples. Both must be purely observational.
+  virtual void attach_telemetry(Telemetry* /*sink*/) {}
+  virtual void sample_telemetry(Cycle /*now*/, Telemetry& /*out*/) {}
 
   virtual const L2BankStats& stats() const = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace sttgpu::gpu {
 
@@ -284,6 +285,15 @@ void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& sen
 
 void Sm::flush_l1(Cycle now, const SendTxnFn& send) {
   for (const Addr wb : l1_.flush()) send_writeback(wb, now, send);
+}
+
+void Sm::sample_telemetry(Telemetry& out) const {
+  const std::string p = "sm" + std::to_string(id_) + '.';
+  out.counter(p + "instructions", stats_.issued_instructions);
+  out.counter(p + "load_txns", stats_.load_transactions);
+  out.counter(p + "store_txns", stats_.store_transactions);
+  out.counter(p + "idle_cycles", stats_.idle_cycles);
+  out.counter(p + "stall_cycles", stats_.stall_cycles);
 }
 
 }  // namespace sttgpu::gpu

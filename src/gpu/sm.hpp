@@ -26,6 +26,10 @@
 #include "gpu/request.hpp"
 #include "workload/stream.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::gpu {
 
 /// Emits one 128B transaction toward the L2; returns the global request id.
@@ -89,6 +93,11 @@ class Sm {
   void account_skipped_cycles(Cycle skipped) noexcept {
     if (active_warps_ > 0) stats_.idle_cycles += skipped;
   }
+
+  /// Contributes this SM's counter tracks ("smN.instructions", ...) to the
+  /// open telemetry frame; per-interval IPC falls out as the increment of
+  /// instructions over the interval length.
+  void sample_telemetry(Telemetry& out) const;
 
   const SmStats& stats() const noexcept { return stats_; }
   const L1Complex& l1() const noexcept { return l1_; }

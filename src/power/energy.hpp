@@ -46,9 +46,16 @@ class EnergyLedger {
     total_pj_ += pj;
   }
 
-  /// Convenience/compatibility shim: interns on every call; fine for cold
-  /// paths, avoid on per-access paths.
-  void add(const std::string& category, PicoJoule pj) { add(intern(category), pj); }
+  /// Convenience/compatibility shim: interns on every call. Per-access
+  /// paths must intern once and charge through add(EnergyId, pj); outside
+  /// the test suite (which defines STTGPU_ALLOW_STRING_COUNTERS) new uses
+  /// are flagged at compile time.
+#if !defined(STTGPU_ALLOW_STRING_COUNTERS)
+  [[deprecated("intern the category once and use add(EnergyId, pj) instead")]]
+#endif
+  void add(const std::string& category, PicoJoule pj) {
+    add(intern(category), pj);
+  }
 
   PicoJoule total_pj() const noexcept { return total_pj_; }
   PicoJoule category_pj(const std::string& category) const;

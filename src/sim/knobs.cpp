@@ -1,0 +1,157 @@
+#include "sim/knobs.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu::sim {
+
+namespace {
+
+using Type = KnobSpec::Type;
+
+constexpr unsigned kRunMatrix = kKnobRun | kKnobMatrix;
+constexpr unsigned kRunRecord = kKnobRun | kKnobRecord;
+constexpr unsigned kRunMatrixRecord = kKnobRun | kKnobMatrix | kKnobRecord;
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kBool: return "bool";
+    case Type::kInt: return "int";
+    case Type::kDouble: return "float";
+    case Type::kString: return "string";
+  }
+  return "?";
+}
+
+const char* command_name(KnobCommand c) {
+  switch (c) {
+    case kKnobRun: return "run";
+    case kKnobMatrix: return "matrix";
+    case kKnobRecord: return "record";
+    case kKnobReplay: return "replay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const std::vector<KnobSpec>& knob_registry() {
+  static const std::vector<KnobSpec> kKnobs = {
+      {"arch", Type::kString, "C1", "architecture (sram|stt-base|C1|C2|C3)",
+       kKnobRun | kKnobReplay},
+      {"arch", Type::kString, "sram", "architecture to record under", kKnobRecord},
+      {"benchmark", Type::kString, "bfs", "benchmark model (see `sttgpu list`)", kRunRecord},
+      {"scale", Type::kDouble, "0.5", "workload scale in (0, 1]", kRunMatrixRecord},
+      {"json", Type::kString, "", "write the result as JSON to this path", kRunMatrix},
+      {"cache", Type::kString, "fig8_cache.csv", "matrix result cache (empty disables)",
+       kKnobMatrix},
+      {"jobs", Type::kInt, "0", "worker threads (0 = all hardware threads)", kKnobMatrix},
+      {"trace", Type::kString, "l2.trace", "L2 demand-stream trace path",
+       kKnobRecord | kKnobReplay},
+      {"fastforward", Type::kBool, "1",
+       "event-driven idle-cycle skip; results are identical either way", kRunMatrixRecord},
+      {"faults", Type::kBool, "0", "seeded STT-RAM retention/write-failure injector",
+       kRunMatrix},
+      {"fault_seed", Type::kInt, "42", "fault injector RNG seed", kRunMatrix},
+      {"fault_accel", Type::kDouble, "1", "error-rate acceleration factor", kRunMatrix},
+      {"ecc", Type::kBool, "1", "SECDED recovery on collapsed lines", kRunMatrix},
+      {"telemetry", Type::kBool, "0", "per-interval telemetry sampling (observational)",
+       kRunRecord},
+      {"interval", Type::kInt, "50000", "telemetry sampling window in cycles", kRunRecord},
+      {"trace_out", Type::kString, "", "write a Chrome trace-event JSON (Perfetto-loadable)",
+       kRunRecord},
+      {"telemetry_csv", Type::kString, "", "write the interval series as CSV", kRunRecord},
+  };
+  return kKnobs;
+}
+
+namespace {
+
+const KnobSpec* find_knob(KnobCommand command, const std::string& name) {
+  for (const KnobSpec& k : knob_registry()) {
+    if ((k.commands & command) != 0 && name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+const KnobSpec& require_knob(KnobCommand command, const std::string& name, Type type) {
+  const KnobSpec* k = find_knob(command, name);
+  STTGPU_ASSERT(k != nullptr);
+  STTGPU_ASSERT(k->type == type);
+  return *k;
+}
+
+}  // namespace
+
+void validate_knobs(const Config& cfg, KnobCommand command, const std::string& cmd_name) {
+  for (const auto& [key, value] : cfg.all()) {
+    const KnobSpec* k = find_knob(command, key);
+    if (k == nullptr) {
+      std::string msg =
+          "unknown knob '" + key + "' for 'sttgpu " + cmd_name + "'; valid knobs:";
+      for (const KnobSpec& spec : knob_registry()) {
+        if ((spec.commands & command) != 0) {
+          msg += ' ';
+          msg += spec.name;
+        }
+      }
+      throw SimError(msg);
+    }
+    // Force a parse so a bad value fails here, before any simulation runs.
+    switch (k->type) {
+      case Type::kBool: cfg.get_bool(key, false); break;
+      case Type::kInt: cfg.get_int(key, 0); break;
+      case Type::kDouble: cfg.get_double(key, 0.0); break;
+      case Type::kString: break;
+    }
+  }
+}
+
+std::string knob_string(const Config& cfg, KnobCommand command, const std::string& name) {
+  return cfg.get_string(name, require_knob(command, name, Type::kString).def);
+}
+
+std::int64_t knob_int(const Config& cfg, KnobCommand command, const std::string& name) {
+  const KnobSpec& k = require_knob(command, name, Type::kInt);
+  return cfg.get_int(name, std::strtoll(k.def, nullptr, 0));
+}
+
+double knob_double(const Config& cfg, KnobCommand command, const std::string& name) {
+  const KnobSpec& k = require_knob(command, name, Type::kDouble);
+  return cfg.get_double(name, std::strtod(k.def, nullptr));
+}
+
+bool knob_bool(const Config& cfg, KnobCommand command, const std::string& name) {
+  const KnobSpec& k = require_knob(command, name, Type::kBool);
+  return cfg.get_bool(name, k.def[0] == '1');
+}
+
+std::string knob_usage() {
+  std::ostringstream os;
+  os << "usage: sttgpu <list|run|matrix|record|replay|help> [key=value ...]\n";
+  for (const KnobCommand cmd : {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay}) {
+    os << "  " << command_name(cmd) << ":\n";
+    for (const KnobSpec& k : knob_registry()) {
+      if ((k.commands & cmd) == 0) continue;
+      os << "    " << k.name << "=<" << type_name(k.type) << ">";
+      if (k.def[0] != '\0') os << " (default " << k.def << ")";
+      os << "  " << k.help << "\n";
+    }
+  }
+  os << "  unknown or unparseable key=value knobs are rejected with the valid list\n"
+        "  for the command. See EXPERIMENTS.md for fault-injection and telemetry\n"
+        "  recipes.\n";
+  return os.str();
+}
+
+sttl2::FaultInjectionConfig fault_knobs(const Config& cfg, KnobCommand command) {
+  sttl2::FaultInjectionConfig f;
+  f.enabled = knob_bool(cfg, command, "faults");
+  f.seed = static_cast<std::uint64_t>(knob_int(cfg, command, "fault_seed"));
+  f.accel = knob_double(cfg, command, "fault_accel");
+  f.ecc = knob_bool(cfg, command, "ecc");
+  return f;
+}
+
+}  // namespace sttgpu::sim

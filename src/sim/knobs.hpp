@@ -1,0 +1,65 @@
+// Declarative knob registry for the sttgpu CLI.
+//
+// Every key=value knob any subcommand accepts is declared exactly once in
+// knob_registry(): name, type, default, one-line help, and the subcommands
+// it applies to. The registry replaces the hand-written valid-knob lists
+// that tools/sttgpu.cpp used to repeat per command — parsing, typo
+// rejection, type validation, default resolution, and the usage text are
+// all generated from the same table, so they can never drift apart.
+//
+// A knob whose default differs per subcommand (e.g. `arch`: C1 for
+// run/replay, sram for record) appears as multiple rows with disjoint
+// command masks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sttl2/config.hpp"
+
+namespace sttgpu::sim {
+
+/// Bitmask of CLI subcommands a knob applies to.
+enum KnobCommand : unsigned {
+  kKnobRun = 1u << 0,
+  kKnobMatrix = 1u << 1,
+  kKnobRecord = 1u << 2,
+  kKnobReplay = 1u << 3,
+};
+
+struct KnobSpec {
+  const char* name;
+  enum class Type { kBool, kInt, kDouble, kString } type;
+  const char* def;    ///< default, spelled as it would be typed (may be "")
+  const char* help;   ///< one-line description for the generated usage text
+  unsigned commands;  ///< bitmask of KnobCommand values
+};
+
+/// The full knob table, in usage-text order.
+const std::vector<KnobSpec>& knob_registry();
+
+/// Rejects unknown keys and unparseable values for @p command: every key in
+/// @p cfg must name a registry knob whose mask includes @p command, and its
+/// value must parse as the declared type. Throws SimError naming the bad
+/// knob and listing the valid ones for @p command_name.
+void validate_knobs(const Config& cfg, KnobCommand command, const std::string& command_name);
+
+/// Typed getters that resolve the default from the registry row matching
+/// (@p name, @p command). Asserts the knob exists with the declared type —
+/// a mismatch is a programming error, not user input.
+std::string knob_string(const Config& cfg, KnobCommand command, const std::string& name);
+std::int64_t knob_int(const Config& cfg, KnobCommand command, const std::string& name);
+double knob_double(const Config& cfg, KnobCommand command, const std::string& name);
+bool knob_bool(const Config& cfg, KnobCommand command, const std::string& name);
+
+/// Usage text generated from the registry: one block per subcommand listing
+/// its knobs with type, default, and help.
+std::string knob_usage();
+
+/// Builds the fault-injection config from the faults/fault_seed/
+/// fault_accel/ecc knobs (registry defaults: injection disabled).
+sttl2::FaultInjectionConfig fault_knobs(const Config& cfg, KnobCommand command);
+
+}  // namespace sttgpu::sim

@@ -41,7 +41,9 @@ struct TwoPartProbe {
 };
 
 /// Runs @p benchmark on a GPU with @p bank_cfg two-part banks. @p gpu_cfg
-/// defaults to the baseline GPU model.
+/// defaults to the baseline GPU model. Probes build their own Gpu (they do
+/// not go through RunOptions); to sample interval telemetry from a probe
+/// run, point gpu_cfg->telemetry at a fresh sink before calling.
 TwoPartProbe run_two_part(const std::string& benchmark, const sttl2::TwoPartBankConfig& bank_cfg,
                           double scale, const gpu::GpuConfig* gpu_cfg = nullptr);
 

@@ -1,6 +1,7 @@
 #include "sim/report.hpp"
 
 #include "common/json.hpp"
+#include "common/telemetry.hpp"
 #include "sttl2/reliability.hpp"
 #include "sttl2/two_part_bank.hpp"
 #include "sttl2/uniform_bank.hpp"
@@ -90,7 +91,7 @@ void write_matrix_json(std::ostream& os, const std::vector<Metrics>& rows) {
 }
 
 void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run,
-                    const FaultSummary* faults) {
+                    const FaultSummary* faults, const Telemetry* telemetry) {
   JsonWriter w(os);
   w.begin_object();
   w.key("metrics").begin_object();
@@ -139,6 +140,11 @@ void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResu
     w.key("write_verify_retries").value(faults->wv_retries);
     w.key("write_verify_escalations").value(faults->wv_escalations);
     w.end_object();
+  }
+
+  if (telemetry != nullptr) {
+    w.key("telemetry");
+    telemetry->write_json(w);
   }
   w.end_object();
 }

@@ -41,9 +41,12 @@ FaultSummary collect_fault_summary(gpu::Gpu& g);
 /// A full run with the implementation counters and per-category energy:
 /// {"arch": ..., "benchmark": ..., "metrics": {...}, "counters": {...},
 ///  "energy_pj": {...}}. When @p faults is non-null and enabled, a
-/// "faults" object with the injected/predicted cross-check is appended
-/// (output is byte-identical to before when absent).
+/// "faults" object with the injected/predicted cross-check is appended;
+/// when @p telemetry is non-null its interval time series is appended as a
+/// "telemetry" object (output is byte-identical to before when both are
+/// absent).
 void write_run_json(std::ostream& os, const Metrics& metrics, const gpu::RunResult& run,
-                    const FaultSummary* faults = nullptr);
+                    const FaultSummary* faults = nullptr,
+                    const Telemetry* telemetry = nullptr);
 
 }  // namespace sttgpu::sim

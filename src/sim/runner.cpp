@@ -25,6 +25,21 @@ std::unique_ptr<gpu::L2BankFactory> make_factory(const ArchSpec& spec) {
   return std::make_unique<sttl2::UniformBankFactory>(spec.uniform, clock);
 }
 
+/// RunOptions is the single source of truth for run-mode knobs: overwrite
+/// the spec's copies so a pre-mutated spec cannot silently diverge from
+/// what the caller asked for.
+ArchSpec configured(const ArchSpec& spec, const RunOptions& opts) {
+  ArchSpec s = spec;
+  s.gpu.fast_forward = opts.fast_forward;
+  s.gpu.telemetry = opts.telemetry;
+  if (s.two_part) {
+    s.two_part_cfg.faults = opts.faults;
+  } else {
+    s.uniform.faults = opts.faults;
+  }
+  return s;
+}
+
 }  // namespace
 
 namespace {
@@ -35,22 +50,19 @@ Metrics metrics_from(const ArchSpec& spec, const workload::Workload& workload,
 }  // namespace
 
 Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
-                const BankInspector& inspect) {
-  auto factory = make_factory(spec);
-  gpu::Gpu g(spec.gpu, *factory);
-  const gpu::RunResult r = g.run(workload);
-  const Metrics m = metrics_from(spec, workload, r);
-  if (inspect) inspect(g);
-  return m;
+                const RunOptions& opts) {
+  gpu::RunResult run;
+  return run_one_detailed(spec, workload, run, opts);
 }
 
 Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
-                         gpu::RunResult& out_run, const BankInspector& inspect) {
-  auto factory = make_factory(spec);
-  gpu::Gpu g(spec.gpu, *factory);
+                         gpu::RunResult& out_run, const RunOptions& opts) {
+  const ArchSpec s = configured(spec, opts);
+  auto factory = make_factory(s);
+  gpu::Gpu g(s.gpu, *factory);
   out_run = g.run(workload);
-  const Metrics m = metrics_from(spec, workload, out_run);
-  if (inspect) inspect(g);
+  const Metrics m = metrics_from(s, workload, out_run);
+  if (opts.inspect) opts.inspect(g);
   return m;
 }
 
@@ -73,11 +85,11 @@ Metrics metrics_from(const ArchSpec& spec, const workload::Workload& workload,
 
 }  // namespace
 
-Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
-                const BankInspector& inspect) {
+Metrics run_one(Architecture arch, const std::string& benchmark,
+                const RunOptions& opts) {
   const ArchSpec spec = make_arch(arch);
-  const workload::Workload w = workload::make_benchmark(benchmark, scale);
-  return run_one(spec, w, inspect);
+  const workload::Workload w = workload::make_benchmark(benchmark, opts.scale);
+  return run_one(spec, w, opts);
 }
 
 // ---------------------------------------------------------------------------
@@ -338,18 +350,24 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
                  "cannot move result cache into place: " + path);
 }
 
-std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path, unsigned jobs,
-                                bool fast_forward, const sttl2::FaultInjectionConfig& faults) {
-  return run_matrix(archs, workload::benchmark_names(), scale, cache_path, jobs,
-                    fast_forward, faults);
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
+                                const RunOptions& opts) {
+  return run_matrix(archs, workload::benchmark_names(), opts);
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
-                                const std::vector<std::string>& benchmarks, double scale,
-                                const std::string& cache_path, unsigned jobs,
-                                bool fast_forward, const sttl2::FaultInjectionConfig& faults) {
-  const unsigned n_threads = jobs == 0 ? default_jobs() : jobs;
+                                const std::vector<std::string>& benchmarks,
+                                const RunOptions& opts) {
+  STTGPU_REQUIRE(opts.telemetry == nullptr,
+                 "run_matrix: telemetry is per-run — parallel matrix runs would "
+                 "interleave samples into one sink; use run_one with a fresh "
+                 "Telemetry instead");
+  STTGPU_REQUIRE(!opts.inspect,
+                 "run_matrix: the inspect hook is per-run; use run_one");
+  const double scale = opts.scale;
+  const std::string& cache_path = opts.cache_path;
+  const sttl2::FaultInjectionConfig& faults = opts.faults;
+  const unsigned n_threads = opts.jobs == 0 ? default_jobs() : opts.jobs;
   auto cache = cache_path.empty()
                    ? std::map<std::pair<std::string, std::string>, Metrics>{}
                    : load_cache(cache_path, scale, faults);
@@ -366,13 +384,7 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   std::vector<Pending> pending;
   std::size_t slot = 0;
   for (const Architecture arch : archs) {
-    ArchSpec spec = make_arch(arch);
-    spec.gpu.fast_forward = fast_forward;
-    if (spec.two_part) {
-      spec.two_part_cfg.faults = faults;
-    } else {
-      spec.uniform.faults = faults;
-    }
+    const ArchSpec spec = make_arch(arch);
     for (const std::string& name : benchmarks) {
       if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
         rows[slot] = it->second;
@@ -404,7 +416,9 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
     work.push_back(Job{
         p.spec.name + "/" + p.benchmark, [&, p]() {
           const workload::Workload w = workload::make_benchmark(p.benchmark, scale);
-          Metrics m = run_one(p.spec, w);
+          // opts.telemetry/inspect are guaranteed null above; run_one applies
+          // the shared fast_forward/faults knobs to this run's spec copy.
+          Metrics m = run_one(p.spec, w, opts);
           {
             const std::lock_guard<std::mutex> lock(cache_mutex);
             cache[{p.spec.name, p.benchmark}] = m;

@@ -24,6 +24,10 @@
 #include "sim/arch.hpp"
 #include "workload/benchmarks.hpp"
 
+namespace sttgpu {
+class Telemetry;
+}
+
 namespace sttgpu::sim {
 
 struct Metrics {
@@ -42,46 +46,75 @@ struct Metrics {
 /// used by benches that need bank internals (histograms, utilizations).
 using BankInspector = std::function<void(gpu::Gpu&)>;
 
-/// Runs @p workload on @p spec. @p inspect (optional) sees the finished GPU.
-Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
-                const BankInspector& inspect = {});
+/// Every run-mode knob of the runner entry points in one place, with named
+/// defaults — replaces the old positional (cache_path, jobs, fast_forward,
+/// faults, ...) parameter accretion. RunOptions is the single source of
+/// truth for these knobs: run_one/run_matrix overwrite the corresponding
+/// ArchSpec fields (gpu.fast_forward, gpu.telemetry, *.faults) from it, so
+/// pre-mutating a spec for run-mode settings no longer has any effect.
+/// C++20 designated initializers keep call sites readable:
+///   run_one(spec, w, {.fast_forward = false});
+///   run_matrix(archs, {.scale = 0.1, .cache_path = "c.csv", .jobs = 4});
+struct RunOptions {
+  /// Workload scale in (0, 1] — used by the by-name/matrix entry points
+  /// that construct their own benchmarks.
+  double scale = 0.5;
 
-/// Convenience: build + run by ids.
-Metrics run_one(Architecture arch, const std::string& benchmark, double scale,
-                const BankInspector& inspect = {});
+  /// Matrix result cache path (CSV, format v2); empty disables caching.
+  std::string cache_path{};
+
+  /// Matrix worker threads: 0 = hardware concurrency, 1 = sequential.
+  unsigned jobs = 1;
+
+  /// Event-driven fast-forward in the simulator core. A pure scheduling
+  /// optimization — results are identical either way (so it is not part of
+  /// the cache fingerprint); `false` exists for A/B validation.
+  bool fast_forward = true;
+
+  /// In-simulation fault injection on every bank (sttl2/fault_model.hpp).
+  /// Unlike fast_forward it changes results, so its knobs ARE part of the
+  /// cache fingerprint: a fault run can never reuse or pollute a baseline
+  /// cache (and vice versa).
+  sttl2::FaultInjectionConfig faults{};
+
+  /// Interval-telemetry sink (common/telemetry.hpp); not owned, must
+  /// outlive the run, one fresh Telemetry per run. Purely observational —
+  /// aggregates are byte-identical with or without it. Rejected by
+  /// run_matrix (parallel runs would interleave samples into one sink).
+  Telemetry* telemetry = nullptr;
+
+  /// Optional hook that sees the finished GPU before teardown.
+  BankInspector inspect{};
+};
+
+/// Runs @p workload on @p spec under @p opts (opts.scale is ignored here —
+/// the workload is already built).
+Metrics run_one(const ArchSpec& spec, const workload::Workload& workload,
+                const RunOptions& opts = {});
+
+/// Convenience: build + run by ids; the benchmark is built at opts.scale.
+Metrics run_one(Architecture arch, const std::string& benchmark,
+                const RunOptions& opts = {});
 
 /// Like run_one, but also hands back the full gpu::RunResult (counters,
-/// per-category energy, SM stats) for detailed reporting. @p inspect
-/// (optional) sees the finished GPU before teardown.
+/// per-category energy, SM stats) for detailed reporting.
 Metrics run_one_detailed(const ArchSpec& spec, const workload::Workload& workload,
-                         gpu::RunResult& out_run, const BankInspector& inspect = {});
+                         gpu::RunResult& out_run, const RunOptions& opts = {});
 
-/// The Fig. 8 matrix: every benchmark on every listed architecture.
-/// Results are cached in @p cache_path (CSV, format v2 — see load_cache);
-/// pass an empty path to disable caching. Runs are distributed over
-/// @p jobs worker threads (0 = hardware_concurrency, 1 = sequential);
-/// results are ordered by (arch, benchmark) index regardless of job count.
-/// Progress lines go to stderr. Throws SimError (naming the failing
-/// arch/benchmark) if a run fails, and if @p cache_path is not writable.
-/// @p fast_forward toggles the event-driven fast-forward in the simulator
-/// core (gpu::GpuConfig::fast_forward); results are identical either way,
-/// so it is not part of the cache fingerprint — `false` exists for A/B
-/// validation of the skip logic.
-/// @p faults enables in-simulation fault injection on every bank (see
-/// sttl2/fault_model.hpp). Unlike fast_forward it changes results, so its
-/// knobs ARE part of the cache fingerprint: a fault run can never reuse or
-/// pollute a baseline cache (and vice versa).
-std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs, double scale,
-                                const std::string& cache_path, unsigned jobs = 1,
-                                bool fast_forward = true,
-                                const sttl2::FaultInjectionConfig& faults = {});
+/// The Fig. 8 matrix: every benchmark on every listed architecture, run
+/// under @p opts (scale, cache_path, jobs, fast_forward, faults). Results
+/// are ordered by (arch, benchmark) index regardless of job count; progress
+/// lines go to stderr. Throws SimError (naming the failing arch/benchmark)
+/// if a run fails, if opts.cache_path is not writable, or if opts sets
+/// telemetry/inspect (both are per-run hooks, meaningless across a fanned-
+/// out matrix).
+std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
+                                const RunOptions& opts = {});
 
 /// Same, restricted to an explicit benchmark subset (tests, quick sweeps).
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
-                                const std::vector<std::string>& benchmarks, double scale,
-                                const std::string& cache_path, unsigned jobs = 1,
-                                bool fast_forward = true,
-                                const sttl2::FaultInjectionConfig& faults = {});
+                                const std::vector<std::string>& benchmarks,
+                                const RunOptions& opts = {});
 
 /// Fingerprint of the simulator configuration that cached results depend
 /// on: hashes the resolved Table-2 architecture registry (cache geometry,

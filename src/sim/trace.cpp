@@ -139,17 +139,27 @@ ReplayResult replay_impl(const std::vector<TraceRecord>& records, FactoryT& fact
 }  // namespace
 
 Metrics record_trace(const ArchSpec& spec, const workload::Workload& workload,
-                     const std::string& trace_path) {
+                     const std::string& trace_path, const RunOptions& opts) {
+  // Run-mode knobs come from opts, exactly as in run_one (runner.cpp).
+  ArchSpec s = spec;
+  s.gpu.fast_forward = opts.fast_forward;
+  s.gpu.telemetry = opts.telemetry;
+  if (s.two_part) {
+    s.two_part_cfg.faults = opts.faults;
+  } else {
+    s.uniform.faults = opts.faults;
+  }
+
   std::vector<TraceRecord> records;
   std::unique_ptr<gpu::L2BankFactory> inner;
-  const Clock clock = spec.gpu.clock();
-  if (spec.two_part) {
-    inner = std::make_unique<sttl2::TwoPartBankFactory>(spec.two_part_cfg, clock);
+  const Clock clock = s.gpu.clock();
+  if (s.two_part) {
+    inner = std::make_unique<sttl2::TwoPartBankFactory>(s.two_part_cfg, clock);
   } else {
-    inner = std::make_unique<sttl2::UniformBankFactory>(spec.uniform, clock);
+    inner = std::make_unique<sttl2::UniformBankFactory>(s.uniform, clock);
   }
   TracingFactory factory(*inner, &records);
-  gpu::Gpu g(spec.gpu, factory);
+  gpu::Gpu g(s.gpu, factory);
   const gpu::RunResult run = g.run(workload);
 
   save_trace(trace_path, records);

@@ -30,8 +30,10 @@ struct TraceRecord {
 
 /// Runs @p workload on @p spec while recording every L2 bank request to
 /// @p trace_path. Returns the run metrics (the recording adds no timing).
+/// Honours the run-mode knobs of @p opts (fast_forward, faults, telemetry);
+/// scale/cache/jobs/inspect are ignored.
 Metrics record_trace(const ArchSpec& spec, const workload::Workload& workload,
-                     const std::string& trace_path);
+                     const std::string& trace_path, const RunOptions& opts = {});
 
 /// Loads a trace written by record_trace. Throws SimError on parse errors.
 std::vector<TraceRecord> load_trace(const std::string& trace_path);

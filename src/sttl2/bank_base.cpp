@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace sttgpu::sttl2 {
 
@@ -114,6 +115,27 @@ void BankBase::respond(const gpu::L2Request& request, Cycle ready) {
 void BankBase::dram_writeback(Addr line, Cycle now) {
   dram_->write(line, now);
   ++stats_.dram_writebacks;
+}
+
+std::string BankBase::telemetry_prefix() const {
+  return "l2b" + std::to_string(bank_id_) + '.';
+}
+
+void BankBase::sample_telemetry(Cycle /*now*/, Telemetry& out) {
+  const std::string p = telemetry_prefix();
+  out.counter(p + "read_hits", stats_.read_hits);
+  out.counter(p + "read_misses", stats_.read_misses);
+  out.counter(p + "write_hits", stats_.write_hits);
+  out.counter(p + "write_misses", stats_.write_misses);
+  out.counter(p + "dram_reads", stats_.dram_reads);
+  out.counter(p + "dram_writebacks", stats_.dram_writebacks);
+  // Every implementation counter (migrations, refreshes, expiries, fault
+  // recoveries, ...) becomes a per-bank track; ids are interned at bank
+  // construction so the set is stable across frames.
+  for (CounterId id = 0; id < static_cast<CounterId>(counters_.size()); ++id) {
+    out.counter(p + counters_.name(id), counters_.at(id));
+  }
+  out.gauge(p + "input_queue", static_cast<double>(input_.size()));
 }
 
 }  // namespace sttgpu::sttl2

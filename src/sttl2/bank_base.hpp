@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -83,6 +84,16 @@ class BankBase : public gpu::L2Bank {
   const gpu::L2BankStats& stats() const final { return stats_; }
   const power::EnergyLedger& energy() const final { return energy_; }
 
+  /// Remembers the sink so implementations can mark timeline events
+  /// (refresh storms, fault data loss) as they happen.
+  void attach_telemetry(Telemetry* sink) override { telemetry_ = sink; }
+
+  /// Dumps the shared hit/miss/DRAM stats plus every implementation counter
+  /// as "l2bN."-prefixed counter tracks and the input-queue fill as a gauge.
+  /// Implementations extend this with their own gauges (occupancy, buffer
+  /// depths) by overriding and calling the base first.
+  void sample_telemetry(Cycle now, Telemetry& out) override;
+
   /// Implementation-specific counters for reports.
   const CounterSet& counters() const noexcept { return counters_; }
 
@@ -136,6 +147,12 @@ class BankBase : public gpu::L2Bank {
   unsigned bank_id() const noexcept { return bank_id_; }
   unsigned line_bytes() const noexcept { return line_bytes_; }
 
+  /// Attached telemetry sink; null while telemetry is off — every use in an
+  /// implementation must be gated on it.
+  Telemetry* telemetry() const noexcept { return telemetry_; }
+  /// Track-name prefix scoping samples/events to this bank ("l2bN.").
+  std::string telemetry_prefix() const;
+
  private:
   unsigned bank_id_;
   unsigned line_bytes_;
@@ -150,6 +167,7 @@ class BankBase : public gpu::L2Bank {
   gpu::L2BankStats stats_;
   power::EnergyLedger energy_;
   CounterSet counters_;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sttgpu::sttl2

@@ -1,6 +1,7 @@
 #include "sttl2/two_part_bank.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 #include "nvm/cell.hpp"
 
 namespace sttgpu::sttl2 {
@@ -230,6 +231,9 @@ bool TwoPartBank::fault_read_check(bool lr_part, Addr key, unsigned way, Cycle n
     // is dropped so later accesses at least see consistent (stale) data.
     if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
     mutable_counters().at(c_.fault_data_loss) += 1;
+    if (telemetry() != nullptr) {
+      telemetry()->instant(telemetry_prefix() + "faults", "data_loss", now);
+    }
   }
   tags.invalidate(key, way);
   return true;
@@ -251,6 +255,9 @@ TwoPartBank::Carry TwoPartBank::fault_carry_trial(FaultModel& fm, cache::LineMet
   }
   if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
   mutable_counters().at(c_.fault_data_loss) += 1;
+  if (telemetry() != nullptr) {
+    telemetry()->instant(telemetry_prefix() + "faults", "data_loss", now);
+  }
   return Carry::kDrop;
 }
 
@@ -567,11 +574,16 @@ void TwoPartBank::adapt_threshold(Cycle now) {
 }
 
 void TwoPartBank::do_refresh(Cycle now) {
+  // Telemetry bookkeeping for the batch ("refresh storm"): how many live
+  // lines this call touched and when the last staged rewrite completes.
+  std::uint64_t storm_lines = 0;
+  Cycle storm_end = now;
   while (!refresh_q_.empty() && refresh_q_.top().when <= now) {
     const TimedLineRef e = refresh_q_.top();
     refresh_q_.pop();
     cache::LineMeta& line = lr_tags_.line(e.set, e.way);
     if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
+    ++storm_lines;
 
     // Refresh-as-scrub: the refresh read passes through the ECC check, so a
     // collapse that happened since the last write is caught here rather
@@ -600,6 +612,7 @@ void TwoPartBank::do_refresh(Cycle now) {
         done = apply_write_verify(lr_faults_, lr_data_, raddr, done, lr_write_occ_,
                                   e_.lr_refresh, lr_costs_.data_write_pj * write_energy_scale_);
       }
+      if (done > storm_end) storm_end = done;
       lr2hr_.add(done);
       continue;
     }
@@ -612,6 +625,10 @@ void TwoPartBank::do_refresh(Cycle now) {
       mutable_counters().at(c_.refresh_forced_drop) += 1;
     }
     lr_tags_.invalidate(key, e.way);
+  }
+  if (telemetry() != nullptr && storm_lines > 0) {
+    telemetry()->slice(telemetry_prefix() + "refresh",
+                       "refresh x" + std::to_string(storm_lines), now, storm_end);
   }
 }
 
@@ -637,6 +654,22 @@ void TwoPartBank::do_hr_expiry(Cycle now) {
     }
     hr_tags_.invalidate(addr, e.way);
   }
+}
+
+void TwoPartBank::sample_telemetry(Cycle now, Telemetry& out) {
+  BankBase::sample_telemetry(now, out);
+  const std::string p = telemetry_prefix();
+  out.gauge(p + "lr_occupancy",
+            static_cast<double>(lr_tags_.valid_count()) /
+                static_cast<double>(lr_tags_.geometry().num_lines()));
+  out.gauge(p + "hr_occupancy",
+            static_cast<double>(hr_tags_.valid_count()) /
+                static_cast<double>(hr_tags_.geometry().num_lines()));
+  // in_use() prunes entries whose destination write already completed —
+  // idempotent at a fixed `now`, so sampling never perturbs timing.
+  out.gauge(p + "lr2hr_depth", static_cast<double>(lr2hr_.in_use(now)));
+  out.gauge(p + "hr2lr_depth", static_cast<double>(hr2lr_.in_use(now)));
+  out.gauge(p + "write_threshold", static_cast<double>(threshold_));
 }
 
 }  // namespace sttgpu::sttl2

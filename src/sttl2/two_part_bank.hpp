@@ -68,6 +68,10 @@ class TwoPartBank final : public BankBase {
 
   Watt leakage_w() const override { return hr_costs_.leakage_w + lr_costs_.leakage_w; }
 
+  /// Base counters plus the two-part gauges: LR/HR occupancy, swap-buffer
+  /// depths and the current (possibly adapted) migration threshold.
+  void sample_telemetry(Cycle now, Telemetry& out) override;
+
   // --- figure hooks ---
   const RewriteTracker& lr_rewrites() const noexcept { return lr_rewrites_; }
   const RewriteTracker& hr_rewrites() const noexcept { return hr_rewrites_; }

@@ -1,6 +1,7 @@
 #include "sttl2/uniform_bank.hpp"
 
 #include "common/error.hpp"
+#include "common/telemetry.hpp"
 
 namespace sttgpu::sttl2 {
 
@@ -120,6 +121,9 @@ bool UniformBank::fault_read_check(Addr line_addr, unsigned way, Cycle now) {
   } else {
     if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
     mutable_counters().at(c_.fault_data_loss) += 1;
+    if (telemetry() != nullptr) {
+      telemetry()->instant(telemetry_prefix() + "faults", "data_loss", now);
+    }
   }
   tags_.invalidate(line_addr, way);
   return true;
@@ -140,6 +144,9 @@ UniformBank::Carry UniformBank::fault_carry_trial(cache::LineMeta& line, Cycle n
   }
   if (config_.faults.ecc) mutable_counters().at(c_.fault_ecc_detected) += 1;
   mutable_counters().at(c_.fault_data_loss) += 1;
+  if (telemetry() != nullptr) {
+    telemetry()->instant(telemetry_prefix() + "faults", "data_loss", now);
+  }
   return Carry::kDrop;
 }
 
@@ -251,6 +258,13 @@ void UniformBank::maintenance(Cycle now) {
     }
     tags_.invalidate(addr, e.way);
   }
+}
+
+void UniformBank::sample_telemetry(Cycle now, Telemetry& out) {
+  BankBase::sample_telemetry(now, out);
+  out.gauge(telemetry_prefix() + "occupancy",
+            static_cast<double>(tags_.valid_count()) /
+                static_cast<double>(tags_.geometry().num_lines()));
 }
 
 }  // namespace sttgpu::sttl2

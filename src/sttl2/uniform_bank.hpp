@@ -28,6 +28,9 @@ class UniformBank final : public BankBase {
 
   Watt leakage_w() const override { return costs_.leakage_w; }
 
+  /// Base counters plus the array-occupancy gauge.
+  void sample_telemetry(Cycle now, Telemetry& out) override;
+
   const power::ArrayCosts& array_costs() const noexcept { return costs_; }
   const RewriteTracker& rewrite_intervals() const noexcept { return rewrites_; }
   const cache::TagArray& tags() const noexcept { return tags_; }

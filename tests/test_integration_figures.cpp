@@ -54,22 +54,22 @@ TEST(FigureShapes, Fig6RewritesAreFast) {
 }
 
 TEST(FigureShapes, Fig8aCacheFriendlyGainsFromC1) {
-  const Metrics sram = run_one(Architecture::kSramBaseline, "kmeans", kScale);
-  const Metrics c1 = run_one(Architecture::kC1, "kmeans", kScale);
+  const Metrics sram = run_one(Architecture::kSramBaseline, "kmeans", {.scale = kScale});
+  const Metrics c1 = run_one(Architecture::kC1, "kmeans", {.scale = kScale});
   EXPECT_GT(c1.ipc / sram.ipc, 1.1);
 }
 
 TEST(FigureShapes, Fig8aSttBaselineCollapsesOnWriteHeavyStreams) {
-  const Metrics sram = run_one(Architecture::kSramBaseline, "histo", kScale);
-  const Metrics stt = run_one(Architecture::kSttBaseline, "histo", kScale);
-  const Metrics c1 = run_one(Architecture::kC1, "histo", kScale);
+  const Metrics sram = run_one(Architecture::kSramBaseline, "histo", {.scale = kScale});
+  const Metrics stt = run_one(Architecture::kSttBaseline, "histo", {.scale = kScale});
+  const Metrics c1 = run_one(Architecture::kC1, "histo", {.scale = kScale});
   EXPECT_LT(stt.ipc / sram.ipc, 0.9);        // the naive baseline regresses
   EXPECT_GT(c1.ipc / stt.ipc, 1.2);          // the two-part design recovers it
 }
 
 TEST(FigureShapes, Fig8cTotalPowerDropsForTwoPartConfigs) {
-  const Metrics sram = run_one(Architecture::kSramBaseline, "sad", kScale);
-  const Metrics c2 = run_one(Architecture::kC2, "sad", kScale);
+  const Metrics sram = run_one(Architecture::kSramBaseline, "sad", {.scale = kScale});
+  const Metrics c2 = run_one(Architecture::kC2, "sad", {.scale = kScale});
   EXPECT_LT(c2.total_w, sram.total_w);
   // ... because the SRAM baseline is leakage-dominated:
   EXPECT_GT(sram.leakage_w, sram.dynamic_w * 0.5);
@@ -77,8 +77,8 @@ TEST(FigureShapes, Fig8cTotalPowerDropsForTwoPartConfigs) {
 }
 
 TEST(FigureShapes, Fig8bDynamicPowerRisesForStt) {
-  const Metrics sram = run_one(Architecture::kSramBaseline, "lbm", kScale);
-  const Metrics stt = run_one(Architecture::kSttBaseline, "lbm", kScale);
+  const Metrics sram = run_one(Architecture::kSramBaseline, "lbm", {.scale = kScale});
+  const Metrics stt = run_one(Architecture::kSttBaseline, "lbm", {.scale = kScale});
   EXPECT_GT(stt.dynamic_w, sram.dynamic_w);
 }
 

@@ -50,7 +50,7 @@ void expect_identical(const Metrics& a, const Metrics& b) {
 }
 
 TEST(Runner, RunOneProducesSaneMetrics) {
-  const Metrics m = run_one(Architecture::kSramBaseline, "hotspot", kTinyScale);
+  const Metrics m = run_one(Architecture::kSramBaseline, "hotspot", {.scale = kTinyScale});
   EXPECT_EQ(m.arch, "sram");
   EXPECT_EQ(m.benchmark, "hotspot");
   EXPECT_GT(m.ipc, 0.0);
@@ -63,8 +63,8 @@ TEST(Runner, RunOneProducesSaneMetrics) {
 }
 
 TEST(Runner, DeterministicAcrossCalls) {
-  const Metrics a = run_one(Architecture::kC1, "kmeans", kTinyScale);
-  const Metrics b = run_one(Architecture::kC1, "kmeans", kTinyScale);
+  const Metrics a = run_one(Architecture::kC1, "kmeans", {.scale = kTinyScale});
+  const Metrics b = run_one(Architecture::kC1, "kmeans", {.scale = kTinyScale});
   EXPECT_EQ(a.cycles, b.cycles);
   EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
   EXPECT_DOUBLE_EQ(a.dynamic_w, b.dynamic_w);
@@ -146,8 +146,8 @@ TEST(Runner, SaveCacheUnwritablePathThrows) {
 TEST(Runner, MatrixParallelIsByteIdenticalToSequential) {
   const std::vector<Architecture> archs{Architecture::kSramBaseline, Architecture::kC1};
   const std::vector<std::string> benchmarks{"bfs", "kmeans", "hotspot"};
-  const auto seq = run_matrix(archs, benchmarks, kTinyScale, "", 1);
-  const auto par = run_matrix(archs, benchmarks, kTinyScale, "", 4);
+  const auto seq = run_matrix(archs, benchmarks, {.scale = kTinyScale, .jobs = 1});
+  const auto par = run_matrix(archs, benchmarks, {.scale = kTinyScale, .jobs = 4});
   ASSERT_EQ(seq.size(), 6u);
   ASSERT_EQ(par.size(), seq.size());
   for (std::size_t i = 0; i < seq.size(); ++i) expect_identical(seq[i], par[i]);
@@ -158,7 +158,7 @@ TEST(Runner, MatrixPersistsWriteThroughAndResumes) {
   std::remove(path.c_str());
   const std::vector<Architecture> archs{Architecture::kSramBaseline};
   const std::vector<std::string> benchmarks{"bfs", "kmeans"};
-  const auto fresh = run_matrix(archs, benchmarks, kTinyScale, path, 1);
+  const auto fresh = run_matrix(archs, benchmarks, {.scale = kTinyScale, .cache_path = path, .jobs = 1});
   ASSERT_EQ(fresh.size(), 2u);
   ASSERT_EQ(load_cache(path, kTinyScale).size(), 2u);
 
@@ -170,7 +170,7 @@ TEST(Runner, MatrixPersistsWriteThroughAndResumes) {
   std::ofstream(path, std::ios::trunc) << text;
   ASSERT_EQ(load_cache(path, kTinyScale).size(), 1u);
 
-  const auto resumed = run_matrix(archs, benchmarks, kTinyScale, path, 1);
+  const auto resumed = run_matrix(archs, benchmarks, {.scale = kTinyScale, .cache_path = path, .jobs = 1});
   ASSERT_EQ(resumed.size(), fresh.size());
   for (std::size_t i = 0; i < fresh.size(); ++i) expect_identical(fresh[i], resumed[i]);
   EXPECT_EQ(load_cache(path, kTinyScale).size(), 2u);
@@ -185,8 +185,8 @@ TEST(Runner, MatrixUsesCachedRowsVerbatim) {
   planted.benchmark = "bfs";
   planted.ipc = 42.0;  // impossible value: proves the cache was used
   save_cache(path, kTinyScale, {planted});
-  const auto rows =
-      run_matrix({Architecture::kSramBaseline}, {std::string("bfs")}, kTinyScale, path, 1);
+  const auto rows = run_matrix({Architecture::kSramBaseline}, {std::string("bfs")},
+                               {.scale = kTinyScale, .cache_path = path, .jobs = 1});
   ASSERT_EQ(rows.size(), 1u);
   expect_identical(rows[0], planted);
   std::remove(path.c_str());

@@ -358,16 +358,18 @@ TEST(FaultFingerprint, DisabledMatchesBaselineEnabledDoesNot) {
 // ---- end-to-end: full GPU run, injected vs analytic within 10% ----
 
 TEST(FaultEndToEnd, FullRunInjectionMatchesReliabilityPrediction) {
-  sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string("C1"));
-  spec.two_part_cfg.faults = enabled_cfg();
-  spec.two_part_cfg.faults.accel = 20.0;  // effective spec margin 1.0
+  const sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string("C1"));
+  FaultInjectionConfig faults = enabled_cfg();
+  faults.accel = 20.0;  // effective spec margin 1.0
   // scale 0.5 yields several hundred injected collapses — enough sample for
   // the 10% bound (the relative sampling noise scales as 1/sqrt(count)).
   const workload::Workload w = workload::make_benchmark("bfs", /*scale=*/0.5);
   gpu::RunResult run;
   sim::FaultSummary s;
-  sim::run_one_detailed(spec, w, run,
-                        [&s](gpu::Gpu& g) { s = sim::collect_fault_summary(g); });
+  sim::run_one_detailed(
+      spec, w, run,
+      {.faults = faults,
+       .inspect = [&s](gpu::Gpu& g) { s = sim::collect_fault_summary(g); }});
   ASSERT_TRUE(s.enabled);
   ASSERT_GT(s.trials, 10000u);
   ASSERT_GT(s.predicted, 100.0);
@@ -388,14 +390,17 @@ TEST(FaultEndToEnd, DisabledFaultsLeaveRunResultUntouched) {
   gpu::RunResult base_run;
   const sim::Metrics base = sim::run_one_detailed(spec, w, base_run);
 
-  sim::ArchSpec scrambled = sim::make_arch(sim::architecture_from_string("C1"));
-  scrambled.two_part_cfg.faults.enabled = false;
-  scrambled.two_part_cfg.faults.seed = 999;
-  scrambled.two_part_cfg.faults.accel = 50.0;
+  // Disabled injection with scrambled knobs must not perturb anything.
+  FaultInjectionConfig scrambled;
+  scrambled.enabled = false;
+  scrambled.seed = 999;
+  scrambled.accel = 50.0;
   gpu::RunResult run;
   sim::FaultSummary s;
   const sim::Metrics m = sim::run_one_detailed(
-      scrambled, w, run, [&s](gpu::Gpu& g) { s = sim::collect_fault_summary(g); });
+      spec, w, run,
+      {.faults = scrambled,
+       .inspect = [&s](gpu::Gpu& g) { s = sim::collect_fault_summary(g); }});
 
   EXPECT_FALSE(s.enabled);
   EXPECT_EQ(base.cycles, m.cycles);

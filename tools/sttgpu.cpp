@@ -20,14 +20,27 @@
 //   sttgpu replay trace=bfs.trace arch=C1
 //       Drive the chosen architecture's L2 banks from a trace (no GPU) and
 //       print the resulting cache statistics — fast architecture sweeps.
+//
+//   sttgpu help
+//       Print the full knob reference (generated from the registry) to
+//       stdout and exit 0.
+//
+// Every knob each subcommand accepts is declared once in sim/knobs.hpp;
+// parsing, typo/type rejection, defaults, and the usage text all come from
+// that registry. run/record accept telemetry knobs:
+//   telemetry=1        sample per-interval counters during the run
+//   interval=<cycles>  sampling window (default 50000)
+//   trace_out=<path>   Chrome trace-event JSON (load in ui.perfetto.dev)
+//   telemetry_csv=<p>  interval series as CSV
 #include <fstream>
-#include <initializer_list>
 #include <iostream>
+#include <memory>
 
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
-#include "sim/executor.hpp"
+#include "common/telemetry.hpp"
+#include "sim/knobs.hpp"
 #include "sim/probe.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -37,39 +50,37 @@ namespace {
 
 using namespace sttgpu;
 
-/// Rejects typo'd knobs: every key must appear in @p valid, otherwise the
-/// command aborts with a SimError naming the knobs it does accept. Without
-/// this a misspelling like `fastfoward=0` would silently run the default.
-void require_known_keys(const Config& cfg, const std::string& command,
-                        std::initializer_list<const char*> valid) {
-  for (const auto& [key, value] : cfg.all()) {
-    bool known = false;
-    for (const char* v : valid) {
-      if (key == v) {
-        known = true;
-        break;
-      }
-    }
-    if (known) continue;
-    std::string msg = "unknown knob '" + key + "' for 'sttgpu " + command + "'; valid knobs:";
-    for (const char* v : valid) {
-      msg += ' ';
-      msg += v;
-    }
-    throw SimError(msg);
-  }
+/// Builds the telemetry sink requested by the telemetry=/interval= knobs;
+/// nullptr (disabled, the default) leaves every output byte-identical.
+/// A trace_out=/telemetry_csv= path implies telemetry=1.
+std::unique_ptr<Telemetry> telemetry_from(const Config& cfg, sim::KnobCommand cmd) {
+  const bool wants_export = !sim::knob_string(cfg, cmd, "trace_out").empty() ||
+                            !sim::knob_string(cfg, cmd, "telemetry_csv").empty();
+  if (!sim::knob_bool(cfg, cmd, "telemetry") && !wants_export) return nullptr;
+  const std::int64_t interval = sim::knob_int(cfg, cmd, "interval");
+  STTGPU_REQUIRE(interval > 0, "interval= must be a positive cycle count");
+  return std::make_unique<Telemetry>(static_cast<Cycle>(interval));
 }
 
-/// Builds the fault-injection config shared by run/matrix from the
-/// `faults= fault_seed= fault_accel= ecc=` knobs (defaults: disabled).
-sttl2::FaultInjectionConfig fault_config_from(const Config& cfg) {
-  sttl2::FaultInjectionConfig f;
-  f.enabled = cfg.get_int("faults", 0) != 0;
-  f.seed = static_cast<std::uint64_t>(
-      cfg.get_int("fault_seed", static_cast<std::int64_t>(f.seed)));
-  f.accel = cfg.get_double("fault_accel", f.accel);
-  f.ecc = cfg.get_bool("ecc", f.ecc);
-  return f;
+/// Writes the trace_out=/telemetry_csv= exports, if requested.
+void export_telemetry(const Config& cfg, sim::KnobCommand cmd, const Telemetry& tel) {
+  const std::string trace_out = sim::knob_string(cfg, cmd, "trace_out");
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open trace_out file " + trace_out);
+    tel.write_chrome_trace(out);
+    out << "\n";
+    std::cout << "  trace      " << trace_out << " (" << tel.frame_count()
+              << " intervals; load in ui.perfetto.dev)\n";
+  }
+  const std::string csv = sim::knob_string(cfg, cmd, "telemetry_csv");
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open telemetry_csv file " + csv);
+    tel.write_csv(out);
+    std::cout << "  telemetry  " << csv << " (" << tel.track_count() << " tracks x "
+              << tel.frame_count() << " intervals)\n";
+  }
 }
 
 int cmd_list() {
@@ -90,28 +101,26 @@ int cmd_list() {
 }
 
 int cmd_run(const Config& cfg) {
-  require_known_keys(cfg, "run",
-                     {"arch", "benchmark", "scale", "json", "fastforward", "faults",
-                      "fault_seed", "fault_accel", "ecc"});
-  const std::string arch_name = cfg.get_string("arch", "C1");
-  const std::string benchmark = cfg.get_string("benchmark", "bfs");
-  const double scale = cfg.get_double("scale", 0.5);
-  const sttl2::FaultInjectionConfig faults = fault_config_from(cfg);
+  constexpr auto kCmd = sim::kKnobRun;
+  sim::validate_knobs(cfg, kCmd, "run");
+  const std::string arch_name = sim::knob_string(cfg, kCmd, "arch");
+  const std::string benchmark = sim::knob_string(cfg, kCmd, "benchmark");
+  const double scale = sim::knob_double(cfg, kCmd, "scale");
+  const std::unique_ptr<Telemetry> tel = telemetry_from(cfg, kCmd);
 
-  sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
-  spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
-  if (spec.two_part) {
-    spec.two_part_cfg.faults = faults;
-  } else {
-    spec.uniform.faults = faults;
-  }
+  sim::RunOptions opts;
+  opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
+  opts.faults = sim::fault_knobs(cfg, kCmd);
+  opts.telemetry = tel.get();
+  sim::FaultSummary fault_summary;
+  opts.inspect = [&fault_summary](gpu::Gpu& g) {
+    fault_summary = sim::collect_fault_summary(g);
+  };
+
+  const sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
   const workload::Workload w = workload::make_benchmark(benchmark, scale);
   gpu::RunResult run;
-  sim::FaultSummary fault_summary;
-  const sim::Metrics m = sim::run_one_detailed(
-      spec, w, run, [&fault_summary](gpu::Gpu& g) {
-        fault_summary = sim::collect_fault_summary(g);
-      });
+  const sim::Metrics m = sim::run_one_detailed(spec, w, run, opts);
 
   std::cout << arch_name << " / " << benchmark << " (scale " << scale << ")\n"
             << "  IPC        " << m.ipc << "\n"
@@ -127,8 +136,8 @@ int cmd_run(const Config& cfg) {
     }
   }
   if (fault_summary.enabled) {
-    std::cout << "  faults (seed " << faults.seed << ", accel " << faults.accel
-              << ", ecc " << (faults.ecc ? "on" : "off") << "):\n"
+    std::cout << "  faults (seed " << opts.faults.seed << ", accel " << opts.faults.accel
+              << ", ecc " << (opts.faults.ecc ? "on" : "off") << "):\n"
               << "    lifetime trials     " << fault_summary.trials << "\n"
               << "    injected collapses  " << fault_summary.collapses << "\n"
               << "    expected collapses  " << fault_summary.expected << "\n"
@@ -141,27 +150,28 @@ int cmd_run(const Config& cfg) {
               << "    write-verify retries " << fault_summary.wv_retries
               << ", escalations " << fault_summary.wv_escalations << "\n";
   }
+  if (tel) export_telemetry(cfg, kCmd, *tel);
 
   if (cfg.has("json")) {
-    std::ofstream out(cfg.get_string("json", ""));
+    std::ofstream out(sim::knob_string(cfg, kCmd, "json"));
     STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
-    sim::write_run_json(out, m, run, fault_summary.enabled ? &fault_summary : nullptr);
+    sim::write_run_json(out, m, run, fault_summary.enabled ? &fault_summary : nullptr,
+                        tel.get());
     out << "\n";
   }
   return 0;
 }
 
 int cmd_matrix(const Config& cfg) {
-  require_known_keys(cfg, "matrix",
-                     {"scale", "cache", "jobs", "json", "fastforward", "faults",
-                      "fault_seed", "fault_accel", "ecc"});
-  const double scale = cfg.get_double("scale", 0.5);
-  const std::string cache = cfg.get_string("cache", "fig8_cache.csv");
-  const unsigned jobs = sim::resolve_jobs(cfg.get_int("jobs", 0));
-  const bool fast_forward = cfg.get_int("fastforward", 1) != 0;
-  const sttl2::FaultInjectionConfig faults = fault_config_from(cfg);
-  const auto rows =
-      sim::run_matrix(sim::all_architectures(), scale, cache, jobs, fast_forward, faults);
+  constexpr auto kCmd = sim::kKnobMatrix;
+  sim::validate_knobs(cfg, kCmd, "matrix");
+  sim::RunOptions opts;
+  opts.scale = sim::knob_double(cfg, kCmd, "scale");
+  opts.cache_path = sim::knob_string(cfg, kCmd, "cache");
+  opts.jobs = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "jobs"));
+  opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
+  opts.faults = sim::fault_knobs(cfg, kCmd);
+  const auto rows = sim::run_matrix(sim::all_architectures(), opts);
 
   TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
   for (const auto& m : rows) {
@@ -171,7 +181,7 @@ int cmd_matrix(const Config& cfg) {
   table.print(std::cout);
 
   if (cfg.has("json")) {
-    std::ofstream out(cfg.get_string("json", ""));
+    std::ofstream out(sim::knob_string(cfg, kCmd, "json"));
     STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
     sim::write_matrix_json(out, rows);
     out << "\n";
@@ -180,24 +190,31 @@ int cmd_matrix(const Config& cfg) {
 }
 
 int cmd_record(const Config& cfg) {
-  require_known_keys(cfg, "record", {"arch", "benchmark", "trace", "scale", "fastforward"});
-  sim::ArchSpec spec =
-      sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "sram")));
-  spec.gpu.fast_forward = cfg.get_int("fastforward", 1) != 0;
-  const workload::Workload w =
-      workload::make_benchmark(cfg.get_string("benchmark", "bfs"), cfg.get_double("scale", 0.5));
-  const std::string path = cfg.get_string("trace", "l2.trace");
-  const sim::Metrics m = sim::record_trace(spec, w, path);
+  constexpr auto kCmd = sim::kKnobRecord;
+  sim::validate_knobs(cfg, kCmd, "record");
+  const sim::ArchSpec spec =
+      sim::make_arch(sim::architecture_from_string(sim::knob_string(cfg, kCmd, "arch")));
+  const workload::Workload w = workload::make_benchmark(
+      sim::knob_string(cfg, kCmd, "benchmark"), sim::knob_double(cfg, kCmd, "scale"));
+  const std::string path = sim::knob_string(cfg, kCmd, "trace");
+  const std::unique_ptr<Telemetry> tel = telemetry_from(cfg, kCmd);
+
+  sim::RunOptions opts;
+  opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
+  opts.telemetry = tel.get();
+  const sim::Metrics m = sim::record_trace(spec, w, path, opts);
   std::cout << "recorded " << path << " (ipc " << m.ipc << ", "
             << m.l2_write_share * 100 << "% writes)\n";
+  if (tel) export_telemetry(cfg, kCmd, *tel);
   return 0;
 }
 
 int cmd_replay(const Config& cfg) {
-  require_known_keys(cfg, "replay", {"trace", "arch"});
-  const auto records = sim::load_trace(cfg.get_string("trace", "l2.trace"));
+  constexpr auto kCmd = sim::kKnobReplay;
+  sim::validate_knobs(cfg, kCmd, "replay");
+  const auto records = sim::load_trace(sim::knob_string(cfg, kCmd, "trace"));
   const sim::ArchSpec spec =
-      sim::make_arch(sim::architecture_from_string(cfg.get_string("arch", "C1")));
+      sim::make_arch(sim::architecture_from_string(sim::knob_string(cfg, kCmd, "arch")));
   const sim::ReplayResult r =
       spec.two_part ? sim::replay_trace(records, spec.two_part_cfg, spec.gpu)
                     : sim::replay_trace(records, spec.uniform, spec.gpu);
@@ -215,21 +232,7 @@ int cmd_replay(const Config& cfg) {
 }
 
 int usage() {
-  std::cerr << "usage: sttgpu <list|run|matrix|record|replay> [key=value ...]\n"
-               "  run:    arch=<sram|stt-base|C1|C2|C3> benchmark=<name> [scale=] [json=]\n"
-               "  matrix: [scale=] [cache=] [jobs=] [json=]\n"
-               "  record: arch= benchmark= trace=<path> [scale=]\n"
-               "  replay: trace=<path> arch=\n"
-               "  run/matrix/record also accept fastforward=<0|1> (default 1): toggles the\n"
-               "  event-driven idle-cycle skip in the simulator core; results are identical.\n"
-               "  run/matrix also accept STT-RAM fault injection (see EXPERIMENTS.md):\n"
-               "    faults=<0|1>     enable the seeded retention/write-failure injector\n"
-               "    fault_seed=<n>   RNG seed (default 42)\n"
-               "    fault_accel=<x>  error-rate acceleration factor (default 1)\n"
-               "    ecc=<0|1>        SECDED recovery on collapsed lines (default 1)\n"
-               "  fault runs use a separate matrix cache fingerprint; faults=0 is\n"
-               "  byte-identical to builds without the injector.\n"
-               "  unknown key=value knobs are rejected with the valid list for the command.\n";
+  std::cerr << sim::knob_usage();
   return 2;
 }
 
@@ -239,6 +242,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "help") {
+      std::cout << sim::knob_usage();
+      return 0;
+    }
     const Config cfg = Config::from_args(argc - 1, argv + 1);
     if (command == "list") return cmd_list();
     if (command == "run") return cmd_run(cfg);
