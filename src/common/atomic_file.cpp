@@ -1,0 +1,59 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+namespace {
+
+/// fsyncs @p path (a file or directory). Directory fsync failures are
+/// ignored on filesystems that do not support them (EINVAL); data-file sync
+/// failures are fatal — returning from "persist" without durability is the
+/// bug this module exists to prevent.
+void fsync_path(const std::string& path, bool required) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    STTGPU_REQUIRE(!required, "cannot open for fsync: " + path);
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  STTGPU_REQUIRE(rc == 0 || !required, "fsync failed: " + path);
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& produce) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    STTGPU_REQUIRE(static_cast<bool>(out), "cannot write file: " + tmp);
+    produce(out);
+    out.flush();
+    STTGPU_REQUIRE(out.good(), "write failed: " + tmp);
+  }
+  // The stream is closed; force the bytes to stable storage before the
+  // rename publishes them, so the rename can never expose a torn file.
+  fsync_path(tmp, /*required=*/true);
+  STTGPU_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot move file into place: " + path);
+  // Persist the directory entry too: without this a crash right after the
+  // rename can roll the whole file back on some filesystems.
+  fsync_path(parent_dir(path), /*required=*/false);
+}
+
+}  // namespace sttgpu

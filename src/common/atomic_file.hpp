@@ -1,0 +1,23 @@
+// Crash-consistent file replacement.
+//
+// atomic_write_file() is the single durability primitive every artifact
+// writer (result cache, telemetry CSV, Chrome trace, JSON reports) goes
+// through: the bytes are written to "<path>.tmp", fsync'd, atomically
+// renamed over the destination, and the parent directory entry is fsync'd.
+// A crash or SIGKILL at any instant leaves either the previous file or the
+// complete new one on disk — never a zero-length or torn artifact.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace sttgpu {
+
+/// Replaces @p path with the bytes @p produce writes to the given stream.
+/// Throws SimError if the temp file cannot be written, synced, or renamed
+/// into place.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& produce);
+
+}  // namespace sttgpu

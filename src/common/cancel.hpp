@@ -1,0 +1,79 @@
+// Cooperative cancellation for long simulations.
+//
+// A CancelToken is a lock-free tri-state flag shared between the party that
+// wants a run to stop (a SIGINT/SIGTERM handler, the supervisor's watchdog
+// thread, a test) and the code doing the work (the Gpu cycle loop, executor
+// jobs). Requesting is async-signal-safe; the first reason to arrive wins so
+// a user interrupt and a watchdog firing at the same time stay deterministic
+// on the requester side.
+//
+// Work that observes a requested token unwinds by throwing Cancelled, which
+// carries the reason so the CLI can map it to a distinct exit code
+// (interrupted-resumable vs watchdog-killed) and callers can tell a clean
+// user interrupt from a supervision kill.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+/// Why a cancellation was requested. Order matters only for naming; the
+/// first request on a token wins regardless of reason.
+enum class CancelReason : int {
+  kNone = 0,      ///< token not requested
+  kUser = 1,      ///< SIGINT/SIGTERM or an explicit caller request
+  kWatchdog = 2,  ///< supervisor: no forward progress within the budget
+  kTimeout = 3,   ///< supervisor: per-job wall-clock budget exceeded
+};
+
+inline const char* cancel_reason_name(CancelReason r) noexcept {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kUser: return "user";
+    case CancelReason::kWatchdog: return "watchdog";
+    case CancelReason::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+class CancelToken {
+ public:
+  /// Requests cancellation. The first reason wins; later requests are
+  /// ignored. Safe to call from a signal handler and from any thread.
+  void request(CancelReason reason) noexcept {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+  }
+
+  bool requested() const noexcept {
+    return reason_.load(std::memory_order_relaxed) != 0;
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+  static_assert(std::atomic<int>::is_always_lock_free,
+                "CancelToken must be async-signal-safe");
+};
+
+/// Thrown by supervised work when its CancelToken is requested. Derives
+/// SimError so unaware callers treat an interrupt as a failed run; aware
+/// callers (the CLI, run_matrix) read reason() to pick the exit path.
+class Cancelled : public SimError {
+ public:
+  Cancelled(CancelReason reason, const std::string& what)
+      : SimError(what), reason_(reason) {}
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+}  // namespace sttgpu

@@ -1,5 +1,8 @@
 #include "gpu/gpu.hpp"
 
+#include <sstream>
+
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
 #include "gpu/occupancy.hpp"
@@ -51,6 +54,50 @@ Gpu::Gpu(const GpuConfig& config, L2BankFactory& l2_factory)
     tel_next_ = tel_interval_;
     for (auto& bank : banks_) bank->attach_telemetry(tel_);
   }
+  if (config_.cancel != nullptr || config_.heartbeat != nullptr) sup_next_ = 0;
+}
+
+void Gpu::supervision_point() {
+  sup_next_ = now_ + kSupervisionInterval;
+  if (config_.heartbeat != nullptr) {
+    config_.heartbeat->store(now_, std::memory_order_relaxed);
+  }
+  if (config_.cancel == nullptr) return;
+  const CancelReason reason = config_.cancel->reason();
+  if (reason == CancelReason::kNone) return;
+  std::ostringstream os;
+  switch (reason) {
+    case CancelReason::kUser:
+      // Clean interrupt: no dump — the artifacts already on disk are the
+      // useful output, and the matrix prints its own resume summary.
+      os << "cancelled at cycle " << now_;
+      break;
+    case CancelReason::kWatchdog:
+      os << "watchdog abort (no forward progress) at cycle " << now_ << state_dump();
+      break;
+    default:
+      os << "job timeout at cycle " << now_ << state_dump();
+      break;
+  }
+  throw Cancelled(reason, os.str());
+}
+
+std::string Gpu::state_dump() const {
+  std::ostringstream os;
+  os << "\n  diagnostic state at cycle " << now_ << ':';
+  for (unsigned b = 0; b < banks_.size(); ++b) {
+    os << "\n    l2b" << b << ": ";
+    banks_[b]->describe_state(os, now_);
+  }
+  os << "\n    icnt " << (icnt_.idle() ? "idle" : "busy");
+  os << ", dram";
+  for (unsigned c = 0; c < dram_.size(); ++c) {
+    os << ' ' << c << ':' << (dram_[c]->idle() ? "idle" : "busy");
+  }
+  std::uint64_t inflight = 0;
+  for (const auto& sm : sms_) inflight += sm->inflight();
+  os << "\n    sm in-flight transactions " << inflight;
+  return os.str();
 }
 
 void Gpu::telemetry_sample(Cycle at) {
@@ -173,6 +220,7 @@ void Gpu::drain_memory() {
     // memory system, jumping to some future event (e.g. a stale SM sleep
     // entry) would inflate now_ past where the plain loop stops.
     if (!memory_idle()) fast_forward();
+    if (now_ >= sup_next_) supervision_point();
   }
 }
 
@@ -206,6 +254,7 @@ void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
     STTGPU_REQUIRE(now_ < kMaxCycles, "Gpu: kernel exceeded the cycle ceiling");
     // Same guard as drain_memory(): never jump past the completion cycle.
     if (!all_done()) fast_forward();
+    if (now_ >= sup_next_) supervision_point();
   }
 
   if (tel_ != nullptr) tel_->slice("kernel", kernel.name, kernel_start, now_);

@@ -92,10 +92,25 @@ class Gpu {
   /// Opens a telemetry frame at @p at and polls every component.
   void telemetry_sample(Cycle at);
 
+  /// Supervision point: publishes the cycle-count heartbeat and unwinds
+  /// with Cancelled if config_.cancel was requested (appending a diagnostic
+  /// state dump for watchdog/timeout kills). Reached every
+  /// kSupervisionInterval cycles in the run loops; a no-op single compare
+  /// when neither cancel nor heartbeat is configured.
+  void supervision_point();
+
+  /// Human-readable in-flight state (cycle, per-bank queue depths and
+  /// swap-buffer fill, interconnect/DRAM idleness) for watchdog dumps.
+  std::string state_dump() const;
+
   /// After a failed skip attempt the next one waits this many cycles, so the
   /// component scan stays off the critical path of busy stretches. Stepping
   /// a skippable cycle plainly is a no-op, so this affects speed only.
   static constexpr Cycle kFastForwardBackoff = 16;
+
+  /// Cycles between supervision points: frequent enough that cancellation
+  /// latency is microseconds of wall clock, far too coarse to profile.
+  static constexpr Cycle kSupervisionInterval = 16384;
 
   unsigned bank_of(Addr addr) const noexcept;
 
@@ -114,6 +129,10 @@ class Gpu {
   Telemetry* tel_ = nullptr;
   Cycle tel_interval_ = 0;
   Cycle tel_next_ = kNoCycle;  ///< next interval boundary to sample
+
+  // Supervision (kNoCycle when neither cancel nor heartbeat is configured,
+  // so the unsupervised run loop pays a single integer compare).
+  Cycle sup_next_ = kNoCycle;  ///< next supervision point
 
 
   std::uint64_t next_request_id_ = 1;

@@ -4,11 +4,13 @@
 // controllers, butterfly interconnect, 40nm, 32K 32-bit registers per SM).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/units.hpp"
 
 namespace sttgpu {
+class CancelToken;
 class Telemetry;
 }
 
@@ -79,6 +81,18 @@ struct GpuConfig {
   /// so it is not part of the result-cache config fingerprint. Use a fresh
   /// Telemetry per run.
   Telemetry* telemetry = nullptr;
+
+  /// Optional cooperative-cancellation token (not owned; must outlive the
+  /// run). Checked at supervision points — every few thousand cycles in the
+  /// run loops, so fast-forwarded gaps observe it too. When requested, the
+  /// run unwinds with Cancelled (a watchdog/timeout reason additionally
+  /// carries a diagnostic state dump). Never changes simulated results.
+  const CancelToken* cancel = nullptr;
+
+  /// Optional cycle-count heartbeat (not owned): the Gpu publishes now_ at
+  /// every supervision point so a watchdog can tell a long simulation from
+  /// a livelocked one. Never changes simulated results.
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
 
   Clock clock() const noexcept { return Clock{core_clock_hz}; }
 };

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <vector>
 
 #include "common/types.hpp"
@@ -63,6 +64,13 @@ class L2Bank {
   /// samples. Both must be purely observational.
   virtual void attach_telemetry(Telemetry* /*sink*/) {}
   virtual void sample_telemetry(Cycle /*now*/, Telemetry& /*out*/) {}
+
+  /// Writes a one-line diagnostic summary of in-flight state (input-queue
+  /// depth, outstanding fills, buffered responses, swap-buffer fill) for
+  /// watchdog / cancellation dumps. Purely observational.
+  virtual void describe_state(std::ostream& os, Cycle /*now*/) const {
+    os << "(no state reported)";
+  }
 
   virtual const L2BankStats& stats() const = 0;
 

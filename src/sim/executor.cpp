@@ -1,14 +1,12 @@
 #include "sim/executor.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <iostream>
 #include <mutex>
 #include <thread>
 #include <utility>
 
-#include "common/error.hpp"
+#include "sim/supervisor.hpp"
 
 namespace sttgpu::sim {
 
@@ -19,20 +17,6 @@ std::mutex& stderr_mutex() {
   return m;
 }
 
-std::string describe(const std::exception_ptr& eptr) {
-  try {
-    std::rethrow_exception(eptr);
-  } catch (const std::exception& e) {
-    return e.what();
-  } catch (...) {
-    return "non-standard exception";
-  }
-}
-
-[[noreturn]] void rethrow_labelled(const Job& job, const std::exception_ptr& eptr) {
-  throw SimError("job '" + job.label + "' failed: " + describe(eptr));
-}
-
 }  // namespace
 
 unsigned default_jobs() noexcept {
@@ -40,70 +24,27 @@ unsigned default_jobs() noexcept {
   return hw == 0 ? 1u : hw;
 }
 
+unsigned max_jobs() noexcept { return std::max(default_jobs() * 4u, 8u); }
+
 unsigned resolve_jobs(std::int64_t requested) noexcept {
   if (requested <= 0) return default_jobs();
+  const unsigned cap = max_jobs();
+  if (static_cast<std::uint64_t>(requested) > cap) {
+    // Oversubscribing simulation threads only adds scheduler churn and
+    // memory pressure; clamp absurd literals instead of spawning them.
+    log_line("[jobs] requested " + std::to_string(requested) +
+             " worker threads; clamping to " + std::to_string(cap) +
+             " (4x hardware concurrency)");
+    return cap;
+  }
   return static_cast<unsigned>(requested);
 }
 
 void run_jobs(std::vector<Job> jobs, unsigned n_threads) {
-  if (jobs.empty()) return;
-
-  if (n_threads <= 1) {
-    // Inline sequential mode: no threads, fail at the first throwing job
-    // (later jobs do not start) — the pre-executor behaviour.
-    for (const Job& job : jobs) {
-      try {
-        job.fn();
-      } catch (...) {
-        rethrow_labelled(job, std::current_exception());
-      }
-    }
-    return;
-  }
-
-  std::vector<std::exception_ptr> errors(jobs.size());
-  std::atomic<std::size_t> next{0};
-  std::atomic<bool> failed{false};
-
-  const auto worker = [&]() {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      try {
-        jobs[i].fn();
-      } catch (...) {
-        errors[i] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  const std::size_t want = std::min<std::size_t>(n_threads, jobs.size());
-  pool.reserve(want);
-  for (std::size_t t = 0; t < want; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  // Aggregate every captured failure into one deterministic SimError,
-  // ordered by job index (not wall-clock failure order): a sweep that lost
-  // three runs reports all three, not just the lowest-index one.
-  std::vector<std::size_t> failed_idx;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (errors[i]) failed_idx.push_back(i);
-  }
-  if (failed_idx.empty()) return;
-  if (failed_idx.size() == 1) rethrow_labelled(jobs[failed_idx[0]], errors[failed_idx[0]]);
-
-  constexpr std::size_t kMaxDetailed = 5;
-  std::string msg = std::to_string(failed_idx.size()) + " jobs failed:";
-  for (std::size_t k = 0; k < failed_idx.size() && k < kMaxDetailed; ++k) {
-    const std::size_t i = failed_idx[k];
-    msg += "\n  job '" + jobs[i].label + "': " + describe(errors[i]);
-  }
-  if (failed_idx.size() > kMaxDetailed) {
-    msg += "\n  ... and " + std::to_string(failed_idx.size() - kMaxDetailed) + " more";
-  }
-  throw SimError(msg);
+  // Unsupervised fail-fast mode: no cancellation, no watchdog, no retries —
+  // run_supervised degenerates to the plain pool (and to a thread-free
+  // inline loop at n_threads <= 1); failures become the aggregate SimError.
+  throw_on_failures(run_supervised(std::move(jobs), n_threads));
 }
 
 void log_line(const std::string& line) {

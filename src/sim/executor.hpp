@@ -17,28 +17,65 @@
 //     semantics — in-flight jobs may still fail and are all reported.
 //   * Serialized progress: log_line() writes whole lines to stderr under a
 //     mutex so concurrent jobs never interleave mid-line.
+//
+// run_jobs() is the simple fail-fast entry point. Long unattended sweeps
+// that need cancellation, a progress watchdog, retry, or quarantine use the
+// supervised runner in sim/supervisor.hpp, which run_jobs() is a thin
+// wrapper over.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
+
 namespace sttgpu::sim {
 
+/// Handles a supervised job uses to cooperate with the supervisor: publish
+/// forward progress through the heartbeat and honour cancellation requests
+/// (user interrupt, watchdog, per-job timeout). Both pointers stay null for
+/// unsupervised runs, making every helper a no-op.
+struct JobControl {
+  const CancelToken* cancel = nullptr;
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
+
+  bool cancelled() const noexcept { return cancel != nullptr && cancel->requested(); }
+
+  /// Publishes a monotonic progress value (e.g. the simulated cycle). The
+  /// watchdog treats an unchanged heartbeat as "no forward progress".
+  void beat(std::uint64_t value) const noexcept {
+    if (heartbeat != nullptr) heartbeat->store(value, std::memory_order_relaxed);
+  }
+
+  /// Throws Cancelled (with the requested reason) if cancellation was
+  /// requested; otherwise returns.
+  void checkpoint() const;
+};
+
 /// One unit of work. @p label identifies the job in error messages and
-/// progress lines (the matrix uses "arch/benchmark").
+/// progress lines (the matrix uses "arch/benchmark"). Exactly one of fn /
+/// supervised should be set; supervised is preferred when both are.
 struct Job {
   std::string label;
   std::function<void()> fn;
+  std::function<void(const JobControl&)> supervised;
 };
 
 /// Worker count used for jobs=auto: hardware_concurrency, floor 1.
 unsigned default_jobs() noexcept;
 
 /// Maps a user-facing `jobs=` value to a worker count: <= 0 means auto
-/// (default_jobs()), anything else is taken literally.
+/// (default_jobs()). Absurd literals (e.g. jobs=100000) are clamped to a
+/// small multiple of the hardware concurrency with a stderr note instead of
+/// spawning an unbounded thread pool.
 unsigned resolve_jobs(std::int64_t requested) noexcept;
+
+/// Largest worker count resolve_jobs() will grant: 4x the hardware
+/// concurrency (floor 8, so explicit small values always pass through).
+unsigned max_jobs() noexcept;
 
 /// Runs @p jobs on a fixed pool of @p n_threads workers and returns when
 /// all dispatched work has finished. See the header comment for ordering,

@@ -47,6 +47,16 @@ const std::vector<KnobSpec>& knob_registry() {
       {"cache", Type::kString, "fig8_cache.csv", "matrix result cache (empty disables)",
        kKnobMatrix},
       {"jobs", Type::kInt, "0", "worker threads (0 = all hardware threads)", kKnobMatrix},
+      {"watchdog", Type::kDouble, "0",
+       "abort a job with no forward progress for this many seconds (0 = off)",
+       kKnobMatrix},
+      {"job_timeout", Type::kDouble, "0",
+       "per-job wall-clock budget in seconds (0 = unlimited)", kKnobMatrix},
+      {"retry", Type::kInt, "0", "extra attempts for a job that fails transiently",
+       kKnobMatrix},
+      {"keep_going", Type::kBool, "0",
+       "quarantine failing jobs and report a manifest instead of failing fast",
+       kKnobMatrix},
       {"trace", Type::kString, "l2.trace", "L2 demand-stream trace path",
        kKnobRecord | kKnobReplay},
       {"fastforward", Type::kBool, "1",

@@ -9,6 +9,8 @@
 #include <optional>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "sim/executor.hpp"
 #include "sttl2/factories.hpp"
@@ -32,6 +34,8 @@ ArchSpec configured(const ArchSpec& spec, const RunOptions& opts) {
   ArchSpec s = spec;
   s.gpu.fast_forward = opts.fast_forward;
   s.gpu.telemetry = opts.telemetry;
+  s.gpu.cancel = opts.cancel;
+  s.gpu.heartbeat = opts.heartbeat;
   if (s.two_part) {
     s.two_part_cfg.faults = opts.faults;
   } else {
@@ -281,35 +285,40 @@ std::map<std::pair<std::string, std::string>, Metrics> load_cache(
   std::string header;
   std::getline(in, header);
   if (header.rfind(kCacheMagic, 0) != 0) {
-    std::cerr << "[cache] " << path
-              << ": not a v2 result cache (old or foreign format) — ignoring it;"
-                 " the matrix will re-simulate and rewrite it\n";
+    log_line("[cache] " + path +
+             ": not a v2 result cache (old or foreign format) — ignoring it;"
+             " the matrix will re-simulate and rewrite it");
     return cache;
   }
   const auto file_scale = header_field(header, "scale");
   const auto file_config = header_field(header, "config");
   if (!file_scale || !file_config) {
-    std::cerr << "[cache] " << path << ": malformed v2 header — ignoring\n";
+    log_line("[cache] " + path + ": malformed v2 header — ignoring");
     return cache;
   }
   const auto parsed_scale = parse_double(*file_scale);
   if (!parsed_scale || *parsed_scale != scale) {
-    std::cerr << "[cache] " << path << ": written at scale=" << *file_scale
-              << ", requested scale=" << format_scale(scale) << " — ignoring stale cache\n";
+    log_line("[cache] " + path + ": written at scale=" + *file_scale +
+             ", requested scale=" + format_scale(scale) + " — ignoring stale cache");
     return cache;
   }
   std::ostringstream want;
   want << std::hex << config_fingerprint(faults);
   if (*file_config != want.str()) {
-    std::cerr << "[cache] " << path
-              << ": simulator config fingerprint mismatch (cache " << *file_config
-              << ", current " << want.str() << ") — ignoring stale cache\n";
+    log_line("[cache] " + path + ": simulator config fingerprint mismatch (cache " +
+             *file_config + ", current " + want.str() + ") — ignoring stale cache");
     return cache;
   }
 
   std::string column_header;
   std::getline(in, column_header);  // column names; ignored
 
+  // Malformed rows are skipped (they will simply re-simulate), but reported
+  // as ONE summary line — a corrupted tail would otherwise emit hundreds of
+  // per-row warnings and bury the progress log.
+  std::size_t skipped = 0;
+  constexpr std::size_t kMaxQuoted = 3;
+  std::ostringstream offenders;
   std::string row;
   std::size_t lineno = 2;
   while (std::getline(in, row)) {
@@ -317,23 +326,30 @@ std::map<std::pair<std::string, std::string>, Metrics> load_cache(
     if (row.empty()) continue;
     const std::optional<Metrics> m = parse_row(row);
     if (!m) {
-      std::cerr << "[cache] " << path << ':' << lineno
-                << ": malformed row — skipping (will re-simulate): " << row << '\n';
+      ++skipped;
+      if (skipped <= kMaxQuoted) {
+        offenders << "\n  line " << lineno << ": " << row;
+      }
       continue;
     }
     cache[{m->arch, m->benchmark}] = *m;
+  }
+  if (skipped > 0) {
+    std::ostringstream os;
+    os << "[cache] " << path << ": skipped " << skipped << " malformed row"
+       << (skipped == 1 ? "" : "s") << " (will re-simulate)" << offenders.str();
+    if (skipped > kMaxQuoted) os << "\n  ... and " << skipped - kMaxQuoted << " more";
+    log_line(os.str());
   }
   return cache;
 }
 
 void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows,
                 const sttl2::FaultInjectionConfig& faults) {
-  // Write-through callers persist after every run: write to a temp file and
-  // rename so a crash mid-write never leaves a truncated cache behind.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot write result cache: " + tmp);
+  // Write-through callers persist after every run; atomic_write_file's
+  // fsync + rename + directory-fsync sequence means a crash (or SIGKILL) at
+  // any instant leaves either the previous cache or the complete new one.
+  atomic_write_file(path, [&](std::ostream& out) {
     out << std::setprecision(17);
     out << kCacheMagic << " scale=" << format_scale(scale) << " config=" << std::hex
         << config_fingerprint(faults) << std::dec << '\n';
@@ -343,11 +359,7 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
           << m.dynamic_w << ',' << m.leakage_w << ',' << m.total_w << ','
           << m.l2_write_share << ',' << m.l2_miss_rate << '\n';
     }
-    out.flush();
-    STTGPU_REQUIRE(out.good(), "write to result cache failed: " + tmp);
-  }
-  STTGPU_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-                 "cannot move result cache into place: " + path);
+  });
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
@@ -364,6 +376,9 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
                  "Telemetry instead");
   STTGPU_REQUIRE(!opts.inspect,
                  "run_matrix: the inspect hook is per-run; use run_one");
+  STTGPU_REQUIRE(opts.heartbeat == nullptr,
+                 "run_matrix: heartbeat is per-run — the matrix wires a private "
+                 "per-job heartbeat for the watchdog itself");
   const double scale = opts.scale;
   const std::string& cache_path = opts.cache_path;
   const sttl2::FaultInjectionConfig& faults = opts.faults;
@@ -386,6 +401,10 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   for (const Architecture arch : archs) {
     const ArchSpec spec = make_arch(arch);
     for (const std::string& name : benchmarks) {
+      // Prefill the identity columns so a quarantined (keep_going) or
+      // interrupted slot still says which (arch, benchmark) it was.
+      rows[slot].arch = spec.name;
+      rows[slot].benchmark = name;
       if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
         rows[slot] = it->second;
       } else {
@@ -413,27 +432,70 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   std::vector<Job> work;
   work.reserve(pending.size());
   for (const Pending& p : pending) {
-    work.push_back(Job{
-        p.spec.name + "/" + p.benchmark, [&, p]() {
-          const workload::Workload w = workload::make_benchmark(p.benchmark, scale);
-          // opts.telemetry/inspect are guaranteed null above; run_one applies
-          // the shared fast_forward/faults knobs to this run's spec copy.
-          Metrics m = run_one(p.spec, w, opts);
-          {
-            const std::lock_guard<std::mutex> lock(cache_mutex);
-            cache[{p.spec.name, p.benchmark}] = m;
-            // Write-through: a crash in run 79 of 80 keeps the first 78.
-            if (!cache_path.empty()) persist();
-          }
-          const std::size_t k = completed.fetch_add(1) + 1;
-          std::ostringstream os;
-          os << "[run " << k << '/' << pending.size() << "] " << p.spec.name << '/'
-             << p.benchmark << " ipc=" << m.ipc << " cycles=" << m.cycles;
-          log_line(os.str());
-          rows[p.slot] = std::move(m);
-        }});
+    Job job;
+    job.label = p.spec.name + "/" + p.benchmark;
+    job.supervised = [&, p](const JobControl& ctl) {
+      const workload::Workload w = workload::make_benchmark(p.benchmark, scale);
+      // opts.telemetry/inspect are guaranteed null above; run_one applies
+      // the shared fast_forward/faults knobs to this run's spec copy. The
+      // supervisor's per-job token/heartbeat are threaded into the Gpu so
+      // the cycle loop observes cancellation and publishes progress.
+      RunOptions job_opts = opts;
+      job_opts.cancel = ctl.cancel;
+      job_opts.heartbeat = ctl.heartbeat;
+      Metrics m = run_one(p.spec, w, job_opts);
+      {
+        const std::lock_guard<std::mutex> lock(cache_mutex);
+        cache[{p.spec.name, p.benchmark}] = m;
+        // Write-through: a crash in run 79 of 80 keeps the first 78.
+        if (!cache_path.empty()) persist();
+      }
+      const std::size_t k = completed.fetch_add(1) + 1;
+      std::ostringstream os;
+      os << "[run " << k << '/' << pending.size() << "] " << p.spec.name << '/'
+         << p.benchmark << " ipc=" << m.ipc << " cycles=" << m.cycles;
+      log_line(os.str());
+      rows[p.slot] = std::move(m);
+    };
+    work.push_back(std::move(job));
   }
-  run_jobs(std::move(work), n_threads);
+
+  SupervisorOptions sup;
+  sup.external = opts.cancel;
+  sup.watchdog_s = opts.watchdog_s;
+  sup.job_timeout_s = opts.job_timeout_s;
+  sup.retries = opts.retries;
+  sup.keep_going = opts.keep_going;
+  const SupervisedResult result = run_supervised(std::move(work), n_threads, sup);
+  if (opts.report != nullptr) *opts.report = result;
+
+  if (result.interrupted) {
+    // Completed rows are already persisted write-through; tell the caller
+    // (and the user, via the CLI) that the sweep is resumable.
+    std::ostringstream os;
+    os << "matrix interrupted — " << cache.size() << " of " << rows.size()
+       << " rows completed";
+    if (!cache_path.empty()) {
+      os << " and cached; rerun with the same cache= to resume";
+    }
+    throw Cancelled(CancelReason::kUser, os.str());
+  }
+  if (!opts.keep_going) {
+    // A watchdog/timeout kill outranks ordinary failures: surface it as a
+    // Cancelled so the CLI maps it to its own exit code.
+    for (const JobOutcome& o : result.outcomes) {
+      if (o.status == JobStatus::kWatchdog || o.status == JobStatus::kTimeout) {
+        throw Cancelled(o.status == JobStatus::kWatchdog ? CancelReason::kWatchdog
+                                                         : CancelReason::kTimeout,
+                        "job '" + o.label + "': " + o.error);
+      }
+    }
+    throw_on_failures(result);
+  } else if (!result.all_ok()) {
+    // Quarantine mode: report the manifest, return the partial matrix
+    // (failed slots keep their prefilled identity and zero metrics).
+    log_line(result.manifest());
+  }
   return rows;
 }
 

@@ -13,6 +13,7 @@
 // jobs=1 reproduces the old strictly sequential behaviour.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -22,6 +23,7 @@
 
 #include "gpu/gpu.hpp"
 #include "sim/arch.hpp"
+#include "sim/supervisor.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace sttgpu {
@@ -85,6 +87,37 @@ struct RunOptions {
 
   /// Optional hook that sees the finished GPU before teardown.
   BankInspector inspect{};
+
+  // --- run supervision (supervisor.hpp) ---
+  // All run-mode only: none of these change simulation results or the cache
+  // fingerprint; they only decide whether/when a run is allowed to finish.
+
+  /// Cooperative cancellation token (e.g. installed from a SIGINT handler);
+  /// not owned, must outlive the run. The simulator polls it at supervision
+  /// points and unwinds with a Cancelled error.
+  const CancelToken* cancel = nullptr;
+
+  /// Cycle-count heartbeat published at supervision points (single runs;
+  /// run_matrix wires per-job heartbeats itself and rejects this).
+  std::atomic<std::uint64_t>* heartbeat = nullptr;
+
+  /// Matrix watchdog: abort a job that makes no forward progress (heartbeat
+  /// unchanged) for this many wall-clock seconds. 0 disables.
+  double watchdog_s = 0.0;
+
+  /// Matrix per-attempt wall-clock budget in seconds. 0 disables.
+  double job_timeout_s = 0.0;
+
+  /// Matrix retry budget per job (transient failures; exponential backoff
+  /// with deterministic jitter). 0 = no retries.
+  unsigned retries = 0;
+
+  /// Matrix failure policy: quarantine deterministic failures and return
+  /// partial results with a failure manifest instead of failing fast.
+  bool keep_going = false;
+
+  /// Optional out-param: per-job outcomes of the matrix run (not owned).
+  SupervisedResult* report = nullptr;
 };
 
 /// Runs @p workload on @p spec under @p opts (opts.scale is ignored here —

@@ -138,4 +138,10 @@ void BankBase::sample_telemetry(Cycle /*now*/, Telemetry& out) {
   out.gauge(p + "input_queue", static_cast<double>(input_.size()));
 }
 
+void BankBase::describe_state(std::ostream& os, Cycle /*now*/) const {
+  os << "input=" << input_.size() << '/' << input_queue_limit_
+     << " pending_fills=" << pending_.size() << " responses=" << responses_.size()
+     << " fills_ready=" << fills_ready_.size();
+}
+
 }  // namespace sttgpu::sttl2

@@ -94,6 +94,10 @@ class BankBase : public gpu::L2Bank {
   /// depths) by overriding and calling the base first.
   void sample_telemetry(Cycle now, Telemetry& out) override;
 
+  /// Shared-queue depths (input, outstanding fills, buffered responses) for
+  /// watchdog diagnostic dumps; implementations append their own state.
+  void describe_state(std::ostream& os, Cycle now) const override;
+
   /// Implementation-specific counters for reports.
   const CounterSet& counters() const noexcept { return counters_; }
 

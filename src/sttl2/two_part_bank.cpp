@@ -672,4 +672,12 @@ void TwoPartBank::sample_telemetry(Cycle now, Telemetry& out) {
   out.gauge(p + "write_threshold", static_cast<double>(threshold_));
 }
 
+void TwoPartBank::describe_state(std::ostream& os, Cycle now) const {
+  BankBase::describe_state(os, now);
+  os << " | hr2lr=" << hr2lr_.in_use_at(now) << '/' << hr2lr_.capacity()
+     << " lr2hr=" << lr2hr_.in_use_at(now) << '/' << lr2hr_.capacity()
+     << " threshold=" << threshold_ << " refresh_q=" << refresh_q_.size()
+     << " hr_expiry_q=" << hr_expiry_q_.size();
+}
+
 }  // namespace sttgpu::sttl2

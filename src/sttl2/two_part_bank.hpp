@@ -51,6 +51,12 @@ class BufferWindow {
     prune(now);
     return busy_until_.size();
   }
+  /// Non-mutating occupancy count (diagnostic dumps on const paths).
+  std::size_t in_use_at(Cycle now) const noexcept {
+    std::size_t n = 0;
+    for (const Cycle c : busy_until_) n += c > now ? 1 : 0;
+    return n;
+  }
   unsigned capacity() const noexcept { return capacity_; }
 
  private:
@@ -71,6 +77,10 @@ class TwoPartBank final : public BankBase {
   /// Base counters plus the two-part gauges: LR/HR occupancy, swap-buffer
   /// depths and the current (possibly adapted) migration threshold.
   void sample_telemetry(Cycle now, Telemetry& out) override;
+
+  /// Base queue depths plus swap-buffer fill, migration threshold and the
+  /// refresh/expiry backlog (watchdog diagnostic dumps).
+  void describe_state(std::ostream& os, Cycle now) const override;
 
   // --- figure hooks ---
   const RewriteTracker& lr_rewrites() const noexcept { return lr_rewrites_; }

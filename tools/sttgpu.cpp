@@ -13,6 +13,20 @@
 //       strictly sequential) with deterministic output ordering. Results
 //       persist write-through to the cache (format v2, scale- and
 //       config-fingerprinted), so an interrupted matrix resumes.
+//       Supervision knobs (all run-mode only, results are unaffected):
+//         watchdog=<s>     abort a job with no forward progress for s seconds
+//         job_timeout=<s>  per-job wall-clock budget
+//         retry=<n>        extra attempts for transiently failing jobs
+//         keep_going=1     quarantine failures, print a manifest, return the
+//                          partial matrix instead of failing fast
+//
+// Exit codes:
+//   0  success
+//   1  simulation/setup error
+//   2  usage error (unknown command or knob)
+//   3  interrupted (SIGINT/SIGTERM) — completed rows are cached; rerun with
+//      the same cache= to resume
+//   4  a job was killed by the watchdog or per-job timeout
 //
 //   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
 //       Run once and capture the L2 demand stream to a CSV trace.
@@ -32,14 +46,18 @@
 //   interval=<cycles>  sampling window (default 50000)
 //   trace_out=<path>   Chrome trace-event JSON (load in ui.perfetto.dev)
 //   telemetry_csv=<p>  interval series as CSV
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "common/telemetry.hpp"
+#include "sim/executor.hpp"
 #include "sim/knobs.hpp"
 #include "sim/probe.hpp"
 #include "sim/report.hpp"
@@ -49,6 +67,25 @@
 namespace {
 
 using namespace sttgpu;
+
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInterrupted = 3;  // user interrupt; cached rows resume
+constexpr int kExitWatchdog = 4;     // watchdog / per-job timeout kill
+
+/// Process-wide cancellation source, flipped by SIGINT/SIGTERM. Every
+/// command that simulates passes it down; the Gpu cycle loop observes it at
+/// supervision points and unwinds with Cancelled, so sinks finalize and
+/// completed matrix rows stay cached.
+CancelToken g_cancel;
+
+void on_terminate_signal(int /*sig*/) { g_cancel.request(CancelReason::kUser); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_terminate_signal);
+  std::signal(SIGTERM, on_terminate_signal);
+}
 
 /// Builds the telemetry sink requested by the telemetry=/interval= knobs;
 /// nullptr (disabled, the default) leaves every output byte-identical.
@@ -64,20 +101,20 @@ std::unique_ptr<Telemetry> telemetry_from(const Config& cfg, sim::KnobCommand cm
 
 /// Writes the trace_out=/telemetry_csv= exports, if requested.
 void export_telemetry(const Config& cfg, sim::KnobCommand cmd, const Telemetry& tel) {
+  // atomic_write_file: an interrupt or crash racing the export never leaves
+  // a torn half-written artifact — either the old file or the complete one.
   const std::string trace_out = sim::knob_string(cfg, cmd, "trace_out");
   if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open trace_out file " + trace_out);
-    tel.write_chrome_trace(out);
-    out << "\n";
+    atomic_write_file(trace_out, [&tel](std::ostream& out) {
+      tel.write_chrome_trace(out);
+      out << "\n";
+    });
     std::cout << "  trace      " << trace_out << " (" << tel.frame_count()
               << " intervals; load in ui.perfetto.dev)\n";
   }
   const std::string csv = sim::knob_string(cfg, cmd, "telemetry_csv");
   if (!csv.empty()) {
-    std::ofstream out(csv);
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open telemetry_csv file " + csv);
-    tel.write_csv(out);
+    atomic_write_file(csv, [&tel](std::ostream& out) { tel.write_csv(out); });
     std::cout << "  telemetry  " << csv << " (" << tel.track_count() << " tracks x "
               << tel.frame_count() << " intervals)\n";
   }
@@ -112,6 +149,7 @@ int cmd_run(const Config& cfg) {
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
   opts.faults = sim::fault_knobs(cfg, kCmd);
   opts.telemetry = tel.get();
+  opts.cancel = &g_cancel;
   sim::FaultSummary fault_summary;
   opts.inspect = [&fault_summary](gpu::Gpu& g) {
     fault_summary = sim::collect_fault_summary(g);
@@ -120,7 +158,22 @@ int cmd_run(const Config& cfg) {
   const sim::ArchSpec spec = sim::make_arch(sim::architecture_from_string(arch_name));
   const workload::Workload w = workload::make_benchmark(benchmark, scale);
   gpu::RunResult run;
-  const sim::Metrics m = sim::run_one_detailed(spec, w, run, opts);
+  sim::Metrics m;
+  try {
+    m = sim::run_one_detailed(spec, w, run, opts);
+  } catch (const Cancelled& c) {
+    // Finalize what exists before unwinding: the partial telemetry is valid
+    // (complete intervals only) and a requested JSON becomes a small valid
+    // document recording the interruption instead of a missing/torn file.
+    if (tel) export_telemetry(cfg, kCmd, *tel);
+    if (cfg.has("json")) {
+      atomic_write_file(sim::knob_string(cfg, kCmd, "json"), [&c](std::ostream& out) {
+        out << "{\"interrupted\": true, \"reason\": \"" << cancel_reason_name(c.reason())
+            << "\"}\n";
+      });
+    }
+    throw;
+  }
 
   std::cout << arch_name << " / " << benchmark << " (scale " << scale << ")\n"
             << "  IPC        " << m.ipc << "\n"
@@ -153,13 +206,13 @@ int cmd_run(const Config& cfg) {
   if (tel) export_telemetry(cfg, kCmd, *tel);
 
   if (cfg.has("json")) {
-    std::ofstream out(sim::knob_string(cfg, kCmd, "json"));
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
-    sim::write_run_json(out, m, run, fault_summary.enabled ? &fault_summary : nullptr,
-                        tel.get());
-    out << "\n";
+    atomic_write_file(sim::knob_string(cfg, kCmd, "json"), [&](std::ostream& out) {
+      sim::write_run_json(out, m, run, fault_summary.enabled ? &fault_summary : nullptr,
+                          tel.get());
+      out << "\n";
+    });
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmd_matrix(const Config& cfg) {
@@ -168,9 +221,20 @@ int cmd_matrix(const Config& cfg) {
   sim::RunOptions opts;
   opts.scale = sim::knob_double(cfg, kCmd, "scale");
   opts.cache_path = sim::knob_string(cfg, kCmd, "cache");
-  opts.jobs = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "jobs"));
+  opts.jobs = sim::resolve_jobs(sim::knob_int(cfg, kCmd, "jobs"));
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
   opts.faults = sim::fault_knobs(cfg, kCmd);
+  opts.cancel = &g_cancel;
+  opts.watchdog_s = sim::knob_double(cfg, kCmd, "watchdog");
+  opts.job_timeout_s = sim::knob_double(cfg, kCmd, "job_timeout");
+  STTGPU_REQUIRE(opts.watchdog_s >= 0.0, "watchdog= must be >= 0 seconds");
+  STTGPU_REQUIRE(opts.job_timeout_s >= 0.0, "job_timeout= must be >= 0 seconds");
+  const std::int64_t retries = sim::knob_int(cfg, kCmd, "retry");
+  STTGPU_REQUIRE(retries >= 0, "retry= must be >= 0");
+  opts.retries = static_cast<unsigned>(retries);
+  opts.keep_going = sim::knob_bool(cfg, kCmd, "keep_going");
+  sim::SupervisedResult report;
+  opts.report = &report;
   const auto rows = sim::run_matrix(sim::all_architectures(), opts);
 
   TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
@@ -181,12 +245,22 @@ int cmd_matrix(const Config& cfg) {
   table.print(std::cout);
 
   if (cfg.has("json")) {
-    std::ofstream out(sim::knob_string(cfg, kCmd, "json"));
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot open json output file");
-    sim::write_matrix_json(out, rows);
-    out << "\n";
+    atomic_write_file(sim::knob_string(cfg, kCmd, "json"), [&rows](std::ostream& out) {
+      sim::write_matrix_json(out, rows);
+      out << "\n";
+    });
   }
-  return 0;
+  // keep_going quarantines failures instead of throwing: the table/JSON
+  // above hold the partial matrix, the manifest already went to stderr —
+  // still exit non-zero so scripts notice the sweep is incomplete.
+  if (!report.all_ok()) {
+    if (report.count(sim::JobStatus::kWatchdog) > 0 ||
+        report.count(sim::JobStatus::kTimeout) > 0) {
+      return kExitWatchdog;
+    }
+    return kExitError;
+  }
+  return kExitOk;
 }
 
 int cmd_record(const Config& cfg) {
@@ -202,11 +276,12 @@ int cmd_record(const Config& cfg) {
   sim::RunOptions opts;
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
   opts.telemetry = tel.get();
+  opts.cancel = &g_cancel;
   const sim::Metrics m = sim::record_trace(spec, w, path, opts);
   std::cout << "recorded " << path << " (ipc " << m.ipc << ", "
             << m.l2_write_share * 100 << "% writes)\n";
   if (tel) export_telemetry(cfg, kCmd, *tel);
-  return 0;
+  return kExitOk;
 }
 
 int cmd_replay(const Config& cfg) {
@@ -233,18 +308,19 @@ int cmd_replay(const Config& cfg) {
 
 int usage() {
   std::cerr << sim::knob_usage();
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  install_signal_handlers();
   const std::string command = argv[1];
   try {
     if (command == "help") {
       std::cout << sim::knob_usage();
-      return 0;
+      return kExitOk;
     }
     const Config cfg = Config::from_args(argc - 1, argv + 1);
     if (command == "list") return cmd_list();
@@ -253,8 +329,14 @@ int main(int argc, char** argv) {
     if (command == "record") return cmd_record(cfg);
     if (command == "replay") return cmd_replay(cfg);
     return usage();
+  } catch (const Cancelled& c) {
+    // Artifacts (cache, telemetry, JSON) were finalized before the unwind;
+    // the exit code tells scripts whether this is resumable (3 = user
+    // interrupt; rerun to resume) or a supervision kill (4).
+    std::cerr << "interrupted: " << c.what() << "\n";
+    return c.reason() == CancelReason::kUser ? kExitInterrupted : kExitWatchdog;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitError;
   }
 }
