@@ -31,10 +31,10 @@ BENCHMARK(BM_TagProbe);
 
 void BM_LruVictim(benchmark::State& state) {
   cache::LruPolicy lru(256, static_cast<unsigned>(state.range(0)));
-  std::vector<bool> valid(state.range(0), true);
+  const cache::WayMask valid(static_cast<unsigned>(state.range(0)), true);
   Rng rng(11);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(lru.victim(rng.next_below(256), valid));
+    benchmark::DoNotOptimize(lru.victim(rng.next_below(256), valid.bits()));
   }
 }
 BENCHMARK(BM_LruVictim)->Arg(2)->Arg(7)->Arg(8)->Arg(128);

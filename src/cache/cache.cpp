@@ -71,12 +71,11 @@ AccessOutcome SetAssocCache::do_fill(Addr addr, Cycle now, bool dirty) {
   AccessOutcome out;
   const unsigned victim = tags_.pick_victim(addr);
   const std::uint64_t set = geometry().set_index(addr);
-  const LineMeta& old = tags_.line(set, victim);
-  if (old.valid) {
+  if (tags_.valid(set, victim)) {
     ++counters_.evictions;
     out.evicted = true;
-    out.evicted_addr = geometry().addr_of_tag(old.tag);
-    if (old.dirty) {
+    out.evicted_addr = tags_.addr_of(set, victim);
+    if (tags_.line(set, victim).dirty) {
       ++counters_.writebacks;
       out.writeback = true;
       out.writeback_addr = out.evicted_addr;

@@ -5,13 +5,6 @@
 
 namespace sttgpu::cache {
 
-unsigned ReplacementPolicy::first_invalid(const std::vector<bool>& valid) {
-  for (unsigned w = 0; w < valid.size(); ++w) {
-    if (!valid[w]) return w;
-  }
-  return static_cast<unsigned>(valid.size());
-}
-
 // ---------------------------------------------------------------- LRU
 
 LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
@@ -29,8 +22,8 @@ void LruPolicy::on_invalidate(std::uint64_t set, unsigned way) {
   stamp_[set * ways_ + way] = 0;
 }
 
-unsigned LruPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
-  STTGPU_ASSERT(valid.size() == ways_);
+unsigned LruPolicy::victim(std::uint64_t set, ValidBits valid) {
+  STTGPU_ASSERT(valid.ways == ways_);
   const unsigned inv = first_invalid(valid);
   if (inv < ways_) return inv;
   unsigned best = 0;
@@ -60,8 +53,8 @@ void FifoPolicy::on_invalidate(std::uint64_t set, unsigned way) {
   stamp_[set * ways_ + way] = 0;
 }
 
-unsigned FifoPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
-  STTGPU_ASSERT(valid.size() == ways_);
+unsigned FifoPolicy::victim(std::uint64_t set, ValidBits valid) {
+  STTGPU_ASSERT(valid.ways == ways_);
   const unsigned inv = first_invalid(valid);
   if (inv < ways_) return inv;
   unsigned best = 0;
@@ -83,8 +76,8 @@ RandomPolicy::RandomPolicy(std::uint64_t sets, unsigned ways, std::uint64_t seed
   STTGPU_REQUIRE(sets > 0 && ways > 0, "RandomPolicy: empty geometry");
 }
 
-unsigned RandomPolicy::victim(std::uint64_t /*set*/, const std::vector<bool>& valid) {
-  STTGPU_ASSERT(valid.size() == ways_);
+unsigned RandomPolicy::victim(std::uint64_t /*set*/, ValidBits valid) {
+  STTGPU_ASSERT(valid.ways == ways_);
   const unsigned inv = first_invalid(valid);
   if (inv < ways_) return inv;
   return static_cast<unsigned>(rng_.next_below(ways_));
@@ -113,8 +106,8 @@ void TreePlruPolicy::on_access(std::uint64_t set, unsigned way) { touch(set, way
 void TreePlruPolicy::on_insert(std::uint64_t set, unsigned way) { touch(set, way); }
 void TreePlruPolicy::on_invalidate(std::uint64_t /*set*/, unsigned /*way*/) {}
 
-unsigned TreePlruPolicy::victim(std::uint64_t set, const std::vector<bool>& valid) {
-  STTGPU_ASSERT(valid.size() == ways_);
+unsigned TreePlruPolicy::victim(std::uint64_t set, ValidBits valid) {
+  STTGPU_ASSERT(valid.ways == ways_);
   const unsigned inv = first_invalid(valid);
   if (inv < ways_) return inv;
   const std::size_t base = set * (ways_ - 1);

@@ -4,8 +4,14 @@
 // access (hit), insert (fill), and invalidate. Victim selection prefers an
 // invalid way if the caller says one exists; otherwise the policy picks
 // among valid ways.
+//
+// Victim selection takes a ValidBits view — a borrowed pointer into the
+// caller's packed valid bitmap (TagArray keeps one per set as a hot lane) —
+// so picking a victim never allocates. Callers without a bitmap to lend
+// (tests, benches) build one with WayMask.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -15,6 +21,42 @@
 
 namespace sttgpu::cache {
 
+/// Non-owning view of one set's valid bits: way w is bit (w % 64) of
+/// words[w / 64]. Bits at positions >= ways are ignored (callers may lend a
+/// word with stale high bits; every reader masks to `ways`).
+struct ValidBits {
+  const std::uint64_t* words = nullptr;
+  unsigned ways = 0;
+
+  static constexpr unsigned words_for(unsigned ways) noexcept { return (ways + 63u) / 64u; }
+
+  bool test(unsigned way) const noexcept {
+    return ((words[way >> 6] >> (way & 63u)) & 1u) != 0;
+  }
+};
+
+/// Owning packed bitmap convertible to ValidBits, for callers that do not
+/// borrow a TagArray lane (tests, benches, ad-hoc victim queries).
+class WayMask {
+ public:
+  explicit WayMask(unsigned ways, bool value = false)
+      : ways_(ways), words_(ValidBits::words_for(ways), value ? ~std::uint64_t{0} : 0) {}
+
+  void set(unsigned way, bool v) {
+    const std::uint64_t bit = std::uint64_t{1} << (way & 63u);
+    if (v) {
+      words_[way >> 6] |= bit;
+    } else {
+      words_[way >> 6] &= ~bit;
+    }
+  }
+  ValidBits bits() const noexcept { return {words_.data(), ways_}; }
+
+ private:
+  unsigned ways_;
+  std::vector<std::uint64_t> words_;
+};
+
 class ReplacementPolicy {
  public:
   virtual ~ReplacementPolicy() = default;
@@ -23,15 +65,25 @@ class ReplacementPolicy {
   virtual void on_insert(std::uint64_t set, unsigned way) = 0;
   virtual void on_invalidate(std::uint64_t set, unsigned way) = 0;
 
-  /// Chooses a victim way within @p set. @p valid has one flag per way; the
+  /// Chooses a victim way within @p set. @p valid has one bit per way; the
   /// policy must return an invalid way if any exists.
-  virtual unsigned victim(std::uint64_t set, const std::vector<bool>& valid) = 0;
+  virtual unsigned victim(std::uint64_t set, ValidBits valid) = 0;
 
   virtual std::string name() const = 0;
 
  protected:
-  /// Returns the first invalid way, or ways() if all are valid.
-  static unsigned first_invalid(const std::vector<bool>& valid);
+  /// Returns the first invalid way, or valid.ways if all are valid.
+  static unsigned first_invalid(ValidBits valid) noexcept {
+    for (unsigned wi = 0; wi * 64u < valid.ways; ++wi) {
+      const std::uint64_t clear = ~valid.words[wi];
+      if (clear != 0) {
+        const unsigned w = wi * 64u + static_cast<unsigned>(std::countr_zero(clear));
+        if (w < valid.ways) return w;
+        return valid.ways;  // only out-of-range (stale high) bits were clear
+      }
+    }
+    return valid.ways;
+  }
 };
 
 /// True LRU via per-way last-use stamps (works for any associativity).
@@ -41,7 +93,7 @@ class LruPolicy final : public ReplacementPolicy {
   void on_access(std::uint64_t set, unsigned way) override;
   void on_insert(std::uint64_t set, unsigned way) override;
   void on_invalidate(std::uint64_t set, unsigned way) override;
-  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  unsigned victim(std::uint64_t set, ValidBits valid) override;
   std::string name() const override { return "lru"; }
 
  private:
@@ -57,7 +109,7 @@ class FifoPolicy final : public ReplacementPolicy {
   void on_access(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
   void on_insert(std::uint64_t set, unsigned way) override;
   void on_invalidate(std::uint64_t set, unsigned way) override;
-  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  unsigned victim(std::uint64_t set, ValidBits valid) override;
   std::string name() const override { return "fifo"; }
 
  private:
@@ -73,7 +125,7 @@ class RandomPolicy final : public ReplacementPolicy {
   void on_access(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
   void on_insert(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
   void on_invalidate(std::uint64_t set, unsigned way) override {(void)set; (void)way;}
-  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  unsigned victim(std::uint64_t set, ValidBits valid) override;
   std::string name() const override { return "random"; }
 
  private:
@@ -88,7 +140,7 @@ class TreePlruPolicy final : public ReplacementPolicy {
   void on_access(std::uint64_t set, unsigned way) override;
   void on_insert(std::uint64_t set, unsigned way) override;
   void on_invalidate(std::uint64_t set, unsigned way) override;
-  unsigned victim(std::uint64_t set, const std::vector<bool>& valid) override;
+  unsigned victim(std::uint64_t set, ValidBits valid) override;
   std::string name() const override { return "tree-plru"; }
 
  private:

@@ -7,20 +7,13 @@ namespace sttgpu::cache {
 TagArray::TagArray(const CacheGeometry& geometry, ReplacementKind replacement,
                    std::uint64_t seed)
     : geom_(geometry),
-      lines_(geometry.num_lines()),
+      assoc_(geometry.associativity()),
+      words_per_set_(ValidBits::words_for(geometry.associativity())),
+      tags_(geometry.num_lines(), 0),
+      valid_(geometry.num_sets() * ValidBits::words_for(geometry.associativity()), 0),
+      meta_(geometry.num_lines()),
       repl_(make_replacement(replacement, geometry.num_sets(), geometry.associativity(),
                              seed)) {}
-
-std::optional<unsigned> TagArray::probe(Addr addr) const noexcept {
-  const std::uint64_t set = geom_.set_index(addr);
-  const Addr tag = geom_.tag_of(addr);
-  const std::size_t base = set * geom_.associativity();
-  for (unsigned w = 0; w < geom_.associativity(); ++w) {
-    const LineMeta& line = lines_[base + w];
-    if (line.valid && line.tag == tag) return w;
-  }
-  return std::nullopt;
-}
 
 void TagArray::touch(Addr addr, unsigned way) {
   repl_->on_access(geom_.set_index(addr), way);
@@ -28,16 +21,16 @@ void TagArray::touch(Addr addr, unsigned way) {
 
 unsigned TagArray::pick_victim(Addr addr) {
   const std::uint64_t set = geom_.set_index(addr);
-  return repl_->victim(set, valid_mask(set));
+  return repl_->victim(set, valid_bits(set));
 }
 
 LineMeta& TagArray::fill(Addr addr, unsigned way, Cycle now) {
   const std::uint64_t set = geom_.set_index(addr);
-  STTGPU_ASSERT(way < geom_.associativity());
-  LineMeta& line = lines_[set * geom_.associativity() + way];
+  STTGPU_ASSERT(way < assoc_);
+  tags_[set * assoc_ + way] = geom_.tag_of(addr);
+  valid_[set * words_per_set_ + (way >> 6)] |= std::uint64_t{1} << (way & 63u);
+  LineMeta& line = meta_[set * assoc_ + way];
   line = LineMeta{};
-  line.tag = geom_.tag_of(addr);
-  line.valid = true;
   line.insert_cycle = now;
   repl_->on_insert(set, way);
   return line;
@@ -45,42 +38,31 @@ LineMeta& TagArray::fill(Addr addr, unsigned way, Cycle now) {
 
 void TagArray::invalidate(Addr addr, unsigned way) {
   const std::uint64_t set = geom_.set_index(addr);
-  STTGPU_ASSERT(way < geom_.associativity());
-  lines_[set * geom_.associativity() + way].valid = false;
+  STTGPU_ASSERT(way < assoc_);
+  valid_[set * words_per_set_ + (way >> 6)] &= ~(std::uint64_t{1} << (way & 63u));
   repl_->on_invalidate(set, way);
 }
 
 LineMeta& TagArray::line(std::uint64_t set, unsigned way) {
-  STTGPU_ASSERT(set < geom_.num_sets() && way < geom_.associativity());
-  return lines_[set * geom_.associativity() + way];
+  STTGPU_ASSERT(set < geom_.num_sets() && way < assoc_);
+  return meta_[set * assoc_ + way];
 }
 
 const LineMeta& TagArray::line(std::uint64_t set, unsigned way) const {
-  STTGPU_ASSERT(set < geom_.num_sets() && way < geom_.associativity());
-  return lines_[set * geom_.associativity() + way];
+  STTGPU_ASSERT(set < geom_.num_sets() && way < assoc_);
+  return meta_[set * assoc_ + way];
 }
 
 std::vector<bool> TagArray::valid_mask(std::uint64_t set) const {
-  std::vector<bool> mask(geom_.associativity());
-  const std::size_t base = set * geom_.associativity();
-  for (unsigned w = 0; w < geom_.associativity(); ++w) mask[w] = lines_[base + w].valid;
+  std::vector<bool> mask(assoc_);
+  for (unsigned w = 0; w < assoc_; ++w) mask[w] = valid(set, w);
   return mask;
 }
 
 std::uint64_t TagArray::valid_count() const noexcept {
   std::uint64_t n = 0;
-  for (const auto& line : lines_) n += line.valid ? 1 : 0;
+  for (const std::uint64_t word : valid_) n += static_cast<unsigned>(std::popcount(word));
   return n;
-}
-
-void TagArray::for_each_valid(
-    const std::function<void(std::uint64_t, unsigned, LineMeta&)>& fn) {
-  for (std::uint64_t set = 0; set < geom_.num_sets(); ++set) {
-    for (unsigned w = 0; w < geom_.associativity(); ++w) {
-      LineMeta& line = lines_[set * geom_.associativity() + w];
-      if (line.valid) fn(set, w, line);
-    }
-  }
 }
 
 }  // namespace sttgpu::cache

@@ -1,10 +1,19 @@
 // Tag array: storage + lookup for a set-associative structure, decoupled
 // from any particular timing or write policy so both the conventional
 // caches (L1s, SRAM L2) and the two-part STT-RAM L2 can build on it.
+//
+// Storage is struct-of-arrays: the fields every probe and victim selection
+// reads — tags and packed per-set valid bitmaps — live in dense hot lanes,
+// while the per-line bookkeeping touched only on decided hits and
+// evictions (dirty bit, write counts, retention/fault deadlines) sits in a
+// parallel cold LineMeta array. A probe walks one 64-bit valid word and a
+// few adjacent tags instead of dragging full metadata structs through the
+// cache, and victim selection lends the valid word straight to the
+// replacement policy without materialising a mask.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -14,11 +23,12 @@
 
 namespace sttgpu::cache {
 
-/// Per-line metadata. The simulator tracks metadata only; data payloads are
-/// not simulated (the paper's questions are about timing/energy, not values).
+/// Per-line cold metadata. The line's identity (tag + valid bit) lives in
+/// the TagArray hot lanes; everything here is read only after a probe or
+/// victim selection has already decided which line is being operated on.
+/// The simulator tracks metadata only; data payloads are not simulated
+/// (the paper's questions are about timing/energy, not values).
 struct LineMeta {
-  Addr tag = 0;               ///< full line number (exact, no aliasing)
-  bool valid = false;
   bool dirty = false;
   std::uint32_t write_count = 0;   ///< writes since insertion (WWS monitor input)
   Cycle insert_cycle = 0;
@@ -36,12 +46,27 @@ class TagArray {
 
   /// Finds the way holding @p addr's line, if resident. Does not touch
   /// replacement state (use touch() on a decided hit).
-  std::optional<unsigned> probe(Addr addr) const noexcept;
+  std::optional<unsigned> probe(Addr addr) const noexcept {
+    const std::uint64_t set = geom_.set_index(addr);
+    const Addr tag = geom_.tag_of(addr);
+    const Addr* tags = tags_.data() + set * assoc_;
+    const std::uint64_t* words = valid_.data() + set * words_per_set_;
+    for (unsigned wi = 0; wi < words_per_set_; ++wi) {
+      std::uint64_t m = words[wi];
+      while (m != 0) {
+        const unsigned w = wi * 64u + static_cast<unsigned>(std::countr_zero(m));
+        if (tags[w] == tag) return w;
+        m &= m - 1;
+      }
+    }
+    return std::nullopt;
+  }
 
   /// Marks (set, way) most-recently-used.
   void touch(Addr addr, unsigned way);
 
   /// Picks the victim way for @p addr's set (an invalid way if any).
+  /// Allocation-free: the set's packed valid word is lent to the policy.
   unsigned pick_victim(Addr addr);
 
   /// Installs @p addr's line into (its set, @p way), overwriting whatever is
@@ -54,18 +79,55 @@ class TagArray {
   LineMeta& line(std::uint64_t set, unsigned way);
   const LineMeta& line(std::uint64_t set, unsigned way) const;
 
-  /// Valid-bit vector for @p set (for victim selection and tests).
+  /// Hot-lane accessors for a line's identity.
+  Addr tag(std::uint64_t set, unsigned way) const noexcept {
+    return tags_[set * assoc_ + way];
+  }
+  bool valid(std::uint64_t set, unsigned way) const noexcept {
+    return ((valid_[set * words_per_set_ + (way >> 6)] >> (way & 63u)) & 1u) != 0;
+  }
+  /// Representative byte address of the line resident at (set, way).
+  Addr addr_of(std::uint64_t set, unsigned way) const noexcept {
+    return geom_.addr_of_tag(tag(set, way));
+  }
+
+  /// Borrowed view of @p set's packed valid bits.
+  ValidBits valid_bits(std::uint64_t set) const noexcept {
+    return {valid_.data() + set * words_per_set_, assoc_};
+  }
+
+  /// Valid-bit vector for @p set (tests/diagnostics; hot paths use
+  /// valid_bits()).
   std::vector<bool> valid_mask(std::uint64_t set) const;
 
   /// Number of valid lines across the whole array.
   std::uint64_t valid_count() const noexcept;
 
-  /// Applies @p fn to every valid line (used by refresh/expiry scans).
-  void for_each_valid(const std::function<void(std::uint64_t set, unsigned way, LineMeta&)>& fn);
+  /// Applies fn(set, way, LineMeta&) to every valid line (refresh/expiry
+  /// scans). Statically dispatched; fn needing the line's identity reads it
+  /// via tag()/addr_of(). fn must not invalidate lines it has not been
+  /// handed yet (the packed words are snapshotted one at a time).
+  template <typename Fn>
+  void for_each_valid(Fn&& fn) {
+    for (std::uint64_t set = 0; set < geom_.num_sets(); ++set) {
+      for (unsigned wi = 0; wi < words_per_set_; ++wi) {
+        std::uint64_t m = valid_[set * words_per_set_ + wi];
+        while (m != 0) {
+          const unsigned w = wi * 64u + static_cast<unsigned>(std::countr_zero(m));
+          fn(set, w, meta_[set * assoc_ + w]);
+          m &= m - 1;
+        }
+      }
+    }
+  }
 
  private:
   CacheGeometry geom_;
-  std::vector<LineMeta> lines_;  // sets x ways
+  unsigned assoc_;
+  unsigned words_per_set_;
+  std::vector<Addr> tags_;            // hot: sets x ways
+  std::vector<std::uint64_t> valid_;  // hot: sets x words_per_set_ packed bits
+  std::vector<LineMeta> meta_;        // cold: sets x ways
   std::unique_ptr<ReplacementPolicy> repl_;
 };
 

@@ -1,0 +1,134 @@
+// Open-addressed hash map for the simulator's per-transaction bookkeeping
+// (request id -> metadata, line address -> waiter list). std::unordered_map
+// allocates and frees one node per insert/erase, which on the hot paths
+// means several heap round-trips per simulated memory transaction; this map
+// stores entries inline in one flat array (linear probing, backward-shift
+// deletion, power-of-two capacity), so the steady state allocates nothing
+// once the table reaches its high-water size.
+//
+// Deliberately minimal: u64 keys only, no iteration. The lack of iteration
+// is a feature — probe order can never leak into simulation results, so
+// swapping this in for std::unordered_map is byte-identical by construction.
+//
+// One key value (kEmptyKey, ~0) is reserved to mark empty slots; the
+// simulator's keys — monotonically assigned request ids and line-aligned
+// physical addresses — never reach it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sttgpu {
+
+template <typename V>
+class FlatU64Map {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  FlatU64Map() { rehash(kMinCapacity); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool contains(std::uint64_t key) const noexcept { return find(key) != nullptr; }
+
+  /// Pointer to the mapped value, or nullptr. Invalidated by any mutating
+  /// call (operator[] may rehash, erase shifts entries).
+  V* find(std::uint64_t key) noexcept {
+    std::size_t i = home(key);
+    while (true) {
+      Entry& e = entries_[i];
+      if (e.key == key) return &e.value;
+      if (e.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatU64Map*>(this)->find(key);
+  }
+
+  /// Value for @p key, default-constructed and inserted if missing.
+  V& operator[](std::uint64_t key) {
+    STTGPU_ASSERT(key != kEmptyKey);
+    // Grow at 3/4 load so probe chains stay short.
+    if ((size_ + 1) * 4 > entries_.size() * 3) rehash(entries_.size() * 2);
+    std::size_t i = home(key);
+    while (true) {
+      Entry& e = entries_[i];
+      if (e.key == key) return e.value;
+      if (e.key == kEmptyKey) {
+        e.key = key;
+        ++size_;
+        return e.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes @p key (which must be present), closing the probe gap by
+  /// backward shifting so later lookups stay reachable.
+  void erase(std::uint64_t key) {
+    std::size_t gap = home(key);
+    while (entries_[gap].key != key) {
+      STTGPU_ASSERT_MSG(entries_[gap].key != kEmptyKey, "FlatU64Map: erase of absent key");
+      gap = (gap + 1) & mask_;
+    }
+    std::size_t i = (gap + 1) & mask_;
+    while (entries_[i].key != kEmptyKey) {
+      // Entry i may fill the gap iff the gap lies on its probe path, i.e.
+      // cyclically between its home slot and i.
+      const std::size_t dist_home = (i - home(entries_[i].key)) & mask_;
+      const std::size_t dist_gap = (i - gap) & mask_;
+      if (dist_home >= dist_gap) {
+        entries_[gap].key = entries_[i].key;
+        entries_[gap].value = std::move(entries_[i].value);
+        gap = i;
+      }
+      i = (i + 1) & mask_;
+    }
+    entries_[gap].key = kEmptyKey;
+    entries_[gap].value = V{};  // release held resources (e.g. vector buffers)
+    --size_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// Fibonacci multiplicative hash: the high bits of the product mix every
+  /// key bit, which matters because the keys are often sequential ids.
+  std::size_t home(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.clear();
+    entries_.resize(new_capacity);
+    mask_ = new_capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = new_capacity; c > 1; c >>= 1) --shift_;
+    for (Entry& e : old) {
+      if (e.key == kEmptyKey) continue;
+      std::size_t i = home(e.key);
+      while (entries_[i].key != kEmptyKey) i = (i + 1) & mask_;
+      entries_[i].key = e.key;
+      entries_[i].value = std::move(e.value);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+};
+
+}  // namespace sttgpu

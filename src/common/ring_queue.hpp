@@ -1,0 +1,59 @@
+// Fixed-layout FIFO ring buffer for the interconnect's in-flight packet
+// queues. std::deque allocates and frees chunk blocks as a queue drains and
+// refills, and its iterator-based front() pays a double indirection on
+// every peek; this ring keeps one contiguous power-of-two array that only
+// ever grows to the queue's high-water mark, so the steady state performs
+// no allocations and front()/push/pop are single-index operations.
+//
+// FIFO order is exactly std::deque's push_back/pop_front order, so this is
+// a drop-in replacement wherever elements are only appended at the tail and
+// consumed at the head.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace sttgpu {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  T& front() noexcept { return buf_[head_]; }
+  const T& front() const noexcept { return buf_[head_]; }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  void pop_front() noexcept {
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kMinCapacity : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  static constexpr std::size_t kMinCapacity = 8;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace sttgpu

@@ -38,6 +38,7 @@ void DramChannel::read(Addr addr, std::uint64_t cookie, Cycle now) {
   // decides the access latency added on top.
   const Cycle ready = pipe_.admit(now) + access_latency(addr);
   pending_.push_back({ready, cookie});
+  if (ready < min_ready_) min_ready_ = ready;
   ++reads_;
 }
 
@@ -49,8 +50,12 @@ void DramChannel::write(Addr addr, Cycle now) {
 }
 
 void DramChannel::tick(Cycle now) {
+  // Nothing matures before min_ready_, so most ticks are a single compare.
+  if (now < min_ready_) return;
   // Open-page hits can complete before earlier row misses; scan the small
-  // pending window rather than assuming FIFO completion order.
+  // pending window rather than assuming FIFO completion order. The scan and
+  // swap-remove order are unchanged from the unconditional version, so the
+  // delivery order (and everything downstream of it) is identical.
   for (std::size_t i = 0; i < pending_.size();) {
     if (pending_[i].ready <= now) {
       const Pending p = pending_[i];
@@ -61,12 +66,8 @@ void DramChannel::tick(Cycle now) {
       ++i;
     }
   }
-}
-
-Cycle DramChannel::next_event_cycle() const noexcept {
-  Cycle next = kNoCycle;
-  for (const Pending& p : pending_) next = p.ready < next ? p.ready : next;
-  return next;
+  min_ready_ = kNoCycle;
+  for (const Pending& p : pending_) min_ready_ = p.ready < min_ready_ ? p.ready : min_ready_;
 }
 
 void DramChannel::sample_telemetry(unsigned channel, Telemetry& out) const {

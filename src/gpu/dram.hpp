@@ -35,12 +35,14 @@ class DramChannel {
   /// Issues a writeback (no completion callback).
   void write(Addr addr, Cycle now);
 
-  /// Delivers read completions due at or before @p now.
+  /// Delivers read completions due at or before @p now. O(1) when nothing
+  /// is due (the earliest pending completion is cached).
   void tick(Cycle now);
 
   /// Earliest absolute cycle at which this channel has a completion to
-  /// deliver; kNoCycle when nothing is pending.
-  Cycle next_event_cycle() const noexcept;
+  /// deliver; kNoCycle when nothing is pending. O(1): maintained on read()
+  /// and recomputed when tick() delivers.
+  Cycle next_event_cycle() const noexcept { return min_ready_; }
 
   /// Contributes this channel's counter tracks ("dramN.reads", ...) to the
   /// open telemetry frame; per-interval bandwidth is the increment times the
@@ -64,6 +66,7 @@ class DramChannel {
   ThroughputPipe pipe_;
   ReadCallback on_read_done_;
   std::vector<Pending> pending_;  // small unordered window (open-page reorders)
+  Cycle min_ready_ = kNoCycle;    // min over pending_ ready cycles
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
 

@@ -40,10 +40,16 @@ Gpu::Gpu(const GpuConfig& config, L2BankFactory& l2_factory)
       req.is_store = is_store;
       req.sm_id = s;
       req.created = now_;
-      icnt_.send_request(bank_of(addr), req, now_);
+      const unsigned b = bank_of(addr);
+      const Cycle arrival = icnt_.send_request(b, req, now_);
+      if (arrival < bank_lane_[b]) bank_lane_[b] = arrival;
       return id;
     });
   }
+  // Everything is "due" at cycle 0; the first hot step recomputes each lane.
+  bank_lane_.assign(config_.num_l2_banks, 0);
+  sm_lane_.assign(config_.num_sms, 0);
+  if (config_.tick_jobs > 1) tick_pool_ = std::make_unique<TickPool>(config_.tick_jobs);
   if (config_.telemetry != nullptr) {
     tel_ = config_.telemetry;
     STTGPU_REQUIRE(tel_->frame_count() == 0 && !tel_->in_frame(),
@@ -114,6 +120,10 @@ unsigned Gpu::bank_of(Addr addr) const noexcept {
 }
 
 void Gpu::step() {
+  if (config_.hotpath) {
+    step_hot();
+    return;
+  }
   // Memory side first so that this cycle's completions can wake warps.
   for (unsigned b = 0; b < banks_.size(); ++b) {
     icnt_.deliver_requests(
@@ -142,6 +152,78 @@ void Gpu::step() {
   }
 }
 
+void Gpu::step_hot() {
+  // Same phase order as the plain step(); each skipped call is a no-op by
+  // the conservative-next-event contract (nothing delivered, nothing due).
+  due_banks_.clear();
+  for (unsigned b = 0; b < banks_.size(); ++b) {
+    if (bank_lane_[b] <= now_) due_banks_.push_back(b);
+  }
+  for (const unsigned b : due_banks_) {
+    icnt_.deliver_requests(
+        b, now_, [&] { return banks_[b]->accepting(); },
+        [&](const L2Request& req) { banks_[b]->enqueue(req, now_); });
+  }
+  // Due bank partitions are pairwise independent (private DRAM channel,
+  // private queues), so the tick batch may fan out onto the pool. With a
+  // telemetry sink attached the banks share it for timeline events, so the
+  // batch stays sequential — attaching telemetry never changes results
+  // either way.
+  const auto tick_bank = [this](unsigned i) {
+    const unsigned b = due_banks_[i];
+    dram_[b]->tick(now_);
+    banks_[b]->tick(now_);
+  };
+  if (tick_pool_ != nullptr && tel_ == nullptr && due_banks_.size() > 1) {
+    tick_pool_->run(static_cast<unsigned>(due_banks_.size()), tick_bank);
+  } else {
+    for (unsigned i = 0; i < due_banks_.size(); ++i) tick_bank(i);
+  }
+  response_scratch_.clear();
+  for (const unsigned b : due_banks_) {
+    banks_[b]->drain_responses(now_, response_scratch_);
+    const Cycle dram_next = dram_[b]->next_event_cycle();
+    const Cycle bank_next = banks_[b]->next_event_cycle();
+    Cycle lane = icnt_.next_request_arrival(b);
+    if (dram_next < lane) lane = dram_next;
+    if (bank_next < lane) lane = bank_next;
+    bank_lane_[b] = lane;
+  }
+  for (const L2Response& resp : response_scratch_) {
+    const Cycle arrival = icnt_.send_response(resp, now_);
+    if (arrival < sm_lane_[resp.sm_id]) sm_lane_[resp.sm_id] = arrival;
+  }
+
+  for (unsigned s = 0; s < sms_.size(); ++s) {
+    if (sm_lane_[s] > now_) {
+      // No response arrival, no sleeper due, and either no ready warp or a
+      // clean stall: cycle() would only apply idle/stall accounting, which
+      // this replicates exactly.
+      sms_[s]->account_skipped_cycles(1);
+      continue;
+    }
+    icnt_.deliver_responses(s, now_, [&](const L2Response& resp) {
+      sms_[s]->on_response(resp, now_, senders_[s]);
+    });
+    sms_[s]->cycle(now_, senders_[s]);
+    const Cycle sm_next = sms_[s]->next_event_cycle();
+    const Cycle resp_next = icnt_.next_response_arrival(s);
+    sm_lane_[s] = sm_next < resp_next ? sm_next : resp_next;
+  }
+  ++now_;
+  if (now_ == tel_next_) {
+    telemetry_sample(now_);
+    tel_next_ += tel_interval_;
+  }
+}
+
+Cycle Gpu::next_event_cycle_hot() const {
+  Cycle next = kNoCycle;
+  for (const Cycle lane : sm_lane_) next = lane < next ? lane : next;
+  for (const Cycle lane : bank_lane_) next = lane < next ? lane : next;
+  return next;
+}
+
 Cycle Gpu::next_event_cycle() const {
   // Early-out scan: once the running minimum is <= now_ an event is already
   // due and no skip is possible, so the exact minimum no longer matters.
@@ -167,7 +249,7 @@ Cycle Gpu::next_event_cycle() const {
 
 void Gpu::fast_forward() {
   if (!config_.fast_forward || now_ < ff_next_try_) return;
-  const Cycle next = next_event_cycle();
+  const Cycle next = config_.hotpath ? next_event_cycle_hot() : next_event_cycle();
   // kNoCycle (nothing scheduled anywhere) falls through to plain stepping so
   // a livelocked configuration still hits the cycle ceiling diagnostics.
   if (next == kNoCycle || next <= now_) {
@@ -238,6 +320,8 @@ void Gpu::run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed) {
     sms_[s]->start_kernel(kernel, std::move(queues[s]), occ.blocks_per_sm, warps_in_grid,
                           seed);
   }
+  // Fresh warps are ready immediately: pull every SM lane down to "due now".
+  for (Cycle& lane : sm_lane_) lane = 0;
 
   const auto all_done = [&] {
     for (const auto& sm : sms_) {

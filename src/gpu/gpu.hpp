@@ -15,6 +15,7 @@
 #include "gpu/interconnect.hpp"
 #include "gpu/l2_bank.hpp"
 #include "gpu/sm.hpp"
+#include "gpu/tick_pool.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace sttgpu::gpu {
@@ -71,7 +72,24 @@ class Gpu {
   void run_kernel(const workload::KernelSpec& kernel, std::uint64_t seed);
   void drain_memory();
   bool memory_idle() const;
-  void step();  ///< advance one cycle
+  void step();  ///< advance one cycle (dispatches to step_hot under hotpath)
+
+  /// Hot-path cycle: identical phase order to the plain step(), but each
+  /// component only runs when its event lane says something is due —
+  /// skipped calls are provably no-ops (the same conservative-next-event
+  /// contract fast_forward relies on, applied per component per cycle).
+  /// Due bank partitions (bank + private DRAM channel + private input
+  /// queue) are independent, so their ticks batch onto the TickPool when
+  /// tick_jobs > 1; responses are still drained sequentially in bank order,
+  /// which keeps every downstream order byte-identical.
+  void step_hot();
+
+  /// Earliest event over the incrementally maintained lanes — the hotpath
+  /// replacement for the next_event_cycle() component scan. Lanes are lower
+  /// bounds (never later than the component's true next event), so the
+  /// value is safe for fast_forward: a conservative jump lands on a no-op
+  /// cycle at worst.
+  Cycle next_event_cycle_hot() const;
 
   /// Earliest absolute cycle at which any component has work; kNoCycle when
   /// nothing at all is scheduled. May return any value <= now_ (not the
@@ -138,6 +156,18 @@ class Gpu {
   std::uint64_t next_request_id_ = 1;
   std::vector<L2Response> response_scratch_;
   std::vector<SendTxnFn> senders_;  ///< one bound sender per SM
+
+  // Hot-path event lanes: per-component lower bounds on the next event
+  // cycle. bank_lane_[b] covers bank b's partition (its interconnect
+  // request queue, DRAM channel and the bank itself); sm_lane_[s] covers
+  // SM s plus its interconnect response queue. A lane is recomputed after
+  // its component runs and lowered in place when a packet is sent toward
+  // the component; it may go stale-low (an extra no-op tick) but never
+  // stale-high (a missed event).
+  std::vector<Cycle> bank_lane_;
+  std::vector<Cycle> sm_lane_;
+  std::vector<unsigned> due_banks_;  ///< per-cycle scratch
+  std::unique_ptr<TickPool> tick_pool_;  ///< non-null iff tick_jobs > 1
 };
 
 }  // namespace sttgpu::gpu

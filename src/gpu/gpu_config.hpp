@@ -76,6 +76,20 @@ struct GpuConfig {
   /// against the plain loop.
   bool fast_forward = true;
 
+  /// Hot-path stepping: per-component event lanes (one per SM, one per L2
+  /// bank partition) gate the per-cycle component ticks, so a busy cycle
+  /// only touches components with something actually due. Like
+  /// fast_forward this is a pure scheduling optimization — every skipped
+  /// call is provably a no-op and all reported metrics are byte-identical
+  /// (tested); disable to A/B against the plain per-cycle loop.
+  bool hotpath = true;
+
+  /// Worker threads for the per-cycle L2 bank tick batch (hotpath mode
+  /// only; 1 = sequential). Banks own disjoint state (private DRAM channel,
+  /// private queues), so any thread count produces bit-identical results;
+  /// >1 trades per-cycle wake overhead for parallelism on wide configs.
+  unsigned tick_jobs = 1;
+
   /// Optional interval-telemetry sink (not owned; must outlive the Gpu).
   /// Purely observational: attaching one never changes simulated results,
   /// so it is not part of the result-cache config fingerprint. Use a fresh

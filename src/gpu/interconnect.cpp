@@ -20,20 +20,22 @@ Interconnect::Interconnect(const GpuConfig& config) {
   response_q_.resize(config.num_sms);
 }
 
-void Interconnect::send_request(unsigned bank, const L2Request& request, Cycle now) {
+Cycle Interconnect::send_request(unsigned bank, const L2Request& request, Cycle now) {
   STTGPU_ASSERT(bank < to_bank_.size());
   const Cycle arrival = to_bank_[bank].admit(now);
   request_q_[bank].push_back({arrival, request});
   ++request_flits_;
   ++in_flight_;
+  return arrival;
 }
 
-void Interconnect::send_response(const L2Response& response, Cycle now) {
+Cycle Interconnect::send_response(const L2Response& response, Cycle now) {
   STTGPU_ASSERT(response.sm_id < to_sm_.size());
   const Cycle arrival = to_sm_[response.sm_id].admit(now);
   response_q_[response.sm_id].push_back({arrival, response});
   ++response_flits_;
   ++in_flight_;
+  return arrival;
 }
 
 Cycle Interconnect::next_event_cycle() const noexcept {

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "common/ring_queue.hpp"
 #include "common/types.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/pipe.hpp"
@@ -28,8 +28,9 @@ class Interconnect {
 
   /// SM -> bank direction. The network itself always accepts (the SM-side
   /// credit system bounds in-flight traffic); delivery to a bank is gated
-  /// by the bank's accepting() via deliver_requests().
-  void send_request(unsigned bank, const L2Request& request, Cycle now);
+  /// by the bank's accepting() via deliver_requests(). Returns the packet's
+  /// arrival cycle at the bank so the caller can schedule its next event.
+  Cycle send_request(unsigned bank, const L2Request& request, Cycle now);
 
   /// Pops requests that have arrived at @p bank by @p now, while @p accepting
   /// allows; returns them in arrival order.
@@ -44,8 +45,8 @@ class Interconnect {
     }
   }
 
-  /// Bank -> SM direction.
-  void send_response(const L2Response& response, Cycle now);
+  /// Bank -> SM direction. Returns the arrival cycle at the SM.
+  Cycle send_response(const L2Response& response, Cycle now);
 
   /// Pops responses that have arrived at SM @p sm by @p now.
   template <typename DeliverFn>
@@ -69,6 +70,18 @@ class Interconnect {
   /// blocks fast-forwarding over it.
   Cycle next_event_cycle() const noexcept;
 
+  /// Earliest arrival at bank @p bank (its queue's front — arrivals are
+  /// monotone per queue); kNoCycle when empty. O(1) peek for per-bank
+  /// event lanes.
+  Cycle next_request_arrival(unsigned bank) const noexcept {
+    return request_q_[bank].empty() ? kNoCycle : request_q_[bank].front().arrival;
+  }
+
+  /// Earliest arrival at SM @p sm; kNoCycle when its queue is empty.
+  Cycle next_response_arrival(unsigned sm) const noexcept {
+    return response_q_[sm].empty() ? kNoCycle : response_q_[sm].front().arrival;
+  }
+
   /// Contributes network counter tracks and the in-flight gauge to the open
   /// telemetry frame.
   void sample_telemetry(Telemetry& out) const;
@@ -88,8 +101,8 @@ class Interconnect {
 
   std::vector<ThroughputPipe> to_bank_;
   std::vector<ThroughputPipe> to_sm_;
-  std::vector<std::deque<TimedRequest>> request_q_;    // per bank
-  std::vector<std::deque<TimedResponse>> response_q_;  // per SM
+  std::vector<RingQueue<TimedRequest>> request_q_;    // per bank
+  std::vector<RingQueue<TimedResponse>> response_q_;  // per SM
   std::uint64_t request_flits_ = 0;
   std::uint64_t response_flits_ = 0;
   std::uint64_t in_flight_ = 0;  ///< packets sent but not yet delivered

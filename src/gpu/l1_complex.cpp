@@ -87,15 +87,14 @@ void L1Complex::fill(Addr addr, workload::MemSpace space, Cycle now,
 std::vector<Addr> L1Complex::flush() {
   std::vector<Addr> dirty;
   for (cache::SetAssocCache* c : {&l1d_, &l1c_, &l1t_}) {
+    cache::TagArray& tags = c->tags();
     std::vector<std::pair<std::uint64_t, unsigned>> valid;
-    c->tags().for_each_valid([&](std::uint64_t set, unsigned way, cache::LineMeta& line) {
-      if (line.dirty) dirty.push_back(c->geometry().addr_of_tag(line.tag));
+    tags.for_each_valid([&](std::uint64_t set, unsigned way, cache::LineMeta& line) {
+      if (line.dirty) dirty.push_back(tags.addr_of(set, way));
       valid.emplace_back(set, way);
-      (void)way;
     });
     for (const auto& [set, way] : valid) {
-      const cache::LineMeta& line = c->tags().line(set, way);
-      if (line.valid) c->tags().invalidate(c->geometry().addr_of_tag(line.tag), way);
+      if (tags.valid(set, way)) tags.invalidate(tags.addr_of(set, way), way);
     }
   }
   return dirty;

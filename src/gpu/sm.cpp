@@ -1,6 +1,7 @@
 #include "gpu/sm.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 #include "common/telemetry.hpp"
@@ -32,7 +33,9 @@ void Sm::start_kernel(const workload::KernelSpec& kernel, std::deque<unsigned> b
 
   warps_.assign(static_cast<std::size_t>(resident_blocks) * warps_per_block_, WarpCtx{});
   block_live_warps_.assign(resident_blocks, 0);
-  ready_.clear();
+  ready_bits_.assign((warps_.size() + 63) / 64, 0);
+  ready_count_ = 0;
+  stall_clean_ = false;
   while (!sleep_heap_.empty()) sleep_heap_.pop();
   last_issued_ = -1;
 
@@ -57,7 +60,11 @@ void Sm::launch_block(unsigned slot, Cycle /*now*/) {
     ctx.ready_at = 0;
     ctx.awaiting = 0;
     ctx.block_slot = slot;
-    ready_.push_back(idx);
+    set_ready(idx);
+    // A launch during cycle()'s issue loop must add the fresh warps to the
+    // tail of this cycle's candidate list (they are issue candidates right
+    // away); outside the loop the scratch is rebuilt before use anyway.
+    issue_order_.push_back(idx);
     ++active_warps_;
   }
   block_live_warps_[slot] = warps_per_block_;
@@ -72,13 +79,14 @@ void Sm::wake_due(Cycle now) {
     // time matches wakes it.
     if (ctx.state == WarpState::kSleeping && ctx.ready_at <= now) {
       ctx.state = WarpState::kReady;
-      ready_.push_back(warp);
+      set_ready(warp);
     }
   }
 }
 
 void Sm::sleep_warp(unsigned warp, Cycle until) {
   WarpCtx& ctx = warps_[warp];
+  clear_ready(warp);
   ctx.state = WarpState::kSleeping;
   ctx.ready_at = until;
   sleep_heap_.emplace(until, warp);
@@ -87,6 +95,7 @@ void Sm::sleep_warp(unsigned warp, Cycle until) {
 void Sm::finish_warp(unsigned warp, Cycle now) {
   WarpCtx& ctx = warps_[warp];
   STTGPU_ASSERT(ctx.state != WarpState::kInactive);
+  clear_ready(warp);
   ctx.state = WarpState::kInactive;
   ctx.stream.reset();
   STTGPU_ASSERT(active_warps_ > 0);
@@ -97,55 +106,115 @@ void Sm::finish_warp(unsigned warp, Cycle now) {
   }
 }
 
+void Sm::append_ready_range(unsigned lo, unsigned hi) {
+  if (lo >= hi) return;
+  const unsigned first = lo >> 6;
+  const unsigned last = (hi - 1) >> 6;
+  for (unsigned wi = first; wi <= last; ++wi) {
+    std::uint64_t m = ready_bits_[wi];
+    if (wi == first) m &= ~std::uint64_t{0} << (lo & 63u);
+    const unsigned word_end = (wi + 1) * 64u;
+    if (word_end > hi) m &= ~std::uint64_t{0} >> (word_end - hi);
+    while (m != 0) {
+      issue_order_.push_back(wi * 64u + static_cast<unsigned>(std::countr_zero(m)));
+      m &= m - 1;
+    }
+  }
+}
+
 void Sm::cycle(Cycle now, const SendTxnFn& send) {
-  wake_due(now);
-  if (ready_.empty()) {
+  // Inline fast path for the common no-sleeper-due case; wake_due's loop
+  // keeps the compiler from inlining it wholesale.
+  if (!sleep_heap_.empty() && sleep_heap_.top().first <= now) wake_due(now);
+  if (ready_count_ == 0) {
     if (active_warps_ > 0) ++stats_.idle_cycles;
     return;
   }
+  // Still stalled with nothing changed since the failed walk: re-walking
+  // would fail identically (pure prechecks), so only the accounting remains.
+  if (stall_clean_) {
+    ++stats_.stall_cycles;
+    return;
+  }
 
-  // Candidate ordering per scheduler policy. NOTE: try_issue may finish a
-  // warp, which can launch a new block and push fresh warps into ready_ —
-  // hence the index-based loops below.
+  // Candidate ordering per scheduler policy, rebuilt from the ready bitmap:
+  // ascending slot order IS the GTO oldest-first sort, and the circular walk
+  // starting just past the last issued warp IS the LRR rotated sort. NOTE:
+  // try_issue may finish a warp, which can launch a new block — launch_block
+  // then appends the fresh warps to issue_order_, so they become candidates
+  // at the tail of this cycle exactly as before.
+  issue_order_.clear();
+  const unsigned n = static_cast<unsigned>(warps_.size());
   if (config_->scheduler == SchedulerKind::kLrr && last_issued_ >= 0) {
-    // Loose round-robin: rotate the priority order to start just after the
-    // last issued warp.
-    const unsigned pivot = static_cast<unsigned>(last_issued_);
-    const unsigned n = static_cast<unsigned>(warps_.size());
-    std::sort(ready_.begin(), ready_.end(), [&](unsigned a, unsigned b) {
-      return (a + n - pivot - 1) % n < (b + n - pivot - 1) % n;
-    });
+    const unsigned start = (static_cast<unsigned>(last_issued_) + 1) % n;
+    append_ready_range(start, n);
+    append_ready_range(0, start);
   } else {
-    // GTO: oldest-first (lowest slot); greedy preference handled below.
-    std::sort(ready_.begin(), ready_.end());
+    append_ready_range(0, n);
   }
   bool issued = false;
 
   if (config_->scheduler == SchedulerKind::kGto && last_issued_ >= 0) {
-    const auto it = std::find(ready_.begin(), ready_.end(),
-                              static_cast<unsigned>(last_issued_));
-    if (it != ready_.end() && warps_[*it].state == WarpState::kReady &&
-        try_issue(*it, now, send)) {
+    const unsigned greedy = static_cast<unsigned>(last_issued_);
+    if (is_ready(greedy) && warps_[greedy].state == WarpState::kReady &&
+        !issue_precheck_fails(warps_[greedy]) && try_issue(greedy, now, send)) {
       issued = true;
     }
   }
-  for (std::size_t i = 0; !issued && i < ready_.size(); ++i) {
-    const unsigned warp = ready_[i];
-    if (warps_[warp].state == WarpState::kReady && try_issue(warp, now, send)) {
+  for (std::size_t i = 0; !issued && i < issue_order_.size(); ++i) {
+    const unsigned warp = issue_order_[i];
+    const WarpCtx& ctx = warps_[warp];
+    if (ctx.state != WarpState::kReady || issue_precheck_fails(ctx)) continue;
+    if (try_issue(warp, now, send)) {
       issued = true;
       last_issued_ = static_cast<int>(warp);
     }
   }
 
-  // Keep whatever is still ready (stalled warps, freshly launched warps).
-  std::size_t keep = 0;
-  for (std::size_t i = 0; i < ready_.size(); ++i) {
-    const unsigned warp = ready_[i];
-    if (warps_[warp].state == WarpState::kReady) ready_[keep++] = warp;
+  if (!issued && ready_count_ > 0) {
+    ++stats_.stall_cycles;
+    // The walk left stable state behind: every surviving candidate has its
+    // pending instruction materialized and failed a pure precheck. Until a
+    // wake or a response changes the inputs, skip the walk entirely. Record
+    // the smallest per-kind transaction need so on_response() can tell
+    // whether a freed credit can actually unstick anything: a walk failing
+    // means every candidate is a non-shared load/store (anything else would
+    // have issued), so the two mins cover the whole candidate set.
+    stall_clean_ = true;
+    stall_load_need_ = kNoNeed;
+    stall_store_need_ = kNoNeed;
+    for (const unsigned warp : issue_order_) {
+      const WarpCtx& ctx = warps_[warp];
+      if (ctx.state != WarpState::kReady) continue;
+      STTGPU_ASSERT(ctx.pending.has_value());
+      const WarpInstr& instr = *ctx.pending;
+      const unsigned need = static_cast<unsigned>(instr.transactions.size());
+      if (instr.kind == WarpInstr::Kind::kLoad) {
+        stall_load_need_ = need < stall_load_need_ ? need : stall_load_need_;
+      } else {
+        stall_store_need_ = need < stall_store_need_ ? need : stall_store_need_;
+      }
+    }
   }
-  ready_.resize(keep);
+}
 
-  if (!issued && !ready_.empty()) ++stats_.stall_cycles;
+// Mirrors try_issue's structural prechecks for a warp whose pending
+// instruction is already materialized: a true return means try_issue would
+// fail those same checks before touching any state, so the call (and its
+// overhead) can be skipped on the issue walk. Warps without a materialized
+// instruction must go through try_issue (it may finish the warp or issue).
+bool Sm::issue_precheck_fails(const WarpCtx& ctx) const noexcept {
+  if (!ctx.pending) return false;
+  const WarpInstr& instr = *ctx.pending;
+  if (instr.kind == WarpInstr::Kind::kCompute || instr.space == MemSpace::kShared) {
+    return false;
+  }
+  const unsigned n = static_cast<unsigned>(instr.transactions.size());
+  if (instr.kind == WarpInstr::Kind::kLoad) {
+    return inflight_loads_ + n > config_->max_outstanding_load_txn ||
+           mshr_.size() + n > config_->l1_mshr_entries;
+  }
+  return inflight_stores_ + n > config_->max_outstanding_store_txn;
 }
 
 bool Sm::try_issue(unsigned warp, Cycle now, const SendTxnFn& send) {
@@ -197,18 +266,17 @@ bool Sm::try_issue(unsigned warp, Cycle now, const SendTxnFn& send) {
       ++stats_.load_transactions;
       const L1Outcome out = l1_.access(line, WarpInstr::Kind::kLoad, instr.space, now);
       if (out.hit) continue;
-      auto it = mshr_.find(line);
-      if (it != mshr_.end()) {
-        if (it->second.size() < config_->l1_mshr_merge) {
-          it->second.push_back(warp);
+      std::vector<unsigned>* waiters = mshr_.find(line);
+      if (waiters != nullptr) {
+        if (waiters->size() < config_->l1_mshr_merge) {
+          waiters->push_back(warp);
           ++stats_.mshr_merges;
           ++awaiting;
           continue;
         }
         // Merge list full: fall through and issue a duplicate fetch; rare.
       } else {
-        it = mshr_.emplace(line, std::vector<unsigned>{}).first;
-        it->second.push_back(warp);
+        mshr_[line].push_back(warp);
         ++awaiting;
       }
       const std::uint64_t id = send(line, /*is_store=*/false);
@@ -218,6 +286,7 @@ bool Sm::try_issue(unsigned warp, Cycle now, const SendTxnFn& send) {
     ctx.pending.reset();
     if (awaiting > 0) {
       ctx.awaiting = awaiting;
+      clear_ready(warp);
       ctx.state = WarpState::kBlocked;
     } else {
       sleep_warp(warp, now + config_->l1_hit_latency);
@@ -252,34 +321,53 @@ void Sm::send_writeback(Addr addr, Cycle /*now*/, const SendTxnFn& send) {
 }
 
 void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& send) {
-  const auto it = inflight_meta_.find(response.id);
-  STTGPU_ASSERT_MSG(it != inflight_meta_.end(), "Sm: response for unknown request");
-  const TxnMeta meta = it->second;
-  inflight_meta_.erase(it);
+  const TxnMeta* it = inflight_meta_.find(response.id);
+  STTGPU_ASSERT_MSG(it != nullptr, "Sm: response for unknown request");
+  const TxnMeta meta = *it;
+  inflight_meta_.erase(response.id);
 
   if (meta.is_store) {
     if (!meta.is_writeback) {
       STTGPU_ASSERT(inflight_stores_ > 0);
       --inflight_stores_;
+      // A store credit freed: this unsticks a stalled walk only if the
+      // cheapest store candidate now fits. (Writeback completions use no
+      // credit and touch nothing the prechecks read, so they always leave a
+      // clean stall clean.)
+      if (stall_clean_ && stall_store_need_ != kNoNeed &&
+          inflight_stores_ + stall_store_need_ <= config_->max_outstanding_store_txn) {
+        stall_clean_ = false;
+      }
     }
     return;
   }
 
-  // Load fill: install in L1 and wake every merged waiter.
+  // Load fill: install in L1 and wake every merged waiter. Frees a load
+  // credit and possibly an MSHR entry — both precheck inputs; whether that
+  // unsticks a stalled walk is decided below, after the MSHR update.
   STTGPU_ASSERT(inflight_loads_ > 0);
   --inflight_loads_;
   std::vector<Addr> writebacks;
   l1_.fill(meta.line_addr, meta.space, now, writebacks);
   for (const Addr wb : writebacks) send_writeback(wb, now, send);
 
-  const auto mit = mshr_.find(meta.line_addr);
-  if (mit == mshr_.end()) return;  // duplicate fetch (merge overflow) case
-  const std::vector<unsigned> waiters = std::move(mit->second);
-  mshr_.erase(mit);
-  for (const unsigned warp : waiters) {
-    WarpCtx& ctx = warps_[warp];
-    STTGPU_ASSERT(ctx.state == WarpState::kBlocked && ctx.awaiting > 0);
-    if (--ctx.awaiting == 0) sleep_warp(warp, now + kWakeLatency);
+  std::vector<unsigned>* mit = mshr_.find(meta.line_addr);
+  if (mit != nullptr) {  // else: duplicate fetch (merge overflow) case
+    const std::vector<unsigned> waiters = std::move(*mit);
+    mshr_.erase(meta.line_addr);
+    for (const unsigned warp : waiters) {
+      WarpCtx& ctx = warps_[warp];
+      STTGPU_ASSERT(ctx.state == WarpState::kBlocked && ctx.awaiting > 0);
+      if (--ctx.awaiting == 0) sleep_warp(warp, now + kWakeLatency);
+    }
+  }
+  // A load credit (and possibly an MSHR entry) freed: this unsticks a
+  // stalled walk only if the cheapest load candidate now passes both
+  // prechecks with the live levels.
+  if (stall_clean_ && stall_load_need_ != kNoNeed &&
+      inflight_loads_ + stall_load_need_ <= config_->max_outstanding_load_txn &&
+      mshr_.size() + stall_load_need_ <= config_->l1_mshr_entries) {
+    stall_clean_ = false;
   }
 }
 

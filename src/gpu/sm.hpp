@@ -17,9 +17,9 @@
 #include <functional>
 #include <optional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/l1_complex.hpp"
@@ -75,23 +75,33 @@ class Sm {
   unsigned inflight() const noexcept { return inflight_loads_ + inflight_stores_; }
 
   /// Earliest absolute cycle at which this SM can make progress on its own:
-  /// 0 (i.e. "every cycle") while any warp is ready to issue, the earliest
-  /// sleeper's wake-up otherwise, kNoCycle when nothing is scheduled
-  /// (blocked warps are woken by responses, which the memory side reports).
-  /// Stale sleep-heap entries only make this conservative (an early no-op
-  /// tick), exactly as the per-cycle loop would pop them.
+  /// 0 (i.e. "every cycle") while a warp is ready AND the last stall walk's
+  /// outcome may have changed, the earliest sleeper's wake-up otherwise,
+  /// kNoCycle when nothing is scheduled (blocked warps are woken by
+  /// responses, which the memory side reports). A stalled SM whose walk
+  /// already completed with no state change (stall_clean_) is skippable:
+  /// re-walking is a pure check that fails identically until a wake or a
+  /// memory response dirties it, and responses show up as interconnect
+  /// arrivals in the caller's event lane. Stale sleep-heap entries only make
+  /// this conservative (an early no-op tick), exactly as the per-cycle loop
+  /// would pop them.
   Cycle next_event_cycle() const noexcept {
-    if (!ready_.empty()) return 0;
+    if (ready_count_ > 0 && !stall_clean_) return 0;
     if (!sleep_heap_.empty()) return sleep_heap_.top().first;
     return kNoCycle;
   }
 
   /// Accounts @p skipped fast-forwarded cycles exactly as the per-cycle loop
-  /// would have: each skipped cycle, cycle() would find no ready warp and —
-  /// with live warps — count an idle cycle. (No ready warp is a precondition
-  /// for skipping: next_event_cycle() returns 0 otherwise.)
+  /// would have. Ready warps during a skip imply a clean stall (that is the
+  /// only way next_event_cycle() lets a skip happen), where cycle() would
+  /// count a stall cycle; otherwise no warp is ready and — with live warps —
+  /// cycle() would count an idle cycle.
   void account_skipped_cycles(Cycle skipped) noexcept {
-    if (active_warps_ > 0) stats_.idle_cycles += skipped;
+    if (ready_count_ > 0) {
+      stats_.stall_cycles += skipped;
+    } else if (active_warps_ > 0) {
+      stats_.idle_cycles += skipped;
+    }
   }
 
   /// Contributes this SM's counter tracks ("smN.instructions", ...) to the
@@ -125,10 +135,38 @@ class Sm {
 
   void launch_block(unsigned slot, Cycle now);
   void wake_due(Cycle now);
+  bool issue_precheck_fails(const WarpCtx& ctx) const noexcept;
   bool try_issue(unsigned warp, Cycle now, const SendTxnFn& send);
   void sleep_warp(unsigned warp, Cycle until);
   void finish_warp(unsigned warp, Cycle now);
   void send_writeback(Addr addr, Cycle now, const SendTxnFn& send);
+
+  // The ready set is a packed bitmap (one bit per warp slot), kept exactly
+  // in sync with WarpState::kReady. Iterating set bits ascending reproduces
+  // the old sorted-vector candidate order without the per-cycle sort.
+  bool is_ready(unsigned warp) const noexcept {
+    return ((ready_bits_[warp >> 6] >> (warp & 63u)) & 1u) != 0;
+  }
+  void set_ready(unsigned warp) noexcept {
+    std::uint64_t& word = ready_bits_[warp >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (warp & 63u);
+    if ((word & bit) == 0) {
+      word |= bit;
+      ++ready_count_;
+    }
+    // A new candidate can change a stalled walk's outcome.
+    stall_clean_ = false;
+  }
+  void clear_ready(unsigned warp) noexcept {
+    std::uint64_t& word = ready_bits_[warp >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (warp & 63u);
+    if ((word & bit) != 0) {
+      word &= ~bit;
+      --ready_count_;
+    }
+  }
+  /// Appends the ready warps with index in [lo, hi) to issue_order_.
+  void append_ready_range(unsigned lo, unsigned hi);
 
   unsigned id_;
   const GpuConfig* config_;
@@ -148,12 +186,31 @@ class Sm {
   // Scheduling structures
   using SleepEntry = std::pair<Cycle, unsigned>;  // (ready_at, warp)
   std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<>> sleep_heap_;
-  std::vector<unsigned> ready_;
+  std::vector<std::uint64_t> ready_bits_;  ///< packed kReady set, one bit per warp
+  unsigned ready_count_ = 0;               ///< population count of ready_bits_
+  std::vector<unsigned> issue_order_;      ///< per-cycle candidate scratch
   int last_issued_ = -1;  // GTO greedy preference
+  /// The last cycle() walk stalled (ready warps, none issuable) and nothing
+  /// has changed since: a failed walk is a pure check — every candidate has
+  /// its pending instruction materialized and fails a credit/MSHR precheck
+  /// before touching any state — so until set_ready() or a response that can
+  /// actually satisfy a candidate clears this, repeating the walk is a
+  /// provable no-op.
+  bool stall_clean_ = false;
+  /// Smallest transaction count over the stalled load (resp. store)
+  /// candidates of the last failed walk; kNoNeed when none of that kind.
+  /// Valid only while stall_clean_ — any walk or candidate-set change
+  /// recomputes them. The precheck pass condition is monotone in a
+  /// candidate's transaction count, so if the min-need candidate still fails
+  /// with the live credit/MSHR levels, every candidate does, and a response
+  /// that cannot satisfy the min need provably leaves the stall stuck.
+  static constexpr unsigned kNoNeed = ~0u;
+  unsigned stall_load_need_ = kNoNeed;
+  unsigned stall_store_need_ = kNoNeed;
 
   // Memory-side state
-  std::unordered_map<Addr, std::vector<unsigned>> mshr_;  ///< line -> waiting warps
-  std::unordered_map<std::uint64_t, TxnMeta> inflight_meta_;  ///< req id -> meta
+  FlatU64Map<std::vector<unsigned>> mshr_;  ///< line -> waiting warps
+  FlatU64Map<TxnMeta> inflight_meta_;       ///< req id -> meta
   unsigned inflight_loads_ = 0;   ///< primary load transactions in flight
   unsigned inflight_stores_ = 0;  ///< store transactions in flight
 

@@ -1,0 +1,95 @@
+#include "gpu/tick_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace sttgpu::gpu {
+
+TickPool::TickPool(unsigned workers) : workers_(workers == 0 ? 1 : workers) {
+  threads_.reserve(workers_ - 1);
+  for (unsigned i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TickPool::~TickPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TickPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* fn = nullptr;
+    unsigned n = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // fn_ is nulled once a batch fully completes: a worker that slept
+      // through the whole batch must keep sleeping instead of adopting a
+      // finished generation (and dereferencing a dead function).
+      start_cv_.wait(lk, [&] { return stop_ || (generation_ != seen && fn_ != nullptr); });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+      n = batch_size_;
+      ++in_batch_;
+    }
+    work_off(*fn, n);
+  }
+}
+
+void TickPool::work_off(const std::function<void(unsigned)>& fn, unsigned n) {
+  unsigned completed = 0;
+  std::exception_ptr err;
+  for (;;) {
+    const unsigned i = next_item_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      fn(i);
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+    ++completed;
+  }
+  const std::lock_guard<std::mutex> lk(mu_);
+  done_items_ += completed;
+  if (err != nullptr && first_error_ == nullptr) first_error_ = err;
+  --in_batch_;
+  if (done_items_ == batch_size_ && in_batch_ == 0) done_cv_.notify_all();
+}
+
+void TickPool::run(unsigned n, const std::function<void(unsigned)>& fn) {
+  if (n == 0) return;
+  if (workers_ == 1 || n == 1) {
+    // No point in a wake round-trip: run inline (still bit-identical — the
+    // contract demands order independence anyway).
+    for (unsigned i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    STTGPU_ASSERT_MSG(in_batch_ == 0, "TickPool: overlapping run() calls");
+    fn_ = &fn;
+    batch_size_ = n;
+    next_item_.store(0, std::memory_order_relaxed);
+    done_items_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+    ++in_batch_;  // the calling thread participates
+  }
+  start_cv_.notify_all();
+  work_off(fn, n);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_items_ == batch_size_ && in_batch_ == 0; });
+    err = first_error_;
+    fn_ = nullptr;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+}  // namespace sttgpu::gpu

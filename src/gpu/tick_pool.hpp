@@ -1,0 +1,71 @@
+// Persistent worker pool for per-cycle tick batching.
+//
+// sim::run_jobs (executor.hpp) spawns fresh threads per call, which is fine
+// for minutes-long matrix jobs but useless at per-cycle granularity. This
+// pool keeps its workers alive across run() calls: each call publishes a
+// task batch under one mutex, wakes the workers, and the items are claimed
+// off a shared atomic index. run() returns only when every item finished,
+// so the caller can treat the batch as one sequential phase.
+//
+// Determinism contract: the pool decides only WHICH THREAD runs an item,
+// never whether or with what arguments — callers must pass items whose
+// effects are confined to disjoint state (e.g. one L2 bank + its private
+// DRAM channel each). Under that contract results are bit-identical to a
+// sequential loop in any interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sttgpu::gpu {
+
+class TickPool {
+ public:
+  /// Runs batches on @p workers threads total (the calling thread counts as
+  /// one of them, so `workers` == 1 means no threads are spawned at all).
+  explicit TickPool(unsigned workers);
+  ~TickPool();
+
+  TickPool(const TickPool&) = delete;
+  TickPool& operator=(const TickPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributed over the workers and the
+  /// calling thread; blocks until all n items completed. Exceptions thrown
+  /// by fn on a worker are rethrown here (first one wins).
+  void run(unsigned n, const std::function<void(unsigned)>& fn);
+
+  unsigned workers() const noexcept { return workers_; }
+
+ private:
+  void worker_loop();
+  void work_off(const std::function<void(unsigned)>& fn, unsigned n);
+
+  unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;  ///< bumped per batch; workers wait on it
+  bool stop_ = false;
+
+  // Current batch. fn_/batch_size_ are published under mu_ with the
+  // generation bump; next_item_ is the shared claim counter. in_batch_
+  // counts workers still inside the batch — run() returns only once it
+  // drops to zero, so a straggler can never claim items (or dereference
+  // fn_) across a batch boundary.
+  const std::function<void(unsigned)>* fn_ = nullptr;
+  unsigned batch_size_ = 0;
+  std::atomic<unsigned> next_item_{0};
+  unsigned done_items_ = 0;   ///< guarded by mu_
+  unsigned in_batch_ = 0;     ///< guarded by mu_
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sttgpu::gpu

@@ -61,6 +61,13 @@ const std::vector<KnobSpec>& knob_registry() {
        kKnobRecord | kKnobReplay},
       {"fastforward", Type::kBool, "1",
        "event-driven idle-cycle skip; results are identical either way", kRunMatrixRecord},
+      {"hotpath", Type::kBool, "1",
+       "per-component event-lane stepping; results are identical either way",
+       kRunMatrixRecord},
+      {"tick_jobs", Type::kInt, "1",
+       "threads for the per-cycle L2 bank tick batch (hotpath only); results are "
+       "identical at any value",
+       kRunMatrixRecord},
       {"faults", Type::kBool, "0", "seeded STT-RAM retention/write-failure injector",
        kRunMatrix},
       {"fault_seed", Type::kInt, "42", "fault injector RNG seed", kRunMatrix},

@@ -33,6 +33,8 @@ std::unique_ptr<gpu::L2BankFactory> make_factory(const ArchSpec& spec) {
 ArchSpec configured(const ArchSpec& spec, const RunOptions& opts) {
   ArchSpec s = spec;
   s.gpu.fast_forward = opts.fast_forward;
+  s.gpu.hotpath = opts.hotpath;
+  s.gpu.tick_jobs = opts.tick_jobs;
   s.gpu.telemetry = opts.telemetry;
   s.gpu.cancel = opts.cancel;
   s.gpu.heartbeat = opts.heartbeat;

@@ -73,6 +73,17 @@ struct RunOptions {
   /// the cache fingerprint); `false` exists for A/B validation.
   bool fast_forward = true;
 
+  /// Hot-path stepping (per-component event lanes gating the per-cycle
+  /// ticks). Like fast_forward a pure scheduling optimization with
+  /// byte-identical results, excluded from the cache fingerprint; `false`
+  /// exists for A/B validation against the plain loop.
+  bool hotpath = true;
+
+  /// Worker threads for the per-cycle L2 bank tick batch (hotpath only;
+  /// 1 = sequential). Results are bit-identical at any value, so this too
+  /// stays out of the cache fingerprint.
+  unsigned tick_jobs = 1;
+
   /// In-simulation fault injection on every bank (sttl2/fault_model.hpp).
   /// Unlike fast_forward it changes results, so its knobs ARE part of the
   /// cache fingerprint: a fault run can never reuse or pollute a baseline

@@ -38,11 +38,13 @@ void BankBase::on_dram_read_done(std::uint64_t cookie, Cycle /*now*/) {
 
 void BankBase::tick(Cycle now) {
   if (!fills_ready_.empty()) {
-    // Swap out first: process_fill may trigger new DRAM reads that complete
-    // on later ticks only (DRAM latency > 0), so no reentrancy hazard.
-    std::vector<Addr> fills;
-    fills.swap(fills_ready_);
-    for (const Addr line : fills) process_fill(line, now);
+    // Swap into the member scratch first: process_fill may trigger new DRAM
+    // reads, but those complete on later ticks only (DRAM latency > 0), so
+    // fills_ready_ is not repopulated while the swapped-out batch is walked
+    // — and both vectors keep their capacity across ticks.
+    fills_scratch_.clear();
+    fills_scratch_.swap(fills_ready_);
+    for (const Addr line : fills_scratch_) process_fill(line, now);
   }
   while (!input_.empty()) {
     const gpu::L2Request req = input_.front();
@@ -79,13 +81,25 @@ Cycle BankBase::next_event_cycle() const {
 }
 
 void BankBase::request_fill(Addr line, const gpu::L2Request& request, Cycle now) {
-  auto it = pending_.find(line);
-  const bool fresh = it == pending_.end();
-  if (fresh) it = pending_.emplace(line, Waiters{}).first;
+  Waiters* w = pending_.find(line);
+  const bool fresh = w == nullptr;
+  if (fresh) {
+    // Recycle a retired entry so the waiter vectors keep their capacity
+    // instead of re-growing from empty on every fill.
+    Waiters recycled;
+    if (!free_waiters_.empty()) {
+      recycled = std::move(free_waiters_.back());
+      free_waiters_.pop_back();
+      recycled.reads.clear();
+      recycled.writes.clear();
+    }
+    w = &pending_[line];
+    *w = std::move(recycled);
+  }
   if (request.is_store) {
-    it->second.writes.push_back(request);
+    w->writes.push_back(request);
   } else {
-    it->second.reads.push_back(request);
+    w->reads.push_back(request);
   }
   if (fresh) {
     dram_->read(line, static_cast<std::uint64_t>(line), now);
@@ -93,12 +107,16 @@ void BankBase::request_fill(Addr line, const gpu::L2Request& request, Cycle now)
   }
 }
 
-BankBase::Waiters BankBase::take_waiters(Addr line) {
-  const auto it = pending_.find(line);
-  STTGPU_ASSERT_MSG(it != pending_.end(), "BankBase: fill without waiters entry");
-  Waiters w = std::move(it->second);
-  pending_.erase(it);
-  return w;
+const BankBase::Waiters& BankBase::take_waiters(Addr line) {
+  Waiters* w = pending_.find(line);
+  STTGPU_ASSERT_MSG(w != nullptr, "BankBase: fill without waiters entry");
+  waiters_scratch_.reads.clear();
+  waiters_scratch_.writes.clear();
+  waiters_scratch_.reads.swap(w->reads);
+  waiters_scratch_.writes.swap(w->writes);
+  free_waiters_.push_back(std::move(*w));
+  pending_.erase(line);
+  return waiters_scratch_;
 }
 
 void BankBase::respond(const gpu::L2Request& request, Cycle ready) {

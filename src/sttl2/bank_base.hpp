@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <deque>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
@@ -130,14 +130,17 @@ class BankBase : public gpu::L2Bank {
   void request_fill(Addr line, const gpu::L2Request& request, Cycle now);
 
   /// True if a fill for @p line is already outstanding.
-  bool fill_outstanding(Addr line) const noexcept { return pending_.count(line) != 0; }
+  bool fill_outstanding(Addr line) const noexcept { return pending_.contains(line); }
 
-  /// Takes the requests waiting on @p line (fill arrived).
+  /// Takes the requests waiting on @p line (fill arrived). The returned
+  /// reference aliases a member scratch buffer: it stays valid until the
+  /// next take_waiters call, and replaying the requests (which may register
+  /// new fills) does not disturb it.
   struct Waiters {
     std::vector<gpu::L2Request> reads;
     std::vector<gpu::L2Request> writes;
   };
-  Waiters take_waiters(Addr line);
+  const Waiters& take_waiters(Addr line);
 
   /// Emits the response for @p request at completion time @p ready.
   void respond(const gpu::L2Request& request, Cycle ready);
@@ -165,8 +168,14 @@ class BankBase : public gpu::L2Bank {
 
   std::deque<gpu::L2Request> input_;
   std::vector<gpu::L2Response> responses_;  // min-heap keyed by ready cycle
-  std::unordered_map<Addr, Waiters> pending_;
+  FlatU64Map<Waiters> pending_;
   std::vector<Addr> fills_ready_;  // lines whose DRAM read completed
+
+  // Hot-path scratch: reused across ticks/fills so the steady state makes no
+  // per-event allocations (vectors keep their high-water capacity).
+  std::vector<Addr> fills_scratch_;
+  Waiters waiters_scratch_;
+  std::vector<Waiters> free_waiters_;
 
   gpu::L2BankStats stats_;
   power::EnergyLedger energy_;

@@ -130,6 +130,13 @@ TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
 }
 
 Cycle TwoPartBank::impl_next_event() const {
+  // A pending wear rotation fires on the very next maintenance() call, so
+  // the bank must keep ticking until it runs: reporting a later event here
+  // would let the fast-forward (and the hot-path tick gating) skip cycles
+  // and delay the rotation, shifting every result after it.
+  if (config_.lr_wear_leveling && lr_writes_since_rotation_ >= config_.wear_level_period) {
+    return 0;
+  }
   Cycle next = kNoCycle;
   if (!refresh_q_.empty() && refresh_q_.top().when < next) next = refresh_q_.top().when;
   if (!hr_expiry_q_.empty() && hr_expiry_q_.top().when < next) next = hr_expiry_q_.top().when;
@@ -442,7 +449,7 @@ Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
   const Addr key = to_lr(addr);
   const unsigned way = lr_tags_.pick_victim(key);
   const std::uint64_t set = lr_tags_.geometry().set_index(key);
-  if (lr_tags_.line(set, way).valid) lr_evict(set, way, now);
+  if (lr_tags_.valid(set, way)) lr_evict(set, way, now);
 
   cache::LineMeta& line = lr_tags_.fill(key, way, now);
   line.dirty = dirty;
@@ -458,7 +465,7 @@ Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
 
 void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
   const cache::LineMeta old = lr_tags_.line(set, way);
-  const Addr key = lr_tags_.geometry().addr_of_tag(old.tag);
+  const Addr key = lr_tags_.addr_of(set, way);
   const Addr addr = from_lr(key);  // back to true address space
   mutable_counters().at(c_.lr_evictions) += 1;
   ++interval_evictions_;
@@ -493,9 +500,8 @@ void TwoPartBank::lr_evict(std::uint64_t set, unsigned way, Cycle now) {
 Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, Cycle now) {
   const unsigned victim = hr_tags_.pick_victim(addr);
   const std::uint64_t set = hr_tags_.geometry().set_index(addr);
-  const cache::LineMeta& old = hr_tags_.line(set, victim);
-  if (old.valid && old.dirty) {
-    const Addr victim_addr = hr_tags_.geometry().addr_of_tag(old.tag);
+  if (hr_tags_.valid(set, victim) && hr_tags_.line(set, victim).dirty) {
+    const Addr victim_addr = hr_tags_.addr_of(set, victim);
     hr_data_.occupy(victim_addr, now, hr_read_occ_);
     ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);
     if (fault_carry_trial(hr_faults_, hr_tags_.line(set, victim),
@@ -503,7 +509,7 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
       dram_writeback(victim_addr, now);
     }
     mutable_counters().at(c_.hr_evict_dirty) += 1;
-  } else if (old.valid) {
+  } else if (hr_tags_.valid(set, victim)) {
     mutable_counters().at(c_.hr_evict_clean) += 1;
   }
 
@@ -521,7 +527,7 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
 void TwoPartBank::process_fill(Addr line_addr, Cycle now) {
   const Cycle done = hr_install(line_addr, /*dirty=*/false, /*write_count=*/0, now);
 
-  Waiters w = take_waiters(line_addr);
+  const Waiters& w = take_waiters(line_addr);
   for (const auto& req : w.reads) {
     respond(req, done + hr_tag_lat_ + config_.pipeline_cycles);
   }
@@ -544,7 +550,7 @@ void TwoPartBank::rotate_lr_mapping(Cycle now) {
   // index mapping by one set so hot lines land on fresh cells.
   for (std::uint64_t set = 0; set < lr_tags_.geometry().num_sets(); ++set) {
     for (unsigned way = 0; way < lr_tags_.geometry().associativity(); ++way) {
-      if (lr_tags_.line(set, way).valid) lr_evict(set, way, now);
+      if (lr_tags_.valid(set, way)) lr_evict(set, way, now);
     }
   }
   lr_offset_ = (lr_offset_ + 1) % lr_tags_.geometry().num_sets();
@@ -581,8 +587,9 @@ void TwoPartBank::do_refresh(Cycle now) {
   while (!refresh_q_.empty() && refresh_q_.top().when <= now) {
     const TimedLineRef e = refresh_q_.top();
     refresh_q_.pop();
+    if (!lr_tags_.valid(e.set, e.way)) continue;  // stale
     cache::LineMeta& line = lr_tags_.line(e.set, e.way);
-    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
+    if (line.retention_deadline != e.deadline) continue;  // stale
     ++storm_lines;
 
     // Refresh-as-scrub: the refresh read passes through the ECC check, so a
@@ -592,13 +599,13 @@ void TwoPartBank::do_refresh(Cycle now) {
     if (lr_faults_.enabled() &&
         fault_carry_trial(lr_faults_, line, lr_retention_.retention_cycles(), now) ==
             Carry::kDrop) {
-      lr_tags_.invalidate(lr_tags_.geometry().addr_of_tag(line.tag), e.way);
+      lr_tags_.invalidate(lr_tags_.addr_of(e.set, e.way), e.way);
       continue;
     }
 
     if (!lr2hr_.full(now)) {
       // In-place refresh staged through the LR->HR buffer: read + rewrite.
-      const Addr raddr = lr_tags_.geometry().addr_of_tag(line.tag);
+      const Addr raddr = lr_tags_.addr_of(e.set, e.way);
       lr_data_.occupy(raddr, now, lr_read_occ_);
       Cycle done = lr_data_.occupy(raddr, now, lr_write_occ_);
       ledger().add(e_.lr_refresh,
@@ -617,7 +624,7 @@ void TwoPartBank::do_refresh(Cycle now) {
       continue;
     }
     // No buffer slot: avoid data loss by writing back (dirty) / dropping.
-    const Addr key = lr_tags_.geometry().addr_of_tag(line.tag);
+    const Addr key = lr_tags_.addr_of(e.set, e.way);
     if (line.dirty) {
       dram_writeback(from_lr(key), now);
       mutable_counters().at(c_.refresh_forced_wb) += 1;
@@ -636,9 +643,10 @@ void TwoPartBank::do_hr_expiry(Cycle now) {
   while (!hr_expiry_q_.empty() && hr_expiry_q_.top().when <= now) {
     const TimedLineRef e = hr_expiry_q_.top();
     hr_expiry_q_.pop();
+    if (!hr_tags_.valid(e.set, e.way)) continue;  // stale
     cache::LineMeta& line = hr_tags_.line(e.set, e.way);
-    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
-    const Addr addr = hr_tags_.geometry().addr_of_tag(line.tag);
+    if (line.retention_deadline != e.deadline) continue;  // stale
+    const Addr addr = hr_tags_.addr_of(e.set, e.way);
     if (line.dirty) {
       hr_data_.occupy(addr, now, hr_read_occ_);
       ledger().add(e_.hr_data_read, hr_costs_.data_read_pj);

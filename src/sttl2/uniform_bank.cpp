@@ -208,16 +208,15 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
   // Victim handling.
   const unsigned victim = tags_.pick_victim(line_addr);
   const std::uint64_t set = tags_.geometry().set_index(line_addr);
-  const cache::LineMeta& old = tags_.line(set, victim);
-  if (old.valid && old.dirty) {
-    const Addr victim_addr = tags_.geometry().addr_of_tag(old.tag);
+  if (tags_.valid(set, victim) && tags_.line(set, victim).dirty) {
+    const Addr victim_addr = tags_.addr_of(set, victim);
     data_.occupy(victim_addr, now, read_occ_);  // read the victim out
     ledger().add(e_.data_read, costs_.data_read_pj);
     if (fault_carry_trial(tags_.line(set, victim), now) == Carry::kOk) {
       dram_writeback(victim_addr, now);
     }
     mutable_counters().at(c_.evict_dirty) += 1;
-  } else if (old.valid) {
+  } else if (tags_.valid(set, victim)) {
     mutable_counters().at(c_.evict_clean) += 1;
   }
 
@@ -232,7 +231,7 @@ void UniformBank::process_fill(Addr line_addr, Cycle now) {
 
   // Wake the merged requests: reads complete with the fill; stores are then
   // applied (fetch-on-write) and complete after their write.
-  Waiters w = take_waiters(line_addr);
+  const Waiters& w = take_waiters(line_addr);
   for (const auto& req : w.reads) respond(req, done + tag_lat_ + config_.pipeline_cycles);
   for (const auto& req : w.writes) {
     done = data_write(line_addr, now);
@@ -245,9 +244,10 @@ void UniformBank::maintenance(Cycle now) {
   while (!expiry_.empty() && expiry_.top().deadline <= now) {
     const ExpiryEntry e = expiry_.top();
     expiry_.pop();
+    if (!tags_.valid(e.set, e.way)) continue;  // stale
     cache::LineMeta& line = tags_.line(e.set, e.way);
-    if (!line.valid || line.retention_deadline != e.deadline) continue;  // stale
-    const Addr addr = tags_.geometry().addr_of_tag(line.tag);
+    if (line.retention_deadline != e.deadline) continue;  // stale
+    const Addr addr = tags_.addr_of(e.set, e.way);
     if (line.dirty) {
       data_.occupy(addr, now, read_occ_);
       ledger().add(e_.data_read, costs_.data_read_pj);

@@ -9,33 +9,33 @@ namespace {
 
 TEST(Lru, EvictsLeastRecentlyUsed) {
   LruPolicy lru(1, 4);
-  const std::vector<bool> all_valid(4, true);
+  const WayMask all_valid(4, true);
   lru.on_insert(0, 0);
   lru.on_insert(0, 1);
   lru.on_insert(0, 2);
   lru.on_insert(0, 3);
   lru.on_access(0, 0);  // 1 is now LRU
-  EXPECT_EQ(lru.victim(0, all_valid), 1u);
+  EXPECT_EQ(lru.victim(0, all_valid.bits()), 1u);
   lru.on_access(0, 1);
-  EXPECT_EQ(lru.victim(0, all_valid), 2u);
+  EXPECT_EQ(lru.victim(0, all_valid.bits()), 2u);
 }
 
 TEST(Lru, InvalidateMakesWayVictim) {
   LruPolicy lru(1, 4);
-  const std::vector<bool> all_valid(4, true);
+  const WayMask all_valid(4, true);
   for (unsigned w = 0; w < 4; ++w) lru.on_insert(0, w);
   lru.on_invalidate(0, 2);
-  EXPECT_EQ(lru.victim(0, all_valid), 2u);
+  EXPECT_EQ(lru.victim(0, all_valid.bits()), 2u);
 }
 
 TEST(Fifo, IgnoresAccesses) {
   FifoPolicy fifo(1, 3);
-  const std::vector<bool> all_valid(3, true);
+  const WayMask all_valid(3, true);
   fifo.on_insert(0, 0);
   fifo.on_insert(0, 1);
   fifo.on_insert(0, 2);
   fifo.on_access(0, 0);  // must not promote way 0
-  EXPECT_EQ(fifo.victim(0, all_valid), 0u);
+  EXPECT_EQ(fifo.victim(0, all_valid.bits()), 0u);
 }
 
 TEST(TreePlru, RequiresPow2Ways) {
@@ -46,18 +46,20 @@ TEST(TreePlru, RequiresPow2Ways) {
 
 TEST(TreePlru, VictimAvoidsRecentlyTouched) {
   TreePlruPolicy plru(1, 4);
-  const std::vector<bool> all_valid(4, true);
+  const WayMask all_valid(4, true);
   for (unsigned w = 0; w < 4; ++w) plru.on_insert(0, w);
   plru.on_access(0, 3);
-  EXPECT_NE(plru.victim(0, all_valid), 3u);
+  EXPECT_NE(plru.victim(0, all_valid.bits()), 3u);
   plru.on_access(0, 0);
-  EXPECT_NE(plru.victim(0, all_valid), 0u);
+  EXPECT_NE(plru.victim(0, all_valid.bits()), 0u);
 }
 
 TEST(Random, DeterministicWithSeed) {
   RandomPolicy a(4, 8, 99), b(4, 8, 99);
-  const std::vector<bool> all_valid(8, true);
-  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.victim(0, all_valid), b.victim(0, all_valid));
+  const WayMask all_valid(8, true);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.victim(0, all_valid.bits()), b.victim(0, all_valid.bits()));
+  }
 }
 
 TEST(Factory, MakesEveryKind) {
@@ -69,6 +71,25 @@ TEST(Factory, MakesEveryKind) {
   }
 }
 
+TEST(WayMask, WideMasksSpanMultipleWords) {
+  // A fully-associative LR part can exceed 64 ways; the packed view must
+  // address bits in every word.
+  WayMask mask(192, true);
+  mask.set(0, false);
+  mask.set(100, false);
+  mask.set(191, false);
+  const ValidBits bits = mask.bits();
+  EXPECT_FALSE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_FALSE(bits.test(100));
+  EXPECT_FALSE(bits.test(191));
+  LruPolicy lru(1, 192);
+  for (unsigned w = 0; w < 192; ++w) lru.on_insert(0, w);
+  EXPECT_EQ(lru.victim(0, bits), 0u);  // first invalid way wins
+  mask.set(0, true);
+  EXPECT_EQ(lru.victim(0, mask.bits()), 100u);
+}
+
 // Parameterized contract tests every policy must satisfy.
 class PolicyContract : public ::testing::TestWithParam<ReplacementKind> {
  protected:
@@ -77,33 +98,33 @@ class PolicyContract : public ::testing::TestWithParam<ReplacementKind> {
 };
 
 TEST_P(PolicyContract, PrefersInvalidWays) {
-  std::vector<bool> valid(kWays, true);
-  valid[5] = false;
+  WayMask valid(kWays, true);
+  valid.set(5, false);
   for (unsigned w = 0; w < kWays; ++w) policy_->on_insert(3, w);
-  EXPECT_EQ(policy_->victim(3, valid), 5u);
+  EXPECT_EQ(policy_->victim(3, valid.bits()), 5u);
 }
 
 TEST_P(PolicyContract, VictimInRange) {
-  const std::vector<bool> all_valid(kWays, true);
+  const WayMask all_valid(kWays, true);
   for (unsigned w = 0; w < kWays; ++w) policy_->on_insert(0, w);
   for (int i = 0; i < 200; ++i) {
-    const unsigned v = policy_->victim(0, all_valid);
+    const unsigned v = policy_->victim(0, all_valid.bits());
     EXPECT_LT(v, kWays);
     policy_->on_insert(0, v);  // simulate replacement
   }
 }
 
 TEST_P(PolicyContract, SetsAreIndependent) {
-  const std::vector<bool> all_valid(kWays, true);
+  const WayMask all_valid(kWays, true);
   for (unsigned w = 0; w < kWays; ++w) {
     policy_->on_insert(0, w);
     policy_->on_insert(1, w);
   }
   // Touching set 0 must not change set 1's choice.
-  const unsigned before = policy_->victim(1, all_valid);
+  const unsigned before = policy_->victim(1, all_valid.bits());
   for (int i = 0; i < 10; ++i) policy_->on_access(0, i % kWays);
   if (GetParam() != ReplacementKind::kRandom) {
-    EXPECT_EQ(policy_->victim(1, all_valid), before);
+    EXPECT_EQ(policy_->victim(1, all_valid.bits()), before);
   }
 }
 

@@ -21,8 +21,8 @@ TEST_F(TagArrayTest, EmptyArrayMissesEverything) {
 TEST_F(TagArrayTest, FillThenProbeHits) {
   const Addr addr = 0x4200;
   const unsigned way = tags_.pick_victim(addr);
-  LineMeta& line = tags_.fill(addr, way, 10);
-  EXPECT_TRUE(line.valid);
+  const LineMeta& line = tags_.fill(addr, way, 10);
+  EXPECT_TRUE(tags_.valid(geom_.set_index(addr), way));
   EXPECT_EQ(line.insert_cycle, 10u);
   const auto hit = tags_.probe(addr);
   ASSERT_TRUE(hit.has_value());
@@ -78,8 +78,8 @@ TEST_F(TagArrayTest, ForEachValidVisitsExactlyValidLines) {
     tags_.fill(a, tags_.pick_victim(a), 0);
   }
   std::size_t visited = 0;
-  tags_.for_each_valid([&](std::uint64_t, unsigned, LineMeta& line) {
-    EXPECT_TRUE(line.valid);
+  tags_.for_each_valid([&](std::uint64_t set, unsigned way, LineMeta&) {
+    EXPECT_TRUE(tags_.valid(set, way));
     ++visited;
   });
   EXPECT_EQ(visited, tags_.valid_count());
@@ -95,6 +95,10 @@ TEST_F(TagArrayTest, ValidMaskTracksState) {
   mask = tags_.valid_mask(set);
   EXPECT_TRUE(mask[2]);
   EXPECT_EQ(std::count(mask.begin(), mask.end(), true), 1);
+  // The borrowed packed view agrees with the materialised mask.
+  const ValidBits bits = tags_.valid_bits(set);
+  ASSERT_EQ(bits.ways, geom_.associativity());
+  for (unsigned w = 0; w < bits.ways; ++w) EXPECT_EQ(bits.test(w), mask[w]);
 }
 
 TEST(TagArrayStress, RandomTrafficNeverAliases) {
@@ -106,7 +110,7 @@ TEST(TagArrayStress, RandomTrafficNeverAliases) {
   for (int i = 0; i < 5000; ++i) {
     const Addr a = rng.next_below(1 << 18) & ~Addr{127};
     if (const auto way = tags.probe(a)) {
-      EXPECT_EQ(tags.line(geom.set_index(a), *way).tag, geom.tag_of(a));
+      EXPECT_EQ(tags.tag(geom.set_index(a), *way), geom.tag_of(a));
       tags.touch(a, *way);
     } else {
       tags.fill(a, tags.pick_victim(a), i);

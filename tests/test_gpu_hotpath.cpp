@@ -1,0 +1,256 @@
+// Hot-path stepping equivalence: the per-component event-lane scheduler
+// (hotpath=1) and the batched bank ticks (tick_jobs>1) are pure scheduling
+// optimizations — every reported metric must be byte-identical to the plain
+// per-cycle loop, in every combination with the event-driven fast-forward,
+// with fault injection, and with a telemetry sink attached. Plus unit tests
+// of the TickPool worker pool itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/telemetry.hpp"
+#include "gpu/gpu.hpp"
+#include "gpu/tick_pool.hpp"
+#include "sim/arch.hpp"
+#include "sim/runner.hpp"
+#include "sttl2/factories.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace sttgpu::gpu {
+namespace {
+
+workload::Workload tiny_workload() {
+  workload::KernelSpec k;
+  k.name = "tiny";
+  k.grid_blocks = 30;
+  k.threads_per_block = 64;
+  k.regs_per_thread = 16;
+  k.instructions_per_warp = 300;
+  k.mem_fraction = 0.3;
+  k.store_fraction = 0.25;
+  k.pattern.kind = workload::PatternKind::kRandom;
+  k.pattern.footprint_bytes = 256 * 1024;
+  k.pattern.reuse_fraction = 0.3;
+  k.pattern.wws_lines = 32;
+  return workload::Workload{.name = "tiny", .region = "test", .kernels = {k}, .seed = 5};
+}
+
+workload::Workload sparse_workload() {
+  workload::KernelSpec k;
+  k.name = "sparse";
+  k.grid_blocks = 2;
+  k.threads_per_block = 32;
+  k.instructions_per_warp = 400;
+  k.mem_fraction = 0.5;
+  k.store_fraction = 0.1;
+  k.pattern.kind = workload::PatternKind::kRandom;
+  k.pattern.footprint_bytes = 64ull << 20;
+  k.pattern.reuse_fraction = 0.0;
+  k.pattern.wws_lines = 0;
+  return workload::Workload{.name = "sparse", .region = "test", .kernels = {k}, .seed = 9};
+}
+
+struct Mode {
+  bool hotpath;
+  bool fast_forward;
+  unsigned tick_jobs;
+};
+
+GpuConfig small_config(const Mode& m) {
+  GpuConfig cfg;
+  cfg.num_sms = 4;
+  cfg.num_l2_banks = 2;
+  cfg.hotpath = m.hotpath;
+  cfg.fast_forward = m.fast_forward;
+  cfg.tick_jobs = m.tick_jobs;
+  return cfg;
+}
+
+/// The full mode matrix; the first entry is the plain reference loop.
+const Mode kModes[] = {
+    {false, false, 1}, {false, true, 1}, {true, false, 1},
+    {true, true, 1},   {true, false, 4}, {true, true, 4},
+};
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.runtime_s, b.runtime_s);
+
+  EXPECT_EQ(a.l2.read_hits, b.l2.read_hits);
+  EXPECT_EQ(a.l2.read_misses, b.l2.read_misses);
+  EXPECT_EQ(a.l2.write_hits, b.l2.write_hits);
+  EXPECT_EQ(a.l2.write_misses, b.l2.write_misses);
+  EXPECT_EQ(a.l2.dram_reads, b.l2.dram_reads);
+  EXPECT_EQ(a.l2.dram_writebacks, b.l2.dram_writebacks);
+  EXPECT_EQ(a.l2_leakage_w, b.l2_leakage_w);
+
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+  EXPECT_EQ(a.dram_writes, b.dram_writes);
+  EXPECT_EQ(a.l1d_hits, b.l1d_hits);
+  EXPECT_EQ(a.l1d_misses, b.l1d_misses);
+
+  EXPECT_EQ(a.sm.issued_instructions, b.sm.issued_instructions);
+  EXPECT_EQ(a.sm.issued_loads, b.sm.issued_loads);
+  EXPECT_EQ(a.sm.issued_stores, b.sm.issued_stores);
+  EXPECT_EQ(a.sm.load_transactions, b.sm.load_transactions);
+  EXPECT_EQ(a.sm.store_transactions, b.sm.store_transactions);
+  EXPECT_EQ(a.sm.idle_cycles, b.sm.idle_cycles);
+  EXPECT_EQ(a.sm.stall_cycles, b.sm.stall_cycles);
+  EXPECT_EQ(a.sm.mshr_merges, b.sm.mshr_merges);
+
+  EXPECT_EQ(a.l2_counters.all(), b.l2_counters.all());
+  EXPECT_EQ(a.l2_energy.total_pj(), b.l2_energy.total_pj());
+  const auto cat_a = a.l2_energy.categories();
+  const auto cat_b = b.l2_energy.categories();
+  ASSERT_EQ(cat_a.size(), cat_b.size());
+  for (auto ia = cat_a.begin(), ib = cat_b.begin(); ia != cat_a.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second, ib->second) << "category " << ia->first;
+  }
+}
+
+TEST(HotpathEquivalence, UniformSramBankAllModes) {
+  for (const bool sparse : {false, true}) {
+    const workload::Workload w = sparse ? sparse_workload() : tiny_workload();
+    sttl2::UniformBankConfig bank;
+    bank.capacity_bytes = 64 * 1024;
+    sttl2::UniformBankFactory f_ref(bank, small_config(kModes[0]).clock());
+    Gpu ref_gpu(small_config(kModes[0]), f_ref);
+    const RunResult ref = ref_gpu.run(w);
+    for (std::size_t m = 1; m < std::size(kModes); ++m) {
+      sttl2::UniformBankFactory f(bank, small_config(kModes[m]).clock());
+      Gpu gpu(small_config(kModes[m]), f);
+      SCOPED_TRACE((sparse ? "sparse" : "tiny") + std::string(" mode=") +
+                   std::to_string(m));
+      expect_identical(ref, gpu.run(w));
+    }
+  }
+}
+
+TEST(HotpathEquivalence, TwoPartBankWithAllEventSources) {
+  // Refresh queue, HR expiry queue, adaptive-threshold timer and wear
+  // rotation all active at once — every per-component lane has to stay a
+  // conservative lower bound for each of them.
+  sttl2::TwoPartBankConfig bank;
+  bank.hr_bytes = 32 * 1024;
+  bank.hr_assoc = 4;
+  bank.lr_bytes = 8 * 1024;
+  bank.adaptive_threshold = true;
+  bank.adapt_interval = 2048;
+  bank.lr_wear_leveling = true;
+  bank.wear_level_period = 2000;
+  for (const bool sparse : {false, true}) {
+    const workload::Workload w = sparse ? sparse_workload() : tiny_workload();
+    sttl2::TwoPartBankFactory f_ref(bank, small_config(kModes[0]).clock());
+    Gpu ref_gpu(small_config(kModes[0]), f_ref);
+    const RunResult ref = ref_gpu.run(w);
+    for (std::size_t m = 1; m < std::size(kModes); ++m) {
+      sttl2::TwoPartBankFactory f(bank, small_config(kModes[m]).clock());
+      Gpu gpu(small_config(kModes[m]), f);
+      SCOPED_TRACE((sparse ? "sparse" : "tiny") + std::string(" mode=") +
+                   std::to_string(m));
+      expect_identical(ref, gpu.run(w));
+    }
+  }
+}
+
+TEST(HotpathEquivalence, FaultInjectionRunsAreIdentical) {
+  // Fault injection adds seeded per-bank error events; the hot path must
+  // replay them identically (bank partitions own their fault RNGs).
+  const sim::ArchSpec spec = sim::make_arch(sim::Architecture::kC1);
+  const workload::Workload w = workload::make_benchmark("bfs", 0.05);
+  sim::RunOptions ref_opts;
+  ref_opts.hotpath = false;
+  ref_opts.fast_forward = false;
+  ref_opts.faults.enabled = true;
+  ref_opts.faults.seed = 42;
+  ref_opts.faults.accel = 1e3;
+  RunResult ref_run;
+  const sim::Metrics ref = sim::run_one_detailed(spec, w, ref_run, ref_opts);
+  for (const Mode& m : kModes) {
+    sim::RunOptions opts = ref_opts;
+    opts.hotpath = m.hotpath;
+    opts.fast_forward = m.fast_forward;
+    opts.tick_jobs = m.tick_jobs;
+    RunResult run;
+    const sim::Metrics got = sim::run_one_detailed(spec, w, run, opts);
+    SCOPED_TRACE(std::string("hotpath=") + (m.hotpath ? "1" : "0") +
+                 " ff=" + (m.fast_forward ? "1" : "0") +
+                 " tick_jobs=" + std::to_string(m.tick_jobs));
+    expect_identical(ref_run, run);
+    EXPECT_EQ(ref.ipc, got.ipc);
+    EXPECT_EQ(ref.cycles, got.cycles);
+    EXPECT_EQ(ref.dynamic_w, got.dynamic_w);
+    EXPECT_EQ(ref.l2_miss_rate, got.l2_miss_rate);
+  }
+}
+
+TEST(HotpathEquivalence, TelemetryRunsMatchPlainAggregates) {
+  // A telemetry sink is purely observational; with one attached the hot path
+  // must produce the same aggregates (it falls back to sequential bank
+  // ticks, since the sink is shared state).
+  const sim::ArchSpec spec = sim::make_arch(sim::Architecture::kC1);
+  const workload::Workload w = workload::make_benchmark("bfs", 0.05);
+  sim::RunOptions plain;
+  plain.hotpath = false;
+  plain.fast_forward = false;
+  RunResult ref_run;
+  (void)sim::run_one_detailed(spec, w, ref_run, plain);
+  for (const unsigned tick_jobs : {1u, 4u}) {
+    Telemetry tel(10000);
+    sim::RunOptions opts;
+    opts.hotpath = true;
+    opts.tick_jobs = tick_jobs;
+    opts.telemetry = &tel;
+    RunResult run;
+    (void)sim::run_one_detailed(spec, w, run, opts);
+    SCOPED_TRACE("tick_jobs=" + std::to_string(tick_jobs));
+    expect_identical(ref_run, run);
+    EXPECT_GT(tel.frame_count(), 0u);
+  }
+}
+
+TEST(TickPool, RunsEveryItemExactlyOncePerBatch) {
+  TickPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  for (int batch = 0; batch < 3; ++batch) {
+    for (auto& h : hits) h.store(0);
+    pool.run(static_cast<unsigned>(hits.size()),
+             [&](unsigned i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "item " << i << " batch " << batch;
+    }
+  }
+}
+
+TEST(TickPool, SingleWorkerRunsInline) {
+  TickPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.run(10, [&](unsigned i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TickPool, EmptyBatchIsANoOp) {
+  TickPool pool(2);
+  pool.run(0, [](unsigned) { FAIL() << "no item should run"; });
+}
+
+TEST(TickPool, ExceptionPropagatesAndPoolStaysUsable) {
+  TickPool pool(3);
+  EXPECT_THROW(pool.run(8,
+                        [&](unsigned i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  std::vector<std::atomic<int>> hits(8);
+  for (auto& h : hits) h.store(0);
+  pool.run(8, [&](unsigned i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace sttgpu::gpu
