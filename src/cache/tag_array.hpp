@@ -19,6 +19,7 @@
 
 #include "cache/geometry.hpp"
 #include "cache/replacement.hpp"
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace sttgpu::cache {
@@ -45,19 +46,20 @@ class TagArray {
   const CacheGeometry& geometry() const noexcept { return geom_; }
 
   /// Finds the way holding @p addr's line, if resident. Does not touch
-  /// replacement state (use touch() on a decided hit).
+  /// replacement state (use touch() on a decided hit). The tag lane is
+  /// compared word-parallel (SIMD where available, scalar otherwise — same
+  /// result either way) and masked with the packed valid bits, so a probe
+  /// is straight-line compares instead of a branchy per-way walk.
   std::optional<unsigned> probe(Addr addr) const noexcept {
     const std::uint64_t set = geom_.set_index(addr);
     const Addr tag = geom_.tag_of(addr);
     const Addr* tags = tags_.data() + set * assoc_;
     const std::uint64_t* words = valid_.data() + set * words_per_set_;
     for (unsigned wi = 0; wi < words_per_set_; ++wi) {
-      std::uint64_t m = words[wi];
-      while (m != 0) {
-        const unsigned w = wi * 64u + static_cast<unsigned>(std::countr_zero(m));
-        if (tags[w] == tag) return w;
-        m &= m - 1;
-      }
+      const unsigned lanes = assoc_ - wi * 64u < 64u ? assoc_ - wi * 64u : 64u;
+      const std::uint64_t m =
+          simd::match_u64(tags + wi * 64u, lanes, tag) & words[wi];
+      if (m != 0) return wi * 64u + static_cast<unsigned>(std::countr_zero(m));
     }
     return std::nullopt;
   }

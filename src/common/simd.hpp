@@ -1,0 +1,71 @@
+// Portable SIMD helpers for the simulator's hot scans. Each primitive has a
+// scalar fallback with identical results, so every target architecture (and
+// every sanitizer build) computes the same answer — SIMD here is purely a
+// throughput lever, never a semantic one.
+//
+// Detection is compile-time: SSE2 on x86-64 (baseline, no runtime dispatch
+// needed), NEON on AArch64, scalar everywhere else. Define STTGPU_NO_SIMD to
+// force the scalar path (used by the equivalence test to cross-check).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#if !defined(STTGPU_NO_SIMD)
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define STTGPU_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) || defined(_M_ARM64)
+#define STTGPU_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace sttgpu::simd {
+
+/// True when a vector path is compiled in (diagnostics/tests only).
+constexpr bool kVectorized =
+#if defined(STTGPU_SIMD_SSE2) || defined(STTGPU_SIMD_NEON)
+    true;
+#else
+    false;
+#endif
+
+/// Returns a bitmask with bit i set iff a[i] == key, for i in [0, n).
+/// n must be <= 64. The workhorse of tag-array probes: the caller ANDs the
+/// result with its packed valid bits and takes countr_zero, replacing the
+/// branchy per-way compare loop with straight-line compares.
+inline std::uint64_t match_u64(const std::uint64_t* a, unsigned n,
+                               std::uint64_t key) noexcept {
+  std::uint64_t m = 0;
+  unsigned i = 0;
+#if defined(STTGPU_SIMD_SSE2)
+  // SSE2 lacks a 64-bit compare; emulate with a 32-bit compare whose lane
+  // pairs are ANDed (both halves equal <=> the 64-bit lanes are equal), then
+  // movemask_pd extracts one bit per 64-bit lane.
+  const __m128i vkey = _mm_set1_epi64x(static_cast<long long>(key));
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i eq32 = _mm_cmpeq_epi32(v, vkey);
+    const __m128i eq64 =
+        _mm_and_si128(eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    const unsigned bits =
+        static_cast<unsigned>(_mm_movemask_pd(_mm_castsi128_pd(eq64)));
+    m |= static_cast<std::uint64_t>(bits) << i;
+  }
+#elif defined(STTGPU_SIMD_NEON)
+  const uint64x2_t vkey = vdupq_n_u64(key);
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t eq = vceqq_u64(vld1q_u64(a + i), vkey);
+    m |= (vgetq_lane_u64(eq, 0) & 1u) << i;
+    m |= (vgetq_lane_u64(eq, 1) & 1u) << (i + 1);
+  }
+#endif
+  for (; i < n; ++i) {
+    m |= static_cast<std::uint64_t>(a[i] == key ? 1u : 0u) << i;
+  }
+  return m;
+}
+
+}  // namespace sttgpu::simd

@@ -1,0 +1,121 @@
+// Inline-capacity vector for the simulator's per-event value types
+// (coalesced transaction lists, L1 writeback lists, MSHR waiter lists).
+// std::vector heap-allocates its buffer even for a handful of elements,
+// which on the hot paths means a malloc/free round-trip per simulated
+// instruction; SmallVec stores up to N elements inline and only touches the
+// heap when a value outgrows that (rare: the users' sizes are bounded by
+// warp width or MSHR merge limits).
+//
+// Restricted to trivially copyable element types so growth and moves are
+// memcpys; the API is the subset the simulator uses (no insert/erase).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace sttgpu {
+
+template <typename T, unsigned N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is memcpy-based; use std::vector for non-trivial types");
+
+ public:
+  SmallVec() noexcept = default;
+  ~SmallVec() {
+    if (data_ != inline_) delete[] data_;
+  }
+
+  SmallVec(const SmallVec& o) { assign_from(o); }
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) {
+      clear_storage();
+      assign_from(o);
+    }
+    return *this;
+  }
+  SmallVec(SmallVec&& o) noexcept { steal_from(o); }
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this != &o) {
+      clear_storage();
+      steal_from(o);
+    }
+    return *this;
+  }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  void clear() noexcept { size_ = 0; }  // keeps any spilled buffer
+
+  /// Growth is doubling from max(N, needed); reserve is advisory as in
+  /// std::vector.
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    return std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0;
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) noexcept { return !(a == b); }
+
+ private:
+  void grow(std::size_t new_cap) {
+    T* fresh = new T[new_cap];
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (data_ != inline_) delete[] data_;
+    data_ = fresh;
+    cap_ = static_cast<std::uint32_t>(new_cap);
+  }
+
+  void clear_storage() noexcept {
+    if (data_ != inline_) delete[] data_;
+    data_ = inline_;
+    cap_ = N;
+    size_ = 0;
+  }
+
+  void assign_from(const SmallVec& o) {
+    if (o.size_ > N) grow(o.size_);
+    std::memcpy(data_, o.data_, o.size_ * sizeof(T));
+    size_ = o.size_;
+  }
+
+  // Spilled buffers transfer ownership; inline contents are copied (the
+  // source is left empty either way).
+  void steal_from(SmallVec& o) noexcept {
+    if (o.data_ != o.inline_) {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inline_;
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, o.size_ * sizeof(T));
+      size_ = o.size_;
+      o.size_ = 0;
+    }
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+};
+
+}  // namespace sttgpu

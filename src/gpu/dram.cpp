@@ -36,6 +36,7 @@ Cycle DramChannel::access_latency(Addr addr) noexcept {
 void DramChannel::read(Addr addr, std::uint64_t cookie, Cycle now) {
   // The pipe models bank/bus occupancy (zero latency); the page policy
   // decides the access latency added on top.
+  express_reads_ += pipe_.backlog(now) == 0 ? 1 : 0;
   const Cycle ready = pipe_.admit(now) + access_latency(addr);
   pending_.push_back({ready, cookie});
   if (ready < min_ready_) min_ready_ = ready;
@@ -49,9 +50,7 @@ void DramChannel::write(Addr addr, Cycle now) {
   ++writes_;
 }
 
-void DramChannel::tick(Cycle now) {
-  // Nothing matures before min_ready_, so most ticks are a single compare.
-  if (now < min_ready_) return;
+void DramChannel::deliver_due(Cycle now) {
   // Open-page hits can complete before earlier row misses; scan the small
   // pending window rather than assuming FIFO completion order. The scan and
   // swap-remove order are unchanged from the unconditional version, so the
@@ -74,6 +73,7 @@ void DramChannel::sample_telemetry(unsigned channel, Telemetry& out) const {
   const std::string p = "dram" + std::to_string(channel) + '.';
   out.counter(p + "reads", reads_);
   out.counter(p + "writes", writes_);
+  out.counter(p + "express_reads", express_reads_);
   if (open_page_) {
     out.counter(p + "row_hits", row_hits_);
     out.counter(p + "row_misses", row_misses_);

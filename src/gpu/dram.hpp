@@ -35,9 +35,13 @@ class DramChannel {
   /// Issues a writeback (no completion callback).
   void write(Addr addr, Cycle now);
 
-  /// Delivers read completions due at or before @p now. O(1) when nothing
-  /// is due (the earliest pending completion is cached).
-  void tick(Cycle now);
+  /// Delivers read completions due at or before @p now. Inline single
+  /// compare when nothing is due (the earliest pending completion is
+  /// cached); the delivery scan stays out of line.
+  void tick(Cycle now) {
+    if (now < min_ready_) return;
+    deliver_due(now);
+  }
 
   /// Earliest absolute cycle at which this channel has a completion to
   /// deliver; kNoCycle when nothing is pending. O(1): maintained on read()
@@ -51,6 +55,11 @@ class DramChannel {
 
   std::uint64_t reads() const noexcept { return reads_; }
   std::uint64_t writes() const noexcept { return writes_; }
+  /// Reads admitted with zero channel backlog — the closed-form ("express")
+  /// completion schedule; the rest queued behind earlier transfers. A pure
+  /// contention property of the run, identical at every hotpath level.
+  std::uint64_t express_reads() const noexcept { return express_reads_; }
+  std::uint64_t queued_reads() const noexcept { return reads_ - express_reads_; }
   std::uint64_t row_hits() const noexcept { return row_hits_; }
   std::uint64_t row_misses() const noexcept { return row_misses_; }
   bool idle() const noexcept { return pending_.empty(); }
@@ -62,6 +71,7 @@ class DramChannel {
   };
 
   Cycle access_latency(Addr addr) noexcept;
+  void deliver_due(Cycle now);
 
   ThroughputPipe pipe_;
   ReadCallback on_read_done_;
@@ -69,6 +79,7 @@ class DramChannel {
   Cycle min_ready_ = kNoCycle;    // min over pending_ ready cycles
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  std::uint64_t express_reads_ = 0;
 
   // Row-buffer state (open-page mode)
   bool open_page_ = false;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -16,9 +17,25 @@
 #include "gpu/l2_bank.hpp"
 #include "gpu/sm.hpp"
 #include "gpu/tick_pool.hpp"
+#include "sim/event_wheel.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace sttgpu::gpu {
+
+/// Scheduler/transport diagnostics of a run. Purely observational: the
+/// express/queued splits are contention properties of the simulated machine
+/// (identical at every hotpath level); the wheel fields describe the
+/// hotpath=2 scheduler itself and are zero at lower levels.
+struct SchedulerDiag {
+  std::uint64_t icnt_request_express = 0;  ///< admits with zero port backlog
+  std::uint64_t icnt_request_queued = 0;   ///< admits behind earlier traffic
+  std::uint64_t icnt_response_express = 0;
+  std::uint64_t icnt_response_queued = 0;
+  std::uint64_t dram_express_reads = 0;
+  std::uint64_t dram_queued_reads = 0;
+  unsigned wheel_bucket_high_water = 0;     ///< peak occupied near buckets
+  std::uint64_t wheel_far_high_water = 0;   ///< peak far-heap size
+};
 
 /// Everything a run produces.
 struct RunResult {
@@ -39,6 +56,7 @@ struct RunResult {
   std::uint64_t l1d_misses = 0;
 
   SmStats sm;                  ///< merged across SMs
+  SchedulerDiag sched;         ///< transport/scheduler observability
 };
 
 /// Factory that builds one L2 bank. @p dram is the bank's private channel;
@@ -83,6 +101,20 @@ class Gpu {
   /// tick_jobs > 1; responses are still drained sequentially in bank order,
   /// which keeps every downstream order byte-identical.
   void step_hot();
+
+  /// hotpath=2 cycle: the event wheel pops the exact due set (banks then
+  /// SMs, ascending id — the plain loop's order), so a cycle touches only
+  /// components with something due and pays no per-cycle lane scan. Every
+  /// schedule-advancing mutation re-posts to the wheel; skipped SMs get
+  /// their idle/stall accounting in deferred batches (exact: between
+  /// activations nothing mutates an SM, so the per-cycle classification is
+  /// constant over the gap), flushed at every observation point.
+  void step_hot2();
+
+  /// Catches up deferred SM idle/stall accounting to @p at (exclusive) —
+  /// hotpath=2 only. Called before anything observes SM stats or mutates SM
+  /// state: telemetry samples, kernel starts, L1 flushes, result assembly.
+  void flush_sm_accounting(Cycle at);
 
   /// Earliest event over the incrementally maintained lanes — the hotpath
   /// replacement for the next_event_cycle() component scan. Lanes are lower
@@ -155,6 +187,7 @@ class Gpu {
 
   std::uint64_t next_request_id_ = 1;
   std::vector<L2Response> response_scratch_;
+  std::vector<L2Response> sm_resp_scratch_;  ///< per-SM same-cycle batch
   std::vector<SendTxnFn> senders_;  ///< one bound sender per SM
 
   // Hot-path event lanes: per-component lower bounds on the next event
@@ -168,6 +201,20 @@ class Gpu {
   std::vector<Cycle> sm_lane_;
   std::vector<unsigned> due_banks_;  ///< per-cycle scratch
   std::unique_ptr<TickPool> tick_pool_;  ///< non-null iff tick_jobs > 1
+
+  // hotpath=2 state. Component ids: bank b -> b, SM s -> sm_id_base_ + s.
+  // The wheel holds one live deadline per id (see sim/event_wheel.hpp);
+  // due_now_mask_ arms components for the *current* cycle out of band
+  // (kernel starts, zero-latency sends landing behind this cycle's pop).
+  // sm_acct_[s] is the first cycle not yet covered by SM s's idle/stall
+  // accounting; see flush_sm_accounting().
+  unsigned hot_level_ = 0;  ///< effective level (clamped if ids overflow 64)
+  std::optional<sim::EventWheel> wheel_;
+  std::uint64_t due_now_mask_ = 0;
+  std::uint64_t bank_mask_ = 0;
+  std::uint64_t sm_mask_ = 0;
+  unsigned sm_id_base_ = 0;
+  std::vector<Cycle> sm_acct_;
 };
 
 }  // namespace sttgpu::gpu

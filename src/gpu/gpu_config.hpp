@@ -76,13 +76,18 @@ struct GpuConfig {
   /// against the plain loop.
   bool fast_forward = true;
 
-  /// Hot-path stepping: per-component event lanes (one per SM, one per L2
-  /// bank partition) gate the per-cycle component ticks, so a busy cycle
-  /// only touches components with something actually due. Like
-  /// fast_forward this is a pure scheduling optimization — every skipped
-  /// call is provably a no-op and all reported metrics are byte-identical
-  /// (tested); disable to A/B against the plain per-cycle loop.
-  bool hotpath = true;
+  /// Hot-path stepping level. 0: plain per-cycle loop over every component.
+  /// 1: per-component event lanes (one per SM, one per L2 bank partition)
+  /// gate the per-cycle component ticks, so a busy cycle only touches
+  /// components with something actually due. 2 (default): a hierarchical
+  /// event wheel replaces the per-cycle lane min-scan — each cycle pops the
+  /// exact due set, skipped SMs get their idle/stall accounting in deferred
+  /// batches, and fast-forward reads the wheel's next deadline in O(1).
+  /// Like fast_forward this is a pure scheduling optimization — every
+  /// skipped call is provably a no-op and all reported metrics are
+  /// byte-identical across levels (tested); lower to A/B against the
+  /// simpler loops. Levels above 2 behave as 2.
+  unsigned hotpath = 2;
 
   /// Worker threads for the per-cycle L2 bank tick batch (hotpath mode
   /// only; 1 = sequential). Banks own disjoint state (private DRAM channel,

@@ -22,6 +22,7 @@ Interconnect::Interconnect(const GpuConfig& config) {
 
 Cycle Interconnect::send_request(unsigned bank, const L2Request& request, Cycle now) {
   STTGPU_ASSERT(bank < to_bank_.size());
+  request_express_ += to_bank_[bank].backlog(now) == 0 ? 1 : 0;
   const Cycle arrival = to_bank_[bank].admit(now);
   request_q_[bank].push_back({arrival, request});
   ++request_flits_;
@@ -31,6 +32,7 @@ Cycle Interconnect::send_request(unsigned bank, const L2Request& request, Cycle 
 
 Cycle Interconnect::send_response(const L2Response& response, Cycle now) {
   STTGPU_ASSERT(response.sm_id < to_sm_.size());
+  response_express_ += to_sm_[response.sm_id].backlog(now) == 0 ? 1 : 0;
   const Cycle arrival = to_sm_[response.sm_id].admit(now);
   response_q_[response.sm_id].push_back({arrival, response});
   ++response_flits_;
@@ -54,6 +56,8 @@ Cycle Interconnect::next_event_cycle() const noexcept {
 void Interconnect::sample_telemetry(Telemetry& out) const {
   out.counter("icnt.request_flits", request_flits_);
   out.counter("icnt.response_flits", response_flits_);
+  out.counter("icnt.request_express", request_express_);
+  out.counter("icnt.response_express", response_express_);
   out.gauge("icnt.in_flight", static_cast<double>(in_flight_));
 }
 

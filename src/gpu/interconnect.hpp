@@ -89,6 +89,19 @@ class Interconnect {
   std::uint64_t request_flits() const noexcept { return request_flits_; }
   std::uint64_t response_flits() const noexcept { return response_flits_; }
 
+  // Express-path effectiveness: a send whose port had zero backlog at admit
+  // got the closed-form ("express") delivery schedule; one admitted behind
+  // other traffic was queued by the bandwidth model. Pure contention
+  // properties of the simulated run — identical at every hotpath level.
+  std::uint64_t request_express() const noexcept { return request_express_; }
+  std::uint64_t request_queued() const noexcept {
+    return request_flits_ - request_express_;
+  }
+  std::uint64_t response_express() const noexcept { return response_express_; }
+  std::uint64_t response_queued() const noexcept {
+    return response_flits_ - response_express_;
+  }
+
  private:
   struct TimedRequest {
     Cycle arrival;
@@ -105,6 +118,8 @@ class Interconnect {
   std::vector<RingQueue<TimedResponse>> response_q_;  // per SM
   std::uint64_t request_flits_ = 0;
   std::uint64_t response_flits_ = 0;
+  std::uint64_t request_express_ = 0;   ///< admits that saw zero port backlog
+  std::uint64_t response_express_ = 0;
   std::uint64_t in_flight_ = 0;  ///< packets sent but not yet delivered
 };
 

@@ -76,7 +76,7 @@ L1Outcome L1Complex::access(Addr addr, workload::WarpInstr::Kind kind,
 }
 
 void L1Complex::fill(Addr addr, workload::MemSpace space, Cycle now,
-                     std::vector<Addr>& writebacks) {
+                     SmallVec<Addr, 2>& writebacks) {
   cache::SetAssocCache& c = cache_for(space);
   // Record the load miss in the counters via a regular access, then the
   // resulting fill happens inside access() itself (allocate-on-miss).

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/small_vec.hpp"
+
 #include "cache/cache.hpp"
 #include "common/types.hpp"
 #include "gpu/gpu_config.hpp"
@@ -27,7 +29,9 @@ struct L1Outcome {
   bool send_read = false;  ///< fetch this line from L2
   bool send_write = false; ///< forward a store to L2
   /// Dirty local lines displaced by this operation (write them to L2).
-  std::vector<Addr> writebacks;
+  /// At most one per access (a miss fill evicts one victim), so the inline
+  /// capacity keeps the per-transaction path allocation-free.
+  SmallVec<Addr, 2> writebacks;
 };
 
 class L1Complex {
@@ -39,7 +43,7 @@ class L1Complex {
                    Cycle now);
 
   /// Installs a returned miss line; appends dirty evictions to @p writebacks.
-  void fill(Addr addr, workload::MemSpace space, Cycle now, std::vector<Addr>& writebacks);
+  void fill(Addr addr, workload::MemSpace space, Cycle now, SmallVec<Addr, 2>& writebacks);
 
   /// End-of-kernel flush: invalidates everything, returning dirty local
   /// lines that must be written back to L2.

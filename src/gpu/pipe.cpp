@@ -9,20 +9,4 @@ ThroughputPipe::ThroughputPipe(Cycle latency, Cycle service_gap)
   STTGPU_REQUIRE(service_gap > 0, "ThroughputPipe: service gap must be positive");
 }
 
-Cycle ThroughputPipe::admit(Cycle now) noexcept {
-  const Cycle start = next_free_ > now ? next_free_ : now;
-  next_free_ = start + gap_;
-  ++admitted_;
-  return start + latency_;
-}
-
-Cycle ThroughputPipe::peek_departure(Cycle now) const noexcept {
-  const Cycle start = next_free_ > now ? next_free_ : now;
-  return start + latency_;
-}
-
-Cycle ThroughputPipe::backlog(Cycle now) const noexcept {
-  return next_free_ > now ? next_free_ - now : 0;
-}
-
 }  // namespace sttgpu::gpu

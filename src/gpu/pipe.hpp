@@ -17,14 +17,27 @@ class ThroughputPipe {
  public:
   ThroughputPipe(Cycle latency, Cycle service_gap);
 
+  // Defined here (not in pipe.cpp): admit/peek/backlog run millions of times
+  // per simulated second on the request path and must inline into callers.
+
   /// Admits a transaction arriving at @p now; returns its departure cycle.
-  Cycle admit(Cycle now) noexcept;
+  Cycle admit(Cycle now) noexcept {
+    const Cycle start = next_free_ > now ? next_free_ : now;
+    next_free_ = start + gap_;
+    ++admitted_;
+    return start + latency_;
+  }
 
   /// Earliest cycle at which a transaction arriving at @p now would depart.
-  Cycle peek_departure(Cycle now) const noexcept;
+  Cycle peek_departure(Cycle now) const noexcept {
+    const Cycle start = next_free_ > now ? next_free_ : now;
+    return start + latency_;
+  }
 
   /// Cycles of queueing delay a transaction arriving at @p now would see.
-  Cycle backlog(Cycle now) const noexcept;
+  Cycle backlog(Cycle now) const noexcept {
+    return next_free_ > now ? next_free_ - now : 0;
+  }
 
   std::uint64_t admitted() const noexcept { return admitted_; }
 

@@ -266,7 +266,7 @@ bool Sm::try_issue(unsigned warp, Cycle now, const SendTxnFn& send) {
       ++stats_.load_transactions;
       const L1Outcome out = l1_.access(line, WarpInstr::Kind::kLoad, instr.space, now);
       if (out.hit) continue;
-      std::vector<unsigned>* waiters = mshr_.find(line);
+      auto* waiters = mshr_.find(line);
       if (waiters != nullptr) {
         if (waiters->size() < config_->l1_mshr_merge) {
           waiters->push_back(warp);
@@ -320,7 +320,7 @@ void Sm::send_writeback(Addr addr, Cycle /*now*/, const SendTxnFn& send) {
   inflight_meta_[id] = TxnMeta{addr, MemSpace::kLocal, true, true};
 }
 
-void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& send) {
+void Sm::process_response(const L2Response& response, Cycle now, const SendTxnFn& send) {
   const TxnMeta* it = inflight_meta_.find(response.id);
   STTGPU_ASSERT_MSG(it != nullptr, "Sm: response for unknown request");
   const TxnMeta meta = *it;
@@ -330,30 +330,20 @@ void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& sen
     if (!meta.is_writeback) {
       STTGPU_ASSERT(inflight_stores_ > 0);
       --inflight_stores_;
-      // A store credit freed: this unsticks a stalled walk only if the
-      // cheapest store candidate now fits. (Writeback completions use no
-      // credit and touch nothing the prechecks read, so they always leave a
-      // clean stall clean.)
-      if (stall_clean_ && stall_store_need_ != kNoNeed &&
-          inflight_stores_ + stall_store_need_ <= config_->max_outstanding_store_txn) {
-        stall_clean_ = false;
-      }
     }
     return;
   }
 
-  // Load fill: install in L1 and wake every merged waiter. Frees a load
-  // credit and possibly an MSHR entry — both precheck inputs; whether that
-  // unsticks a stalled walk is decided below, after the MSHR update.
+  // Load fill: install in L1 and wake every merged waiter.
   STTGPU_ASSERT(inflight_loads_ > 0);
   --inflight_loads_;
-  std::vector<Addr> writebacks;
-  l1_.fill(meta.line_addr, meta.space, now, writebacks);
-  for (const Addr wb : writebacks) send_writeback(wb, now, send);
+  writeback_scratch_.clear();
+  l1_.fill(meta.line_addr, meta.space, now, writeback_scratch_);
+  for (const Addr wb : writeback_scratch_) send_writeback(wb, now, send);
 
-  std::vector<unsigned>* mit = mshr_.find(meta.line_addr);
+  auto* mit = mshr_.find(meta.line_addr);
   if (mit != nullptr) {  // else: duplicate fetch (merge overflow) case
-    const std::vector<unsigned> waiters = std::move(*mit);
+    const auto waiters = std::move(*mit);
     mshr_.erase(meta.line_addr);
     for (const unsigned warp : waiters) {
       WarpCtx& ctx = warps_[warp];
@@ -361,14 +351,37 @@ void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& sen
       if (--ctx.awaiting == 0) sleep_warp(warp, now + kWakeLatency);
     }
   }
-  // A load credit (and possibly an MSHR entry) freed: this unsticks a
-  // stalled walk only if the cheapest load candidate now passes both
-  // prechecks with the live levels.
-  if (stall_clean_ && stall_load_need_ != kNoNeed &&
+}
+
+void Sm::recheck_stall() noexcept {
+  // Completions free load/store credits and possibly MSHR entries — the
+  // precheck inputs. A stalled walk unsticks only if the cheapest candidate
+  // of some kind now fits at the live levels. (Writeback completions use no
+  // credit and touch nothing the prechecks read, so after a writeback-only
+  // batch the levels are those the failed walk already rejected and the
+  // stall correctly stays clean.)
+  if (!stall_clean_) return;
+  if (stall_store_need_ != kNoNeed &&
+      inflight_stores_ + stall_store_need_ <= config_->max_outstanding_store_txn) {
+    stall_clean_ = false;
+    return;
+  }
+  if (stall_load_need_ != kNoNeed &&
       inflight_loads_ + stall_load_need_ <= config_->max_outstanding_load_txn &&
       mshr_.size() + stall_load_need_ <= config_->l1_mshr_entries) {
     stall_clean_ = false;
   }
+}
+
+void Sm::on_response(const L2Response& response, Cycle now, const SendTxnFn& send) {
+  process_response(response, now, send);
+  recheck_stall();
+}
+
+void Sm::on_responses(const L2Response* responses, std::size_t n, Cycle now,
+                      const SendTxnFn& send) {
+  for (std::size_t i = 0; i < n; ++i) process_response(responses[i], now, send);
+  if (n != 0) recheck_stall();
 }
 
 void Sm::flush_l1(Cycle now, const SendTxnFn& send) {

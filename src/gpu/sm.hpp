@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/flat_map.hpp"
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "gpu/gpu_config.hpp"
 #include "gpu/l1_complex.hpp"
@@ -67,6 +68,15 @@ class Sm {
 
   /// Memory response delivered by the interconnect.
   void on_response(const L2Response& response, Cycle now, const SendTxnFn& send);
+
+  /// Batch form: all of this SM's responses for one cycle in arrival order,
+  /// with the stalled-walk recheck run once at the end instead of per
+  /// response. Equivalent to calling on_response() per element: credit and
+  /// MSHR levels only improve across a batch and the recheck predicate is
+  /// monotone in them, so "unstuck after some response" and "unstuck after
+  /// the whole batch" coincide.
+  void on_responses(const L2Response* responses, std::size_t n, Cycle now,
+                    const SendTxnFn& send);
 
   /// End-of-kernel L1 flush; dirty local lines go to L2 as writes.
   void flush_l1(Cycle now, const SendTxnFn& send);
@@ -134,6 +144,10 @@ class Sm {
   };
 
   void launch_block(unsigned slot, Cycle now);
+  void process_response(const L2Response& response, Cycle now, const SendTxnFn& send);
+  /// Clears stall_clean_ if the cheapest stalled candidate of either kind
+  /// now passes its prechecks with the live credit/MSHR levels.
+  void recheck_stall() noexcept;
   void wake_due(Cycle now);
   bool issue_precheck_fails(const WarpCtx& ctx) const noexcept;
   bool try_issue(unsigned warp, Cycle now, const SendTxnFn& send);
@@ -209,7 +223,8 @@ class Sm {
   unsigned stall_store_need_ = kNoNeed;
 
   // Memory-side state
-  FlatU64Map<std::vector<unsigned>> mshr_;  ///< line -> waiting warps
+  SmallVec<Addr, 2> writeback_scratch_;     ///< per-fill eviction scratch
+  FlatU64Map<SmallVec<unsigned, 8>> mshr_;  ///< line -> waiting warps
   FlatU64Map<TxnMeta> inflight_meta_;       ///< req id -> meta
   unsigned inflight_loads_ = 0;   ///< primary load transactions in flight
   unsigned inflight_stores_ = 0;  ///< store transactions in flight

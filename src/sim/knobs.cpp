@@ -61,8 +61,9 @@ const std::vector<KnobSpec>& knob_registry() {
        kKnobRecord | kKnobReplay},
       {"fastforward", Type::kBool, "1",
        "event-driven idle-cycle skip; results are identical either way", kRunMatrixRecord},
-      {"hotpath", Type::kBool, "1",
-       "per-component event-lane stepping; results are identical either way",
+      {"hotpath", Type::kInt, "2",
+       "hot-path level: 0=plain loop, 1=event lanes, 2=event wheel; results are "
+       "identical at every level",
        kRunMatrixRecord},
       {"tick_jobs", Type::kInt, "1",
        "threads for the per-cycle L2 bank tick batch (hotpath only); results are "

@@ -73,11 +73,12 @@ struct RunOptions {
   /// the cache fingerprint); `false` exists for A/B validation.
   bool fast_forward = true;
 
-  /// Hot-path stepping (per-component event lanes gating the per-cycle
-  /// ticks). Like fast_forward a pure scheduling optimization with
-  /// byte-identical results, excluded from the cache fingerprint; `false`
-  /// exists for A/B validation against the plain loop.
-  bool hotpath = true;
+  /// Hot-path stepping level (see GpuConfig::hotpath): 0 = plain per-cycle
+  /// loop, 1 = per-component event lanes, 2 = hierarchical event wheel
+  /// (default). Like fast_forward a pure scheduling optimization with
+  /// byte-identical results across levels, excluded from the cache
+  /// fingerprint; lower levels exist for A/B validation.
+  unsigned hotpath = 2;
 
   /// Worker threads for the per-cycle L2 bank tick batch (hotpath only;
   /// 1 = sequential). Results are bit-identical at any value, so this too

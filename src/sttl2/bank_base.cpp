@@ -51,7 +51,14 @@ void BankBase::tick(Cycle now) {
     input_.pop_front();
     process_request(req, now);
   }
-  maintenance(now);
+  // Deadline gate: with every implementation deadline in the future the
+  // call would be a pure heap-top check per queue (provably no-op), so the
+  // cached deadline — lowered at every scheduling site, recomputed after
+  // every run — skips it without changing any result.
+  if (now >= maint_next_) {
+    maintenance(now);
+    maint_next_ = impl_next_event();
+  }
 }
 
 void BankBase::drain_responses(Cycle now, std::vector<gpu::L2Response>& out) {
@@ -72,7 +79,9 @@ Cycle BankBase::next_event_cycle() const {
   // whenever that is: "event due now". (pending_ DRAM reads need no entry —
   // their completion is the owning DramChannel's event.)
   if (!input_.empty() || !fills_ready_.empty()) return 0;
-  Cycle next = impl_next_event();
+  // The cached deadline is never later than the true implementation event
+  // (see sched_impl_event), so it can stand in for the virtual call here.
+  Cycle next = maint_next_;
   // responses_ is a min-heap on ready: front matures first.
   if (!responses_.empty() && responses_.front().ready < next) {
     next = responses_.front().ready;

@@ -108,7 +108,12 @@ class BankBase : public gpu::L2Bank {
   /// A previously requested DRAM line arrived.
   virtual void process_fill(Addr line_addr, Cycle now) = 0;
 
-  /// Per-tick housekeeping (refresh, expiry, buffer drains).
+  /// Deadline housekeeping (refresh, expiry, threshold adaptation, wear
+  /// rotation). Called from tick() only when the cached implementation
+  /// deadline (see sched_impl_event) has matured — a call with every
+  /// deadline in the future must be a no-op, which is exactly the
+  /// impl_next_event() contract the event-driven fast-forward already
+  /// relies on.
   virtual void maintenance(Cycle /*now*/) {}
 
   /// Implementation has in-flight work beyond the shared queues.
@@ -117,8 +122,27 @@ class BankBase : public gpu::L2Bank {
   /// Earliest absolute cycle of an implementation-scheduled deadline
   /// (refresh due, retention expiry, threshold adaptation); kNoCycle when
   /// none. Conservative (early) values are safe — the tick is then a no-op,
-  /// exactly as it would be in a cycle-by-cycle loop.
+  /// exactly as it would be in a cycle-by-cycle loop. Called by the base
+  /// only right after maintenance() ran, to refresh the cached deadline;
+  /// between maintenance calls implementations must announce any new or
+  /// earlier deadline through sched_impl_event().
   virtual Cycle impl_next_event() const { return kNoCycle; }
+
+  /// Announces an implementation deadline at @p when: lowers the cached
+  /// deadline that gates maintenance() (and feeds next_event_cycle()).
+  /// Stale-low values are safe (one extra no-op maintenance call); every
+  /// site that schedules a deadline — queue push, rotation trigger — must
+  /// call this, or the deadline could be skipped entirely.
+  void sched_impl_event(Cycle when) noexcept {
+    if (when < maint_next_) maint_next_ = when;
+  }
+
+  /// Seeds the cached deadline from impl_next_event(). Every concrete bank
+  /// constructor must call this last (the base constructor cannot: virtual
+  /// dispatch is not live yet). The default (0, "due now") is merely
+  /// conservative — one no-op maintenance on the first tick — but it also
+  /// pins next_event_cycle() to 0 and defeats fast-forward on idle banks.
+  void init_impl_deadline() noexcept { maint_next_ = impl_next_event(); }
 
   // --- helpers for implementations ---
 
@@ -167,6 +191,11 @@ class BankBase : public gpu::L2Bank {
   gpu::DramChannel* dram_;
 
   std::deque<gpu::L2Request> input_;
+  /// Cached min over the implementation's scheduled deadlines: lowered by
+  /// sched_impl_event(), recomputed from impl_next_event() after each
+  /// maintenance() run. Never stale-high, so gating maintenance on it is
+  /// exact; starts due so the first tick initializes it from the impl.
+  Cycle maint_next_ = 0;
   std::vector<gpu::L2Response> responses_;  // min-heap keyed by ready cycle
   FlatU64Map<Waiters> pending_;
   std::vector<Addr> fills_ready_;  // lines whose DRAM read completed

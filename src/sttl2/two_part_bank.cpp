@@ -127,6 +127,7 @@ TwoPartBank::TwoPartBank(unsigned bank_id, const TwoPartBankConfig& config,
     c_.fault_wv_retries = cs.intern("fault_wv_retries");
     c_.fault_wv_escalations = cs.intern("fault_wv_escalations");
   }
+  init_impl_deadline();
 }
 
 Cycle TwoPartBank::impl_next_event() const {
@@ -149,6 +150,12 @@ Cycle TwoPartBank::impl_next_event() const {
 
 void TwoPartBank::charge_lr_write(Addr addr) {
   ++lr_writes_since_rotation_;
+  // Crossing the wear-level period arms a rotation that must run on the very
+  // next maintenance() call (impl_next_event reports 0 for it); announce the
+  // deadline so the maintenance gate opens this tick, as it would ungated.
+  if (config_.lr_wear_leveling && lr_writes_since_rotation_ >= config_.wear_level_period) {
+    sched_impl_event(0);
+  }
   ledger().add(e_.lr_data_write, lr_costs_.data_write_pj * write_energy_scale_);
   ledger().add(e_.lr_tag_update, lr_costs_.tag_update_pj);
   mutable_counters().at(c_.lr_phys_writes) += 1;
@@ -223,9 +230,12 @@ bool TwoPartBank::fault_read_check(bool lr_part, Addr key, unsigned way, Cycle n
                  (lr_part ? lr_costs_ : hr_costs_).data_write_pj * write_energy_scale_);
     line.retention_deadline = rc.deadline(now);
     if (lr_part) {
-      refresh_q_.push({rc.refresh_due(now), set, way, line.retention_deadline});
+      const Cycle due = rc.refresh_due(now);
+      refresh_q_.push({due, set, way, line.retention_deadline});
+      sched_impl_event(due);
     } else {
       hr_expiry_q_.push({line.retention_deadline, set, way, line.retention_deadline});
+      sched_impl_event(line.retention_deadline);
     }
     return false;
   }
@@ -401,7 +411,9 @@ Cycle TwoPartBank::lr_write_hit(Addr lr_key, unsigned way, Cycle start) {
   line.write_count += 1;
   line.last_write_cycle = start;
   line.retention_deadline = lr_retention_.deadline(start);
-  refresh_q_.push({lr_retention_.refresh_due(start), set, way, line.retention_deadline});
+  const Cycle refresh_due = lr_retention_.refresh_due(start);
+  refresh_q_.push({refresh_due, set, way, line.retention_deadline});
+  sched_impl_event(refresh_due);
 
   const Cycle done = lr_data_write(line_addr, start);
   mutable_counters().at(c_.w_lr) += 1;
@@ -438,6 +450,7 @@ Cycle TwoPartBank::hr_write_hit(Addr line_addr, unsigned way, Cycle start) {
   line.last_write_cycle = start;
   line.retention_deadline = hr_retention_.deadline(start);
   hr_expiry_q_.push({line.retention_deadline, set, way, line.retention_deadline});
+  sched_impl_event(line.retention_deadline);
 
   const Cycle done = hr_data_write(line_addr, start);
   mutable_counters().at(c_.w_hr) += 1;
@@ -456,7 +469,9 @@ Cycle TwoPartBank::lr_install(Addr addr, bool dirty, std::uint32_t write_count,
   line.write_count = write_count;
   line.last_write_cycle = last_write;
   line.retention_deadline = lr_retention_.deadline(now);
-  refresh_q_.push({lr_retention_.refresh_due(now), set, way, line.retention_deadline});
+  const Cycle refresh_due = lr_retention_.refresh_due(now);
+  refresh_q_.push({refresh_due, set, way, line.retention_deadline});
+  sched_impl_event(refresh_due);
 
   const Cycle done = lr_data_write(key, now);
   mutable_counters().at(c_.w_lr) += 1;
@@ -519,6 +534,7 @@ Cycle TwoPartBank::hr_install(Addr addr, bool dirty, std::uint32_t write_count, 
   line.last_write_cycle = write_count != 0 ? now : kNoCycle;
   line.retention_deadline = hr_retention_.deadline(now);
   hr_expiry_q_.push({line.retention_deadline, set, victim, line.retention_deadline});
+  sched_impl_event(line.retention_deadline);
 
   const Cycle done = hr_data_write(addr, now);
   return done;

@@ -61,6 +61,7 @@ UniformBank::UniformBank(unsigned bank_id, const UniformBankConfig& config,
     c_.fault_wv_retries = cs.intern("fault_wv_retries");
     c_.fault_wv_escalations = cs.intern("fault_wv_escalations");
   }
+  init_impl_deadline();
 }
 
 Cycle UniformBank::impl_next_event() const {
@@ -72,6 +73,7 @@ Cycle UniformBank::impl_next_event() const {
 void UniformBank::schedule_expiry(std::uint64_t set, unsigned way, Cycle deadline) {
   if (retention_cycles_ == 0) return;
   expiry_.push({deadline, set, way});
+  sched_impl_event(deadline);
 }
 
 Cycle UniformBank::data_write(Addr line_addr, Cycle now) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/small_vec.hpp"
 #include "common/types.hpp"
 #include "workload/pattern.hpp"
 
@@ -33,8 +34,9 @@ struct WarpInstr {
   Kind kind = Kind::kCompute;
   MemSpace space = MemSpace::kGlobal;
   /// Line-aligned base addresses of the coalesced 128B transactions this
-  /// warp instruction generates (empty for compute).
-  std::vector<Addr> transactions;
+  /// warp instruction generates (empty for compute). Inline capacity covers
+  /// the full warp width, so instruction synthesis never heap-allocates.
+  SmallVec<Addr, 32> transactions;
   /// Result latency for compute instructions (cycles).
   unsigned latency = 1;
 };

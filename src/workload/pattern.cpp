@@ -1,6 +1,9 @@
 #include "workload/pattern.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
 
 #include "common/error.hpp"
 
@@ -9,6 +12,22 @@ namespace sttgpu::workload {
 namespace {
 constexpr std::uint64_t kLineBytes = 128;  // L1 transaction granularity
 constexpr std::uint64_t kL2LineBytes = 256;
+
+// Zipf CDF tables are pure functions of (n, s) and identical for every warp
+// of a kernel, but building one costs n pow() calls — per-warp construction
+// was a measurable slice of short-run setup. Share one immutable table per
+// distinct (n, s); the handful of distinct shapes across all benchmarks is
+// retained for the process lifetime.
+std::shared_ptr<const ZipfSampler> shared_zipf(std::size_t n, double s) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::uint64_t>,
+                  std::shared_ptr<const ZipfSampler>>
+      cache;
+  const std::scoped_lock lock(mu);
+  auto& slot = cache[{n, std::bit_cast<std::uint64_t>(s)}];
+  if (slot == nullptr) slot = std::make_shared<const ZipfSampler>(n, s);
+  return slot;
+}
 }  // namespace
 
 AddressGenerator::AddressGenerator(const AccessPatternSpec& spec, Addr region_base,
@@ -18,7 +37,7 @@ AddressGenerator::AddressGenerator(const AccessPatternSpec& spec, Addr region_ba
       region_base_(region_base),
       warp_index_(warp_global_index),
       num_warps_(std::max<std::uint64_t>(num_warps, 1)),
-      zipf_(std::max<std::uint64_t>(spec.wws_lines, 1), spec.zipf_s),
+      zipf_(shared_zipf(std::max<std::uint64_t>(spec.wws_lines, 1), spec.zipf_s)),
       recent_(std::max(1u, spec.reuse_window), 0) {
   STTGPU_REQUIRE(spec.footprint_bytes >= kLineBytes,
                  "AccessPatternSpec: footprint smaller than one transaction");
@@ -65,7 +84,7 @@ Addr AddressGenerator::next_main_addr(Rng& rng, bool is_store) {
 
 Addr AddressGenerator::next_wws_addr(Rng& rng) {
   if (spec_->wws_lines == 0) return next_main_addr(rng, /*is_store=*/true);
-  const std::uint64_t rank = zipf_.sample(rng);
+  const std::uint64_t rank = zipf_->sample(rng);
   return wws_base_ + rank * kL2LineBytes;
 }
 

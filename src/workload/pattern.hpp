@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -97,7 +98,7 @@ class AddressGenerator {
   std::uint64_t num_warps_;
   std::uint64_t cursor_ = 0;     ///< streaming/tiled progress
   std::uint64_t tile_origin_;    ///< tiled: current tile base offset
-  ZipfSampler zipf_;
+  std::shared_ptr<const ZipfSampler> zipf_;  // shared per (n, s); see pattern.cpp
   std::vector<Addr> recent_;     ///< reuse ring buffer
   std::size_t recent_next_ = 0;
 };

@@ -1,0 +1,84 @@
+// simd::match_u64 equivalence tests: the vector path must agree bit-for-bit
+// with a plain scalar reference over every lane count (including odd tails)
+// and arbitrary key/lane contents — SIMD is a throughput lever, never a
+// semantic one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/simd.hpp"
+
+namespace sttgpu::simd {
+namespace {
+
+std::uint64_t match_reference(const std::uint64_t* a, unsigned n, std::uint64_t key) {
+  std::uint64_t m = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (a[i] == key) m |= 1ull << i;
+  }
+  return m;
+}
+
+TEST(SimdMatch, EmptyAndSingle) {
+  const std::uint64_t lanes[1] = {7};
+  EXPECT_EQ(match_u64(lanes, 0, 7), 0u);
+  EXPECT_EQ(match_u64(lanes, 1, 7), 1u);
+  EXPECT_EQ(match_u64(lanes, 1, 8), 0u);
+}
+
+TEST(SimdMatch, KnownPattern) {
+  const std::uint64_t lanes[8] = {5, 9, 5, 5, 0, 5, 1, 5};
+  EXPECT_EQ(match_u64(lanes, 8, 5), 0b10101101u);
+  EXPECT_EQ(match_u64(lanes, 8, 0), 0b00010000u);
+  EXPECT_EQ(match_u64(lanes, 8, 2), 0u);
+}
+
+TEST(SimdMatch, OddTailLaneIsCovered) {
+  // n odd forces the scalar tail after the 2-wide vector loop; the last lane
+  // must still be compared.
+  const std::uint64_t lanes[7] = {1, 2, 3, 4, 5, 6, 42};
+  EXPECT_EQ(match_u64(lanes, 7, 42), 1ull << 6);
+  EXPECT_EQ(match_u64(lanes, 6, 42), 0u);  // shorter n must not see lane 6
+}
+
+TEST(SimdMatch, AgreesWithScalarReferenceOverAllLaneCounts) {
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (unsigned n = 0; n <= 64; ++n) {
+    std::vector<std::uint64_t> lanes(n != 0 ? n : 1);
+    for (unsigned trial = 0; trial < 50; ++trial) {
+      // Draw from a small value alphabet so matches are frequent.
+      for (auto& v : lanes) v = rng() % 8;
+      const std::uint64_t key = rng() % 8;
+      EXPECT_EQ(match_u64(lanes.data(), n, key), match_reference(lanes.data(), n, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdMatch, ExtremeValues) {
+  const std::uint64_t kMax = ~0ull;
+  const std::uint64_t lanes[4] = {kMax, 0, kMax - 1, kMax};
+  EXPECT_EQ(match_u64(lanes, 4, kMax), 0b1001u);
+  EXPECT_EQ(match_u64(lanes, 4, 0), 0b0010u);
+  // Values whose 32-bit halves cross-match (low half of one equals high half
+  // of another) must not fool the SSE2 pairwise-AND emulation.
+  const std::uint64_t tricky[4] = {0x00000001'00000002ull, 0x00000002'00000001ull,
+                                   0x00000001'00000001ull, 0x00000002'00000002ull};
+  EXPECT_EQ(match_u64(tricky, 4, 0x00000001'00000002ull), 0b0001u);
+  EXPECT_EQ(match_u64(tricky, 4, 0x00000001'00000001ull), 0b0100u);
+}
+
+TEST(SimdMatch, ValidMaskAndSemantics) {
+  // How TagArray::probe consumes the mask: AND with packed valid bits, then
+  // countr_zero for the way index.
+  const std::uint64_t tags[8] = {3, 3, 3, 7, 3, 7, 3, 3};
+  const std::uint64_t valid = 0b01101000;  // ways 3, 5, 6 valid
+  const std::uint64_t hits = match_u64(tags, 8, 3) & valid;
+  EXPECT_EQ(hits, 0b01000000u);  // ways 3 and 5 hold tag 7; only way 6 hits
+  EXPECT_EQ(std::countr_zero(hits), 6);
+}
+
+}  // namespace
+}  // namespace sttgpu::simd

@@ -1,9 +1,9 @@
 // Hot-path stepping equivalence: the per-component event-lane scheduler
-// (hotpath=1) and the batched bank ticks (tick_jobs>1) are pure scheduling
-// optimizations — every reported metric must be byte-identical to the plain
-// per-cycle loop, in every combination with the event-driven fast-forward,
-// with fault injection, and with a telemetry sink attached. Plus unit tests
-// of the TickPool worker pool itself.
+// (hotpath=1), the event wheel (hotpath=2) and the batched bank ticks
+// (tick_jobs>1) are pure scheduling optimizations — every reported metric
+// must be byte-identical to the plain per-cycle loop, in every combination
+// with the event-driven fast-forward, with fault injection, and with a
+// telemetry sink attached. Plus unit tests of the TickPool worker pool.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -53,7 +53,7 @@ workload::Workload sparse_workload() {
 }
 
 struct Mode {
-  bool hotpath;
+  unsigned hotpath;  ///< 0 = plain loop, 1 = event lanes, 2 = event wheel
   bool fast_forward;
   unsigned tick_jobs;
 };
@@ -70,8 +70,8 @@ GpuConfig small_config(const Mode& m) {
 
 /// The full mode matrix; the first entry is the plain reference loop.
 const Mode kModes[] = {
-    {false, false, 1}, {false, true, 1}, {true, false, 1},
-    {true, true, 1},   {true, false, 4}, {true, true, 4},
+    {0, false, 1}, {0, true, 1}, {1, false, 1}, {1, true, 1}, {1, false, 4},
+    {1, true, 4},  {2, false, 1}, {2, true, 1}, {2, false, 4}, {2, true, 4},
 };
 
 void expect_identical(const RunResult& a, const RunResult& b) {
@@ -164,7 +164,7 @@ TEST(HotpathEquivalence, FaultInjectionRunsAreIdentical) {
   const sim::ArchSpec spec = sim::make_arch(sim::Architecture::kC1);
   const workload::Workload w = workload::make_benchmark("bfs", 0.05);
   sim::RunOptions ref_opts;
-  ref_opts.hotpath = false;
+  ref_opts.hotpath = 0;
   ref_opts.fast_forward = false;
   ref_opts.faults.enabled = true;
   ref_opts.faults.seed = 42;
@@ -178,8 +178,8 @@ TEST(HotpathEquivalence, FaultInjectionRunsAreIdentical) {
     opts.tick_jobs = m.tick_jobs;
     RunResult run;
     const sim::Metrics got = sim::run_one_detailed(spec, w, run, opts);
-    SCOPED_TRACE(std::string("hotpath=") + (m.hotpath ? "1" : "0") +
-                 " ff=" + (m.fast_forward ? "1" : "0") +
+    SCOPED_TRACE("hotpath=" + std::to_string(m.hotpath) +
+                 " ff=" + (m.fast_forward ? std::string("1") : std::string("0")) +
                  " tick_jobs=" + std::to_string(m.tick_jobs));
     expect_identical(ref_run, run);
     EXPECT_EQ(ref.ipc, got.ipc);
@@ -196,21 +196,24 @@ TEST(HotpathEquivalence, TelemetryRunsMatchPlainAggregates) {
   const sim::ArchSpec spec = sim::make_arch(sim::Architecture::kC1);
   const workload::Workload w = workload::make_benchmark("bfs", 0.05);
   sim::RunOptions plain;
-  plain.hotpath = false;
+  plain.hotpath = 0;
   plain.fast_forward = false;
   RunResult ref_run;
   (void)sim::run_one_detailed(spec, w, ref_run, plain);
-  for (const unsigned tick_jobs : {1u, 4u}) {
-    Telemetry tel(10000);
-    sim::RunOptions opts;
-    opts.hotpath = true;
-    opts.tick_jobs = tick_jobs;
-    opts.telemetry = &tel;
-    RunResult run;
-    (void)sim::run_one_detailed(spec, w, run, opts);
-    SCOPED_TRACE("tick_jobs=" + std::to_string(tick_jobs));
-    expect_identical(ref_run, run);
-    EXPECT_GT(tel.frame_count(), 0u);
+  for (const unsigned hotpath : {1u, 2u}) {
+    for (const unsigned tick_jobs : {1u, 4u}) {
+      Telemetry tel(10000);
+      sim::RunOptions opts;
+      opts.hotpath = hotpath;
+      opts.tick_jobs = tick_jobs;
+      opts.telemetry = &tel;
+      RunResult run;
+      (void)sim::run_one_detailed(spec, w, run, opts);
+      SCOPED_TRACE("hotpath=" + std::to_string(hotpath) +
+                   " tick_jobs=" + std::to_string(tick_jobs));
+      expect_identical(ref_run, run);
+      EXPECT_GT(tel.frame_count(), 0u);
+    }
   }
 }
 

@@ -12,7 +12,7 @@ class L1Test : public ::testing::Test {
  protected:
   GpuConfig cfg_;
   L1Complex l1_{cfg_, 1};
-  std::vector<Addr> wb_;
+  SmallVec<Addr, 2> wb_;
 };
 
 TEST_F(L1Test, LoadMissRequestsFill) {

@@ -1,0 +1,153 @@
+// EventWheel unit tests: bucket wrap-around, far-heap promotion, same-cycle
+// ordering, cancel/re-post staleness, past-deadline clamping, and the
+// large-jump sweep path.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "sim/event_wheel.hpp"
+
+namespace sttgpu::sim {
+namespace {
+
+std::vector<unsigned> ids_of(std::uint64_t mask) {
+  std::vector<unsigned> ids;
+  for (; mask != 0; mask &= mask - 1) {
+    ids.push_back(static_cast<unsigned>(std::countr_zero(mask)));
+  }
+  return ids;
+}
+
+TEST(EventWheel, PopsAtExactCycleOnly) {
+  EventWheel w(8);
+  w.post(3, 10);
+  for (Cycle c = 0; c < 10; ++c) EXPECT_EQ(w.pop_due(c), 0u) << c;
+  EXPECT_EQ(w.pop_due(10), 1ull << 3);
+  EXPECT_EQ(w.posted(3), kNoCycle);  // consumed
+  EXPECT_EQ(w.pop_due(11), 0u);
+}
+
+TEST(EventWheel, SameCycleYieldsAscendingIdMask) {
+  EventWheel w(64);
+  // Post in scrambled order; the mask is inherently id-ordered, which is
+  // what gives the hot loop its bank-then-SM ascending visit order.
+  for (const unsigned id : {17u, 2u, 63u, 0u, 41u}) w.post(id, 5);
+  const std::uint64_t due = w.pop_due(5);
+  EXPECT_EQ(ids_of(due), (std::vector<unsigned>{0, 2, 17, 41, 63}));
+}
+
+TEST(EventWheel, PastDeadlineClampsToNextPop) {
+  EventWheel w(4);
+  ASSERT_EQ(w.pop_due(20), 0u);  // advance: wheel now at cycle 21
+  w.post(1, 3);                  // long past; must not be lost
+  EXPECT_EQ(w.posted(1), 21u);
+  EXPECT_EQ(w.pop_due(21), 1ull << 1);
+}
+
+TEST(EventWheel, TighteningKeepsEarliestAndStrandsLater) {
+  EventWheel w(4);
+  w.post(2, 100);
+  w.post(2, 40);  // earlier wins
+  EXPECT_EQ(w.posted(2), 40u);
+  w.post(2, 60);  // later than outstanding: no-op
+  EXPECT_EQ(w.posted(2), 40u);
+  std::uint64_t due = 0;
+  for (Cycle c = 0; c <= 100; ++c) due |= w.pop_due(c) << (c == 40 ? 0 : 32);
+  // Fires at 40; the stranded entry at 100 must not fire again.
+  EXPECT_EQ(due, 1ull << 2);
+}
+
+TEST(EventWheel, CancelStrandsEntryAndRepostWorks) {
+  EventWheel w(4);
+  w.post(0, 7);
+  w.cancel(0);
+  EXPECT_EQ(w.posted(0), kNoCycle);
+  EXPECT_EQ(w.pop_due(7), 0u);  // stranded entry evaporates silently
+  w.post(0, 9);                 // re-post after cancel
+  EXPECT_EQ(w.pop_due(8), 0u);
+  EXPECT_EQ(w.pop_due(9), 1ull << 0);
+}
+
+TEST(EventWheel, BucketIndexWrapAround) {
+  EventWheel w(8);
+  // Advance near the horizon so new deadlines wrap modulo kBuckets.
+  ASSERT_EQ(w.pop_due(EventWheel::kBuckets - 10), 0u);
+  const Cycle when = EventWheel::kBuckets + 5;  // index wraps past 0
+  w.post(4, when);
+  EXPECT_EQ(w.pop_due(when - 1), 0u);
+  EXPECT_EQ(w.pop_due(when), 1ull << 4);
+}
+
+TEST(EventWheel, FarHeapPromotionDeliversAtExactCycle) {
+  EventWheel w(8);
+  const Cycle far = 3 * EventWheel::kBuckets + 17;  // well past the horizon
+  w.post(5, far);
+  EXPECT_EQ(w.far_size(), 1u);
+  // Step the wheel in jumps that cross the promotion boundary.
+  Cycle c = 0;
+  std::uint64_t due = 0;
+  while (c < far) {
+    c += EventWheel::kBuckets / 2;
+    if (c > far) c = far;
+    const std::uint64_t got = w.pop_due(c);
+    if (got != 0) {
+      EXPECT_EQ(c, far);
+      due |= got;
+    }
+  }
+  EXPECT_EQ(due, 1ull << 5);
+  EXPECT_EQ(w.far_size(), 0u);
+}
+
+TEST(EventWheel, FarHeapStaleEntriesPruned) {
+  EventWheel w(8);
+  const Cycle far = 2 * EventWheel::kBuckets;
+  w.post(1, far);
+  w.post(1, 5);  // tighten: far entry goes stale
+  EXPECT_EQ(w.pop_due(5), 1ull << 1);
+  // The stale far entry must neither fire nor survive next_deadline pruning.
+  EXPECT_EQ(w.next_deadline(), kNoCycle);
+  std::uint64_t due = 0;
+  for (Cycle c = 6; c <= far; c += 64) due |= w.pop_due(c);
+  EXPECT_EQ(due, 0u);
+}
+
+TEST(EventWheel, LargeJumpSweepFindsEverything) {
+  EventWheel w(16);
+  // Deadlines scattered across the near horizon; one jump far past them all
+  // exercises the full occupancy-bitmap sweep (> kSmallSpan).
+  for (unsigned id = 0; id < 16; ++id) w.post(id, 3 + 61 * id);
+  const std::uint64_t due = w.pop_due(1000);
+  EXPECT_EQ(due, 0xFFFFull);
+  EXPECT_EQ(w.occupied_buckets(), 0u);
+}
+
+TEST(EventWheel, NextDeadlineNearAndFar) {
+  EventWheel w(8);
+  EXPECT_EQ(w.next_deadline(), kNoCycle);
+  const Cycle far = 5 * EventWheel::kBuckets;
+  w.post(2, far);
+  EXPECT_EQ(w.next_deadline(), far);
+  w.post(3, 12);
+  EXPECT_EQ(w.next_deadline(), 12u);
+  EXPECT_EQ(w.pop_due(12), 1ull << 3);
+  EXPECT_EQ(w.next_deadline(), far);
+}
+
+TEST(EventWheel, DiagnosticsTrackHighWater) {
+  EventWheel w(8);
+  w.post(0, 10);
+  w.post(1, 11);
+  w.post(2, 2 * EventWheel::kBuckets);
+  EXPECT_EQ(w.occupied_buckets(), 2u);
+  EXPECT_GE(w.bucket_high_water(), 2u);
+  EXPECT_EQ(w.far_high_water(), 1u);
+  EXPECT_EQ(w.posted_ids(), 3u);
+  (void)w.pop_due(11);
+  EXPECT_EQ(w.occupied_buckets(), 0u);
+  EXPECT_EQ(w.posted_ids(), 1u);  // only the far entry remains
+}
+
+}  // namespace
+}  // namespace sttgpu::sim

@@ -147,7 +147,7 @@ int cmd_run(const Config& cfg) {
 
   sim::RunOptions opts;
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
-  opts.hotpath = sim::knob_bool(cfg, kCmd, "hotpath");
+  opts.hotpath = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "hotpath"));
   opts.tick_jobs = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "tick_jobs"));
   opts.faults = sim::fault_knobs(cfg, kCmd);
   opts.telemetry = tel.get();
@@ -225,7 +225,7 @@ int cmd_matrix(const Config& cfg) {
   opts.cache_path = sim::knob_string(cfg, kCmd, "cache");
   opts.jobs = sim::resolve_jobs(sim::knob_int(cfg, kCmd, "jobs"));
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
-  opts.hotpath = sim::knob_bool(cfg, kCmd, "hotpath");
+  opts.hotpath = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "hotpath"));
   opts.tick_jobs = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "tick_jobs"));
   opts.faults = sim::fault_knobs(cfg, kCmd);
   opts.cancel = &g_cancel;
@@ -279,7 +279,7 @@ int cmd_record(const Config& cfg) {
 
   sim::RunOptions opts;
   opts.fast_forward = sim::knob_bool(cfg, kCmd, "fastforward");
-  opts.hotpath = sim::knob_bool(cfg, kCmd, "hotpath");
+  opts.hotpath = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "hotpath"));
   opts.tick_jobs = static_cast<unsigned>(sim::knob_int(cfg, kCmd, "tick_jobs"));
   opts.telemetry = tel.get();
   opts.cancel = &g_cancel;
