@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "common/error.hpp"
@@ -12,6 +14,10 @@ namespace sttgpu {
 
 namespace {
 
+std::string errno_text() {
+  return std::string(" (") + std::strerror(errno) + ")";
+}
+
 /// fsyncs @p path (a file or directory). Directory fsync failures are
 /// ignored on filesystems that do not support them (EINVAL); data-file sync
 /// failures are fatal — returning from "persist" without durability is the
@@ -19,12 +25,12 @@ namespace {
 void fsync_path(const std::string& path, bool required) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    STTGPU_REQUIRE(!required, "cannot open for fsync: " + path);
+    STTGPU_REQUIRE(!required, "cannot open for fsync: " + path + errno_text());
     return;
   }
   const int rc = ::fsync(fd);
   ::close(fd);
-  STTGPU_REQUIRE(rc == 0 || !required, "fsync failed: " + path);
+  STTGPU_REQUIRE(rc == 0 || !required, "fsync failed: " + path + errno_text());
 }
 
 std::string parent_dir(const std::string& path) {
@@ -39,18 +45,27 @@ std::string parent_dir(const std::string& path) {
 void atomic_write_file(const std::string& path,
                        const std::function<void(std::ostream&)>& produce) {
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
-    STTGPU_REQUIRE(static_cast<bool>(out), "cannot write file: " + tmp);
-    produce(out);
-    out.flush();
-    STTGPU_REQUIRE(out.good(), "write failed: " + tmp);
+  // On any failure past this point, unlink the temp file: a dead ".tmp"
+  // left behind would be overwritten by the next attempt anyway, but in
+  // the meantime it looks like data and confuses humans and backups.
+  try {
+    {
+      std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+      STTGPU_REQUIRE(static_cast<bool>(out), "cannot write file: " + tmp + errno_text());
+      produce(out);
+      out.flush();
+      STTGPU_REQUIRE(out.good(), "write failed: " + tmp + errno_text());
+    }
+    // The stream is closed; force the bytes to stable storage before the
+    // rename publishes them, so the rename can never expose a torn file.
+    fsync_path(tmp, /*required=*/true);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw SimError("cannot move file into place: " + path + errno_text());
+    }
+  } catch (...) {
+    ::unlink(tmp.c_str());
+    throw;
   }
-  // The stream is closed; force the bytes to stable storage before the
-  // rename publishes them, so the rename can never expose a torn file.
-  fsync_path(tmp, /*required=*/true);
-  STTGPU_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-                 "cannot move file into place: " + path);
   // Persist the directory entry too: without this a crash right after the
   // rename can roll the whole file back on some filesystems.
   fsync_path(parent_dir(path), /*required=*/false);

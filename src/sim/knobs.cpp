@@ -30,6 +30,7 @@ const char* command_name(KnobCommand c) {
     case kKnobMatrix: return "matrix";
     case kKnobRecord: return "record";
     case kKnobReplay: return "replay";
+    case kKnobStore: return "store";
   }
   return "?";
 }
@@ -57,6 +58,9 @@ const std::vector<KnobSpec>& knob_registry() {
       {"keep_going", Type::kBool, "0",
        "quarantine failing jobs and report a manifest instead of failing fast",
        kKnobMatrix},
+      {"store", Type::kString, "fig8_cache.store",
+       "result store path (WAL log; sidecars <store>.lock / <store>.quarantine)",
+       kKnobStore},
       {"trace", Type::kString, "l2.trace", "L2 demand-stream trace path",
        kKnobRecord | kKnobReplay},
       {"fastforward", Type::kBool, "1",
@@ -147,8 +151,10 @@ bool knob_bool(const Config& cfg, KnobCommand command, const std::string& name) 
 
 std::string knob_usage() {
   std::ostringstream os;
-  os << "usage: sttgpu <list|run|matrix|record|replay|help> [key=value ...]\n";
-  for (const KnobCommand cmd : {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay}) {
+  os << "usage: sttgpu <list|run|matrix|record|replay|store|help> [key=value ...]\n"
+        "       sttgpu store <fsck|compact|stats> [store=<path>]\n";
+  for (const KnobCommand cmd :
+       {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay, kKnobStore}) {
     os << "  " << command_name(cmd) << ":\n";
     for (const KnobSpec& k : knob_registry()) {
       if ((k.commands & cmd) == 0) continue;

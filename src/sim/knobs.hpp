@@ -27,6 +27,7 @@ enum KnobCommand : unsigned {
   kKnobMatrix = 1u << 1,
   kKnobRecord = 1u << 2,
   kKnobReplay = 1u << 3,
+  kKnobStore = 1u << 4,
 };
 
 struct KnobSpec {

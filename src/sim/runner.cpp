@@ -1,18 +1,20 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 
-#include "common/atomic_file.hpp"
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "sim/executor.hpp"
+#include "store/csv_format.hpp"
+#include "store/result_store.hpp"
 #include "sttl2/factories.hpp"
 
 namespace sttgpu::sim {
@@ -101,22 +103,21 @@ Metrics run_one(Architecture arch, const std::string& benchmark,
 }
 
 // ---------------------------------------------------------------------------
-// Result cache, format v2.
+// Result persistence.
 //
-//   # sttgpu-cache v2 scale=<scale> config=<hex fingerprint>
-//   arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate
-//   <rows ...>
-//
-// The header pins the workload scale and the simulator configuration; a
-// mismatch on either means every cached number is stale, so the whole file
-// is discarded. Values are written with max_digits10 precision so a
-// load -> save round trip is bit-exact.
+// The durable source of truth is the crash-safe WAL-backed result store
+// (store/result_store.hpp); the v2 CSV (store/csv_format.hpp) is kept as
+// the human-diffable *export* format and as the one-time migration source
+// for stores that do not exist yet. load_cache/save_cache keep their CSV
+// semantics for callers (and tests) that speak CSV directly.
 // ---------------------------------------------------------------------------
 
 namespace {
 
+// The former on-disk cache magic, retained verbatim as the leading token of
+// the config serialization: the fingerprint of an unchanged configuration
+// must stay bit-identical across the CSV -> store port.
 constexpr char kCacheMagic[] = "# sttgpu-cache v2";
-constexpr int kCacheFields = 9;
 
 // FNV-1a, 64-bit: stable across platforms, no dependencies.
 std::uint64_t fnv1a(const std::string& s) {
@@ -128,79 +129,32 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-std::string format_scale(double scale) {
-  std::ostringstream os;
-  os << std::setprecision(17) << scale;
-  return os.str();
+store::ResultRow to_store_row(const Metrics& m) {
+  store::ResultRow r;
+  r.arch = m.arch;
+  r.benchmark = m.benchmark;
+  r.ipc = m.ipc;
+  r.cycles = m.cycles;
+  r.dynamic_w = m.dynamic_w;
+  r.leakage_w = m.leakage_w;
+  r.total_w = m.total_w;
+  r.write_share = m.l2_write_share;
+  r.miss_rate = m.l2_miss_rate;
+  return r;
 }
 
-std::optional<double> parse_double(const std::string& cell) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(cell, &pos);
-    if (pos != cell.size()) return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
-std::optional<std::uint64_t> parse_u64(const std::string& cell) {
-  try {
-    std::size_t pos = 0;
-    const std::uint64_t v = std::stoull(cell, &pos);
-    if (pos != cell.size()) return std::nullopt;
-    return v;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
-std::vector<std::string> split_csv(const std::string& row) {
-  std::vector<std::string> cells;
-  std::istringstream ss(row);
-  std::string cell;
-  while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (!row.empty() && row.back() == ',') cells.emplace_back();
-  return cells;
-}
-
-/// Parses one data row; nullopt (caller warns + skips) on any malformation.
-std::optional<Metrics> parse_row(const std::string& row) {
-  const std::vector<std::string> cells = split_csv(row);
-  if (cells.size() != kCacheFields) return std::nullopt;
+Metrics to_metrics(const store::ResultRow& r) {
   Metrics m;
-  m.arch = cells[0];
-  m.benchmark = cells[1];
-  if (m.arch.empty() || m.benchmark.empty()) return std::nullopt;
-  const auto ipc = parse_double(cells[2]);
-  const auto cycles = parse_u64(cells[3]);
-  const auto dynamic_w = parse_double(cells[4]);
-  const auto leakage_w = parse_double(cells[5]);
-  const auto total_w = parse_double(cells[6]);
-  const auto write_share = parse_double(cells[7]);
-  const auto miss_rate = parse_double(cells[8]);
-  if (!ipc || !cycles || !dynamic_w || !leakage_w || !total_w || !write_share || !miss_rate) {
-    return std::nullopt;
-  }
-  m.ipc = *ipc;
-  m.cycles = *cycles;
-  m.dynamic_w = *dynamic_w;
-  m.leakage_w = *leakage_w;
-  m.total_w = *total_w;
-  m.l2_write_share = *write_share;
-  m.l2_miss_rate = *miss_rate;
+  m.arch = r.arch;
+  m.benchmark = r.benchmark;
+  m.ipc = r.ipc;
+  m.cycles = r.cycles;
+  m.dynamic_w = r.dynamic_w;
+  m.leakage_w = r.leakage_w;
+  m.total_w = r.total_w;
+  m.l2_write_share = r.write_share;
+  m.l2_miss_rate = r.miss_rate;
   return m;
-}
-
-/// Extracts "key=value" from a whitespace-separated header line.
-std::optional<std::string> header_field(const std::string& header, const std::string& key) {
-  std::istringstream ss(header);
-  std::string token;
-  while (ss >> token) {
-    if (token.rfind(key + "=", 0) == 0) return token.substr(key.size() + 1);
-  }
-  return std::nullopt;
 }
 
 }  // namespace
@@ -283,87 +237,21 @@ std::uint64_t config_fingerprint(const sttl2::FaultInjectionConfig& faults) {
 std::map<std::pair<std::string, std::string>, Metrics> load_cache(
     const std::string& path, double scale, const sttl2::FaultInjectionConfig& faults) {
   std::map<std::pair<std::string, std::string>, Metrics> cache;
-  std::ifstream in(path);
-  if (!in) return cache;
-
-  std::string header;
-  std::getline(in, header);
-  if (header.rfind(kCacheMagic, 0) != 0) {
-    log_line("[cache] " + path +
-             ": not a v2 result cache (old or foreign format) — ignoring it;"
-             " the matrix will re-simulate and rewrite it");
-    return cache;
-  }
-  const auto file_scale = header_field(header, "scale");
-  const auto file_config = header_field(header, "config");
-  if (!file_scale || !file_config) {
-    log_line("[cache] " + path + ": malformed v2 header — ignoring");
-    return cache;
-  }
-  const auto parsed_scale = parse_double(*file_scale);
-  if (!parsed_scale || *parsed_scale != scale) {
-    log_line("[cache] " + path + ": written at scale=" + *file_scale +
-             ", requested scale=" + format_scale(scale) + " — ignoring stale cache");
-    return cache;
-  }
-  std::ostringstream want;
-  want << std::hex << config_fingerprint(faults);
-  if (*file_config != want.str()) {
-    log_line("[cache] " + path + ": simulator config fingerprint mismatch (cache " +
-             *file_config + ", current " + want.str() + ") — ignoring stale cache");
-    return cache;
-  }
-
-  std::string column_header;
-  std::getline(in, column_header);  // column names; ignored
-
-  // Malformed rows are skipped (they will simply re-simulate), but reported
-  // as ONE summary line — a corrupted tail would otherwise emit hundreds of
-  // per-row warnings and bury the progress log.
-  std::size_t skipped = 0;
-  constexpr std::size_t kMaxQuoted = 3;
-  std::ostringstream offenders;
-  std::string row;
-  std::size_t lineno = 2;
-  while (std::getline(in, row)) {
-    ++lineno;
-    if (row.empty()) continue;
-    const std::optional<Metrics> m = parse_row(row);
-    if (!m) {
-      ++skipped;
-      if (skipped <= kMaxQuoted) {
-        offenders << "\n  line " << lineno << ": " << row;
-      }
-      continue;
-    }
-    cache[{m->arch, m->benchmark}] = *m;
-  }
-  if (skipped > 0) {
-    std::ostringstream os;
-    os << "[cache] " << path << ": skipped " << skipped << " malformed row"
-       << (skipped == 1 ? "" : "s") << " (will re-simulate)" << offenders.str();
-    if (skipped > kMaxQuoted) os << "\n  ... and " << skipped - kMaxQuoted << " more";
-    log_line(os.str());
+  const std::vector<store::ResultRow> rows = store::read_csv_v2(
+      path, scale, config_fingerprint(faults),
+      [](const std::string& line) { log_line(line); });
+  for (const store::ResultRow& r : rows) {
+    cache[{r.arch, r.benchmark}] = to_metrics(r);
   }
   return cache;
 }
 
 void save_cache(const std::string& path, double scale, const std::vector<Metrics>& rows,
                 const sttl2::FaultInjectionConfig& faults) {
-  // Write-through callers persist after every run; atomic_write_file's
-  // fsync + rename + directory-fsync sequence means a crash (or SIGKILL) at
-  // any instant leaves either the previous cache or the complete new one.
-  atomic_write_file(path, [&](std::ostream& out) {
-    out << std::setprecision(17);
-    out << kCacheMagic << " scale=" << format_scale(scale) << " config=" << std::hex
-        << config_fingerprint(faults) << std::dec << '\n';
-    out << "arch,benchmark,ipc,cycles,dynamic_w,leakage_w,total_w,write_share,miss_rate\n";
-    for (const Metrics& m : rows) {
-      out << m.arch << ',' << m.benchmark << ',' << m.ipc << ',' << m.cycles << ','
-          << m.dynamic_w << ',' << m.leakage_w << ',' << m.total_w << ','
-          << m.l2_write_share << ',' << m.l2_miss_rate << '\n';
-    }
-  });
+  std::vector<store::ResultRow> out;
+  out.reserve(rows.size());
+  for (const Metrics& m : rows) out.push_back(to_store_row(m));
+  store::write_csv_v2(path, scale, config_fingerprint(faults), out);
 }
 
 std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
@@ -386,10 +274,47 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   const double scale = opts.scale;
   const std::string& cache_path = opts.cache_path;
   const sttl2::FaultInjectionConfig& faults = opts.faults;
+  const std::uint64_t fp = config_fingerprint(faults);
   const unsigned n_threads = opts.jobs == 0 ? default_jobs() : opts.jobs;
-  auto cache = cache_path.empty()
-                   ? std::map<std::pair<std::string, std::string>, Metrics>{}
-                   : load_cache(cache_path, scale, faults);
+
+  // Open (creating and recovering if needed) the WAL-backed store that
+  // shadows the CSV path, then fold in any rows the CSV has that the store
+  // lacks — the one-time migration for pre-store caches. On key conflicts
+  // the store wins: it is the durable source of truth, the CSV an export.
+  std::unique_ptr<store::ResultStore> db;
+  bool csv_fresh = true;  ///< CSV export already mirrors the store's rows
+  if (!cache_path.empty()) {
+    store::StoreOptions so;
+    so.log = [](const std::string& line) { log_line(line); };
+    so.cancel = opts.cancel;
+    db = std::make_unique<store::ResultStore>(store::ResultStore::derive_path(cache_path),
+                                              so);
+    const std::vector<store::ResultRow> csv_rows =
+        store::read_csv_v2(cache_path, scale, fp, so.log);
+    std::vector<store::ResultRow> migrate;
+    for (const store::ResultRow& r : csv_rows) {
+      if (!db->get(fp, scale, r.arch, r.benchmark)) migrate.push_back(r);
+    }
+    if (!migrate.empty()) {
+      db->put_many(fp, scale, migrate);
+      log_line("[store] " + db->path() + ": migrated " + std::to_string(migrate.size()) +
+               " row" + (migrate.size() == 1 ? "" : "s") + " from " + cache_path);
+    }
+    // Is the CSV already a faithful export? Compare through the canonical
+    // record encoding so float formatting can never lie. If not (truncated
+    // by hand, store ahead of CSV, value conflict), re-export after the run
+    // even when every slot comes from the store.
+    std::vector<std::string> csv_enc, store_enc;
+    for (const store::ResultRow& r : csv_rows) {
+      csv_enc.push_back(store::encode_put(fp, scale, r));
+    }
+    for (const store::ResultRow& r : db->rows_for(fp, scale)) {
+      store_enc.push_back(store::encode_put(fp, scale, r));
+    }
+    std::sort(csv_enc.begin(), csv_enc.end());
+    std::sort(store_enc.begin(), store_enc.end());
+    csv_fresh = csv_enc == store_enc;
+  }
 
   // Lay out the result slots up front: results are collected by slot index,
   // so the returned order is (arch, benchmark) regardless of completion
@@ -409,8 +334,9 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
       // interrupted slot still says which (arch, benchmark) it was.
       rows[slot].arch = spec.name;
       rows[slot].benchmark = name;
-      if (const auto it = cache.find({spec.name, name}); it != cache.end()) {
-        rows[slot] = it->second;
+      const auto hit = db ? db->get(fp, scale, spec.name, name) : std::nullopt;
+      if (hit) {
+        rows[slot] = to_metrics(*hit);
       } else {
         pending.push_back(Pending{slot, spec, name});
       }
@@ -418,20 +344,24 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
     }
   }
 
-  const auto persist = [&cache, &cache_path, scale, &faults]() {
+  const auto export_csv = [&]() {
+    // Snapshot other processes' appends first (disjoint-slice merges), then
+    // publish the CSV export: same v2 bytes and (arch, benchmark) order as
+    // the CSV-native cache always wrote.
+    db->refresh();
     std::vector<Metrics> all;
-    all.reserve(cache.size());
-    for (const auto& [k, v] : cache) all.push_back(v);
+    for (const store::ResultRow& r : db->rows_for(fp, scale)) {
+      all.push_back(to_metrics(r));
+    }
     save_cache(cache_path, scale, all, faults);
   };
 
-  if (!pending.empty() && !cache_path.empty()) {
+  if (!pending.empty() && db) {
     // Fail loudly on an unwritable cache path *before* burning simulation
     // time; this also upgrades a discarded stale/v1 file to a v2 header.
-    persist();
+    export_csv();
   }
 
-  std::mutex cache_mutex;
   std::atomic<std::size_t> completed{0};
   std::vector<Job> work;
   work.reserve(pending.size());
@@ -448,11 +378,13 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
       job_opts.cancel = ctl.cancel;
       job_opts.heartbeat = ctl.heartbeat;
       Metrics m = run_one(p.spec, w, job_opts);
-      {
-        const std::lock_guard<std::mutex> lock(cache_mutex);
-        cache[{p.spec.name, p.benchmark}] = m;
-        // Write-through: a crash in run 79 of 80 keeps the first 78.
-        if (!cache_path.empty()) persist();
+      if (db) {
+        // Durable write-through: by the time the progress line prints, the
+        // row is fsync'd in the WAL — a crash in run 79 of 80 keeps the
+        // first 78. The critical section keeps a watchdog/timeout kill from
+        // landing cooperatively between "simulated" and "persisted".
+        const CriticalSection cs(ctl);
+        db->put(fp, scale, to_store_row(m));
       }
       const std::size_t k = completed.fetch_add(1) + 1;
       std::ostringstream os;
@@ -473,13 +405,24 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
   const SupervisedResult result = run_supervised(std::move(work), n_threads, sup);
   if (opts.report != nullptr) *opts.report = result;
 
+  if (db && (!pending.empty() || !csv_fresh)) {
+    try {
+      export_csv();
+    } catch (const Cancelled&) {
+      // Interrupted while re-acquiring the store lock. Harmless: the upfront
+      // export already left a valid CSV, and every completed row is fsync'd
+      // in the WAL — a warm rerun resumes from the store, losing nothing.
+    }
+  }
+
   if (result.interrupted) {
     // Completed rows are already persisted write-through; tell the caller
     // (and the user, via the CLI) that the sweep is resumable.
+    const std::size_t done = rows.size() - pending.size() + completed.load();
     std::ostringstream os;
-    os << "matrix interrupted — " << cache.size() << " of " << rows.size()
+    os << "matrix interrupted — " << done << " of " << rows.size()
        << " rows completed";
-    if (!cache_path.empty()) {
+    if (db) {
       os << " and cached; rerun with the same cache= to resume";
     }
     throw Cancelled(CancelReason::kUser, os.str());

@@ -1,16 +1,19 @@
 // Experiment runner: builds a GPU for an architecture, runs one workload,
 // and extracts the metrics the paper's figures plot. Also provides the
-// shared Fig. 8 (arch x benchmark) matrix with a CSV result cache so the
-// three Fig. 8 bench binaries do not re-simulate the same 80 runs.
+// shared Fig. 8 (arch x benchmark) matrix with a persistent result cache so
+// the three Fig. 8 bench binaries do not re-simulate the same 80 runs.
 //
-// The result cache is format v2: the first line records the format
-// version, the workload `scale` and a fingerprint of the simulator
-// configuration (architecture registry + benchmark suite), so a cache
-// written under different conditions is discarded instead of silently
-// reused. The matrix persists write-through (atomic temp-file + rename)
-// after every completed run, so an interrupted sweep resumes where it
-// stopped. Runs fan out onto the sim::run_jobs thread pool (executor.hpp);
-// jobs=1 reproduces the old strictly sequential behaviour.
+// Persistence is two-layered. The durable source of truth is the
+// crash-safe WAL-backed result store (store/result_store.hpp) living at
+// "<cache>.store" next to the CSV: every completed run is appended and
+// fsync'd write-through, so a crash — SIGKILL included — in run 79 of 80
+// keeps the first 78, and concurrent matrix processes merge through the
+// store's file lock. The v2 CSV (header = format version + workload
+// `scale` + config fingerprint; stale on any mismatch) remains as the
+// human-diffable export, regenerated after the sweep; a pre-existing CSV
+// with rows the store lacks is migrated into the store once. Runs fan out
+// onto the sim::run_jobs thread pool (executor.hpp); jobs=1 reproduces the
+// old strictly sequential behaviour.
 #pragma once
 
 #include <atomic>
@@ -62,7 +65,9 @@ struct RunOptions {
   /// that construct their own benchmarks.
   double scale = 0.5;
 
-  /// Matrix result cache path (CSV, format v2); empty disables caching.
+  /// Matrix result cache path (CSV export, format v2); the durable
+  /// WAL-backed store lives at the derived "<cache>.store" path next to
+  /// it. Empty disables caching entirely.
   std::string cache_path{};
 
   /// Matrix worker threads: 0 = hardware concurrency, 1 = sequential.
@@ -172,11 +177,13 @@ std::uint64_t config_fingerprint();
 /// in when enabled.
 std::uint64_t config_fingerprint(const sttl2::FaultInjectionConfig& faults);
 
-/// Loads a v2 result cache. Returns an empty map — with a stderr warning —
-/// if the file is missing, is not format v2 (e.g. a pre-versioning v1
-/// file), or was written at a different scale / config fingerprint.
-/// Malformed rows (wrong field count, non-numeric cells) are skipped with
-/// a warning instead of corrupting neighbouring values.
+/// Loads a v2 result cache (CSV layer only; run_matrix reads the store).
+/// Returns an empty map — with a stderr warning — if the file is not
+/// format v2 (e.g. a pre-versioning v1 file) or was written at a different
+/// scale / config fingerprint. A missing, empty, or whitespace-only file is
+/// simply a cold cache: empty map, no warning. Malformed rows (wrong field
+/// count, non-numeric cells) are skipped with a warning instead of
+/// corrupting neighbouring values.
 std::map<std::pair<std::string, std::string>, Metrics> load_cache(
     const std::string& path, double scale, const sttl2::FaultInjectionConfig& faults = {});
 

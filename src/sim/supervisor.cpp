@@ -119,6 +119,7 @@ bool backoff_sleep(const SupervisorOptions& opts, const std::string& label,
 struct Slot {
   CancelToken token;                          ///< job-private (merged) token
   std::atomic<std::uint64_t> heartbeat{0};    ///< written by the job
+  std::atomic<std::uint32_t> critical{0};     ///< open CriticalSection depth
   std::atomic<std::int64_t> attempt_start_ms{-1};  ///< -1: not running
   // Monitor-private bookkeeping (only the monitor thread touches these).
   std::uint64_t last_seen_beat = 0;
@@ -156,7 +157,7 @@ SupervisedResult run_supervised(std::vector<Job> jobs, unsigned n_threads,
       slot.heartbeat.store(0, std::memory_order_relaxed);
       slot.attempt_start_ms.store(now_ms(), std::memory_order_release);
       try {
-        const JobControl ctl{&slot.token, &slot.heartbeat};
+        const JobControl ctl{&slot.token, &slot.heartbeat, &slot.critical};
         if (job.supervised) {
           job.supervised(ctl);
         } else {
@@ -238,10 +239,14 @@ SupervisedResult run_supervised(std::vector<Job> jobs, unsigned n_threads,
           // Progress is anchored at the attempt start until the first beat
           // change, so a fresh attempt gets the full budget.
           const std::int64_t anchor = std::max(s.last_progress_ms, start);
-          if (watchdog_ms > 0 && t - anchor > watchdog_ms) {
+          // An open CriticalSection (durable store append in flight) defers
+          // watchdog/timeout kills: re-checked on the next tick, the kill
+          // lands right after the section closes instead of tearing it.
+          const bool in_critical = s.critical.load(std::memory_order_acquire) != 0;
+          if (watchdog_ms > 0 && t - anchor > watchdog_ms && !in_critical) {
             s.token.request(CancelReason::kWatchdog);
           }
-          if (timeout_ms > 0 && t - start > timeout_ms) {
+          if (timeout_ms > 0 && t - start > timeout_ms && !in_critical) {
             s.token.request(CancelReason::kTimeout);
           }
         }

@@ -1,0 +1,43 @@
+// CRC32 (IEEE 802.3: reflected polynomial 0xEDB88320, init and final-xor
+// 0xFFFFFFFF) — the per-record checksum of the result-store write-ahead
+// log. Table-driven with a constexpr-generated table so the store has no
+// runtime initialization order to worry about and no dependencies.
+//
+// The classic check vector holds: crc32("123456789") == 0xCBF43926.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sttgpu::store {
+
+namespace detail {
+
+struct Crc32Table {
+  std::uint32_t v[256]{};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      v[i] = c;
+    }
+  }
+};
+
+inline constexpr Crc32Table kCrc32Table{};
+
+}  // namespace detail
+
+/// CRC32 of @p bytes. Chain blocks by passing the previous result as
+/// @p seed (crc32(ab) == crc32(b, crc32(a))).
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = detail::kCrc32Table.v[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sttgpu::store

@@ -1,0 +1,67 @@
+#include "store/file_lock.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace sttgpu::store {
+
+namespace {
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string lock_path_for(const std::string& store_path) { return store_path + ".lock"; }
+
+int open_lock_file(const std::string& store_path) {
+  const std::string path = lock_path_for(store_path);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  STTGPU_REQUIRE(fd >= 0, "store: cannot open lock file " + path + " (" +
+                              std::strerror(errno) + ")");
+  return fd;
+}
+
+FileLock::FileLock(int fd, Mode mode, const Options& opts, const std::string& what) {
+  const int op = (mode == Mode::kExclusive ? LOCK_EX : LOCK_SH) | LOCK_NB;
+  const std::int64_t deadline =
+      opts.timeout_s > 0.0 ? now_ms() + static_cast<std::int64_t>(opts.timeout_s * 1000.0)
+                           : now_ms();
+  for (;;) {
+    if (::flock(fd, op) == 0) {
+      fd_ = fd;
+      return;
+    }
+    const int err = errno;
+    if (err == EINTR) continue;
+    STTGPU_REQUIRE(err == EWOULDBLOCK,
+                   "store: flock failed on " + what + " (" + std::strerror(err) + ")");
+    if (opts.cancel != nullptr && opts.cancel->requested()) {
+      const CancelReason r = opts.cancel->reason();
+      throw Cancelled(r, "store: cancelled (" + std::string(cancel_reason_name(r)) +
+                             ") while waiting for the lock on " + what);
+    }
+    STTGPU_REQUIRE(now_ms() < deadline,
+                   "store: timed out waiting for the lock on " + what +
+                       " — another process holds it (or its lock file is stuck); "
+                       "retry, or remove " + what + " if the holder is gone");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::flock(fd_, LOCK_UN);
+}
+
+}  // namespace sttgpu::store

@@ -1,0 +1,54 @@
+// Advisory multi-process coordination for the result store.
+//
+// FileLock is an RAII flock(2) on a dedicated "<store>.lock" sidecar file
+// (never on the log itself — compaction renames the log, and a lock that
+// moved with the old inode would silently stop excluding anybody).
+//
+// Acquisition polls LOCK_NB instead of blocking in the kernel, for two
+// reasons the supervisor cares about:
+//   * a CancelToken (user SIGINT, watchdog) is observed between polls, so a
+//     job waiting on a wedged lock can still be cancelled cooperatively;
+//   * a timeout bounds the wait, so one crashed-while-locked process (flock
+//     releases on process death, but an NFS-ish stuck lock might not) turns
+//     into a diagnosable SimError instead of a silent hang.
+//
+// flock serializes between *processes* (and between distinct fds), not
+// between threads sharing one fd — in-process serialization is the
+// ResultStore's own mutex.
+#pragma once
+
+#include <string>
+
+#include "common/cancel.hpp"
+
+namespace sttgpu::store {
+
+class FileLock {
+ public:
+  enum class Mode { kShared, kExclusive };
+
+  struct Options {
+    const CancelToken* cancel = nullptr;  ///< observed while waiting (may be null)
+    double timeout_s = 30.0;              ///< 0 = try once, fail immediately if held
+  };
+
+  /// Acquires @p mode on @p fd. Throws Cancelled if @p opts.cancel fires
+  /// while waiting, SimError (naming @p what) on timeout or flock failure.
+  FileLock(int fd, Mode mode, const Options& opts, const std::string& what);
+  ~FileLock();
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens (creating if needed) the lock sidecar for @p store_path and
+/// returns its fd (O_CLOEXEC). Throws SimError on failure.
+int open_lock_file(const std::string& store_path);
+
+/// The lock sidecar path: "<store_path>.lock".
+std::string lock_path_for(const std::string& store_path);
+
+}  // namespace sttgpu::store

@@ -1,0 +1,126 @@
+#include "store/record.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sttgpu::store {
+
+std::string scale_text(double scale) {
+  std::ostringstream os;
+  os << std::setprecision(17) << scale;
+  return os.str();
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  std::ostringstream os;
+  os << std::hex << fingerprint;
+  return os.str();
+}
+
+std::string store_key(std::uint64_t fingerprint, const std::string& scale17,
+                      const std::string& arch, const std::string& benchmark) {
+  return fingerprint_hex(fingerprint) + ' ' + scale17 + ' ' + arch + ' ' + benchmark;
+}
+
+void validate_key_token(const char* what, const std::string& value) {
+  STTGPU_REQUIRE(!value.empty(), std::string("store: ") + what + " must not be empty");
+  for (const char c : value) {
+    const auto u = static_cast<unsigned char>(c);
+    STTGPU_REQUIRE(!std::isspace(u) && u >= 0x20,
+                   std::string("store: ") + what + " '" + value +
+                       "' contains whitespace or control characters");
+  }
+}
+
+bool is_meta(std::string_view payload) {
+  return payload.rfind(kMetaPrefix, 0) == 0;
+}
+
+bool meta_supported(std::string_view payload) { return payload == kMetaPayload; }
+
+std::string encode_put(std::uint64_t fingerprint, double scale, const ResultRow& row) {
+  return encode_put(fingerprint, scale_text(scale), row);
+}
+
+std::string encode_put(std::uint64_t fingerprint, const std::string& scale17,
+                       const ResultRow& row) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "put " << fingerprint_hex(fingerprint) << ' ' << scale17 << ' ' << row.arch
+     << ' ' << row.benchmark << ' ' << row.ipc << ' ' << row.cycles << ' '
+     << row.dynamic_w << ' ' << row.leakage_w << ' ' << row.total_w << ' '
+     << row.write_share << ' ' << row.miss_rate;
+  return os.str();
+}
+
+namespace {
+
+std::optional<double> parse_double_tok(const std::string& tok) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64_tok(const std::string& tok, int base = 10) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(tok, &pos, base);
+    if (pos != tok.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<PutRecord> decode_put(std::string_view payload) {
+  std::istringstream ss{std::string(payload)};
+  std::string tag;
+  ss >> tag;
+  if (tag != "put") return std::nullopt;
+  std::string fp_hex, scale17, arch, bench;
+  std::string ipc, cycles, dyn, leak, total, ws, mr;
+  ss >> fp_hex >> scale17 >> arch >> bench >> ipc >> cycles >> dyn >> leak >> total >>
+      ws >> mr;
+  if (!ss) return std::nullopt;
+  std::string extra;
+  if (ss >> extra) return std::nullopt;  // trailing junk
+
+  const auto fp = parse_u64_tok(fp_hex, 16);
+  const auto scale = parse_double_tok(scale17);
+  const auto v_ipc = parse_double_tok(ipc);
+  const auto v_cycles = parse_u64_tok(cycles);
+  const auto v_dyn = parse_double_tok(dyn);
+  const auto v_leak = parse_double_tok(leak);
+  const auto v_total = parse_double_tok(total);
+  const auto v_ws = parse_double_tok(ws);
+  const auto v_mr = parse_double_tok(mr);
+  if (!fp || !scale || !v_ipc || !v_cycles || !v_dyn || !v_leak || !v_total || !v_ws ||
+      !v_mr) {
+    return std::nullopt;
+  }
+  PutRecord r;
+  r.fingerprint = *fp;
+  r.scale17 = scale17;
+  r.row.arch = arch;
+  r.row.benchmark = bench;
+  r.row.ipc = *v_ipc;
+  r.row.cycles = *v_cycles;
+  r.row.dynamic_w = *v_dyn;
+  r.row.leakage_w = *v_leak;
+  r.row.total_w = *v_total;
+  r.row.write_share = *v_ws;
+  r.row.miss_rate = *v_mr;
+  return r;
+}
+
+}  // namespace sttgpu::store

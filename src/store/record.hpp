@@ -1,0 +1,84 @@
+// Result-store records: the persisted schema of one simulation result and
+// its key, plus the text encoding that goes inside a WAL frame.
+//
+// A store row is keyed by (config fingerprint, workload scale, config-label
+// a.k.a. architecture, kernel a.k.a. benchmark) — unlike the v2 CSV export,
+// which pins one (scale, fingerprint) pair per file, a single store holds
+// results for any number of configurations side by side, so design-space
+// sweeps across competing architectures dedupe against one log.
+//
+// Payloads are single text lines ("put <fp> <scale> <arch> <bench> <nums>")
+// rather than packed binary: they are human-inspectable with `strings`, the
+// framing layer (wal.hpp) already provides length + CRC32 integrity, and
+// numbers are written with max_digits10 precision so a decode -> encode
+// round trip is byte-exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sttgpu::store {
+
+/// One persisted simulation result. Mirrors sim::Metrics deliberately *by
+/// value, not by type*: this is the on-disk schema, owned by the store
+/// module so the simulator can evolve its in-memory Metrics independently.
+struct ResultRow {
+  std::string arch;       ///< config-label (architecture name, e.g. "C1")
+  std::string benchmark;  ///< kernel/workload name (e.g. "bfs")
+  double ipc = 0.0;
+  std::uint64_t cycles = 0;
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double total_w = 0.0;
+  double write_share = 0.0;
+  double miss_rate = 0.0;
+};
+
+/// Canonical 17-significant-digit text form of a scale (or any double):
+/// the key uses the text form so exact-equality questions never touch
+/// floating-point comparison, and 17 digits round-trip doubles uniquely.
+std::string scale_text(double scale);
+
+/// Lower-case hex fingerprint, exactly as the v2 CSV header spells it.
+std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// The in-memory index key: "<fp_hex> <scale17> <arch> <benchmark>".
+std::string store_key(std::uint64_t fingerprint, const std::string& scale17,
+                      const std::string& arch, const std::string& benchmark);
+
+/// Throws SimError if @p value cannot be a key token (empty, or contains
+/// whitespace / control characters that would corrupt the text payload).
+void validate_key_token(const char* what, const std::string& value);
+
+// --- payload encode/decode -------------------------------------------------
+
+/// The store format marker written as the first record of every log.
+/// Version bumps are a hard stop on open: a store written by a newer format
+/// must not be silently misread.
+inline constexpr std::string_view kMetaPayload = "meta sttgpu-store v1";
+inline constexpr std::string_view kMetaPrefix = "meta ";
+
+bool is_meta(std::string_view payload);
+bool meta_supported(std::string_view payload);
+
+/// Encodes one result as a "put" payload line.
+std::string encode_put(std::uint64_t fingerprint, double scale, const ResultRow& row);
+
+/// Same, with the scale already in canonical text form (compaction re-emits
+/// records without ever round-tripping the scale through a double).
+std::string encode_put(std::uint64_t fingerprint, const std::string& scale17,
+                       const ResultRow& row);
+
+struct PutRecord {
+  std::uint64_t fingerprint = 0;
+  std::string scale17;  ///< scale in canonical text form, as stored
+  ResultRow row;
+};
+
+/// Strict decode of a "put" payload; nullopt on any malformation (wrong
+/// field count, unparseable number). The caller quarantines such records.
+std::optional<PutRecord> decode_put(std::string_view payload);
+
+}  // namespace sttgpu::store

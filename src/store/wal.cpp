@@ -1,0 +1,194 @@
+#include "store/wal.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "store/crc32.hpp"
+
+namespace sttgpu::store {
+
+namespace {
+
+std::uint32_t read_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) | (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+void append_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+enum class FrameCheck { kValid, kTorn, kBad };
+
+/// Classifies the bytes at @p pos: a complete verified frame (kValid,
+/// @p frame_len set), a valid frame prefix hitting end-of-buffer (kTorn —
+/// exactly what a crashed append leaves), or neither (kBad).
+FrameCheck check_frame(std::string_view buf, std::size_t pos, std::size_t* frame_len) {
+  const std::size_t rem = buf.size() - pos;
+  static const char kMagicBytes[4] = {'S', 'T', 'R', '1'};
+  if (rem < kWalHeaderBytes) {
+    // Too short to even hold a header: a torn append's prefix matches the
+    // magic byte-for-byte as far as it goes; anything else is corruption.
+    const std::size_t check = rem < 4 ? rem : 4;
+    return std::memcmp(buf.data() + pos, kMagicBytes, check) == 0 ? FrameCheck::kTorn
+                                                                  : FrameCheck::kBad;
+  }
+  if (read_u32le(buf.data() + pos) != kWalMagic) return FrameCheck::kBad;
+  const std::uint32_t len = read_u32le(buf.data() + pos + 4);
+  if (len == 0 || len > kWalMaxPayload) return FrameCheck::kBad;
+  if (rem < kWalHeaderBytes + len) return FrameCheck::kTorn;
+  const std::uint32_t want = read_u32le(buf.data() + pos + 8);
+  if (crc32(buf.substr(pos + kWalHeaderBytes, len)) != want) return FrameCheck::kBad;
+  *frame_len = kWalHeaderBytes + len;
+  return FrameCheck::kValid;
+}
+
+}  // namespace
+
+WalScanReport scan_wal_buffer(
+    std::string_view buf, std::uint64_t base_offset,
+    const std::function<void(std::uint64_t, std::string_view)>& on_record,
+    const std::function<void(std::uint64_t, std::string_view)>& on_corrupt) {
+  WalScanReport report;
+  report.scanned_end = base_offset;
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    std::size_t frame_len = 0;
+    const FrameCheck fc = check_frame(buf, pos, &frame_len);
+    if (fc == FrameCheck::kValid) {
+      if (on_record) {
+        on_record(base_offset + pos,
+                  buf.substr(pos + kWalHeaderBytes, frame_len - kWalHeaderBytes));
+      }
+      ++report.records;
+      pos += frame_len;
+      report.scanned_end = base_offset + pos;
+      continue;
+    }
+    if (fc == FrameCheck::kTorn) {
+      report.torn_tail = true;
+      report.torn_bytes = buf.size() - pos;
+      break;
+    }
+    // Corruption. Resync: the next offset where a verifiable frame (or a
+    // valid torn prefix) begins; everything in between is one quarantinable
+    // range. Requiring the candidate's CRC to verify makes a stray magic
+    // inside corrupt bytes vanishingly unlikely to fool the scanner.
+    std::size_t resync = pos + 1;
+    for (; resync < buf.size(); ++resync) {
+      if (buf.size() - resync >= 4 && read_u32le(buf.data() + resync) == kWalMagic) {
+        std::size_t cand_len = 0;
+        const FrameCheck cand = check_frame(buf, resync, &cand_len);
+        if (cand != FrameCheck::kBad) break;
+      }
+    }
+    if (on_corrupt) on_corrupt(base_offset + pos, buf.substr(pos, resync - pos));
+    ++report.corrupt_ranges;
+    report.corrupt_bytes += resync - pos;
+    pos = resync;
+  }
+  return report;
+}
+
+std::string frame_record(std::string_view payload) {
+  STTGPU_REQUIRE(!payload.empty() && payload.size() <= kWalMaxPayload,
+                 "store: record payload size out of range");
+  std::string frame;
+  frame.reserve(kWalHeaderBytes + payload.size());
+  append_u32le(frame, kWalMagic);
+  append_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  append_u32le(frame, crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+// --- crash injection -------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_crash_enabled{false};
+std::atomic<long long> g_crash_remaining{0};
+std::once_flag g_crash_env_once;
+
+void crash_init_from_env() {
+  std::call_once(g_crash_env_once, []() {
+    const char* env = std::getenv("STTGPU_STORE_CRASH_AT");
+    if (env == nullptr || env[0] == '\0') return;
+    const long long v = std::strtoll(env, nullptr, 10);
+    if (v >= 0) {
+      g_crash_remaining.store(v, std::memory_order_relaxed);
+      g_crash_enabled.store(true, std::memory_order_relaxed);
+    }
+  });
+}
+
+[[noreturn]] void crash_now() {
+  // Simulated power cut: no flush, no cleanup, no exit handlers. Bytes
+  // already write(2)ten sit in the page cache exactly as a real torn write
+  // would; everything after this instant is lost.
+  ::raise(SIGKILL);
+  ::_exit(137);  // unreachable unless SIGKILL is somehow not deliverable
+}
+
+void write_all(int fd, const char* data, std::size_t n, const std::string& path) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw SimError("store: append to " + path + " failed (" + std::strerror(errno) +
+                     ")");
+    }
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+void testing_set_crash_at(long long bytes) {
+  crash_init_from_env();  // consume the env seed so it cannot override us later
+  if (bytes < 0) {
+    g_crash_enabled.store(false, std::memory_order_relaxed);
+    return;
+  }
+  g_crash_remaining.store(bytes, std::memory_order_relaxed);
+  g_crash_enabled.store(true, std::memory_order_relaxed);
+}
+
+void wal_append(int fd, std::string_view bytes, const std::string& path, bool sync) {
+  crash_init_from_env();
+  std::size_t n = bytes.size();
+  bool kill_after_write = false;
+  if (g_crash_enabled.load(std::memory_order_relaxed)) {
+    const long long before =
+        g_crash_remaining.fetch_sub(static_cast<long long>(bytes.size()),
+                                    std::memory_order_relaxed);
+    if (before < static_cast<long long>(bytes.size())) {
+      n = before > 0 ? static_cast<std::size_t>(before) : 0;
+      kill_after_write = true;
+    }
+  }
+  write_all(fd, bytes.data(), n, path);
+  if (kill_after_write) crash_now();
+  if (sync) {
+    if (::fsync(fd) != 0) {
+      throw SimError("store: fsync of " + path + " failed (" + std::strerror(errno) +
+                     ")");
+    }
+  }
+}
+
+}  // namespace sttgpu::store

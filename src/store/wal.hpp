@@ -1,0 +1,77 @@
+// Write-ahead log framing for the result store.
+//
+// The log is a flat sequence of frames:
+//
+//     [u32 magic "STR1"] [u32 payload_len] [u32 crc32(payload)] [payload]
+//
+// all little-endian, 12-byte header. Appends are single write(2) calls
+// followed by fsync, performed under the store's exclusive flock — so a
+// reader holding the shared lock can only ever observe whole frames, and a
+// crash (power cut, SIGKILL) can only ever leave a *prefix* of a frame at
+// the tail.
+//
+// scan_wal_buffer() classifies everything it walks over:
+//   * complete frames with a matching CRC    -> on_record
+//   * a valid frame prefix at end-of-buffer  -> torn tail (truncate on
+//     repair: exactly the crashed-mid-append case)
+//   * anything else (bad magic, absurd length, CRC mismatch) -> on_corrupt
+//     with the exact byte range, after which the scanner resyncs by
+//     searching for the next offset that starts a verifiable frame —
+//     bit rot in record 3 never takes records 4..N down with it.
+//
+// Crash injection: wal_append() honours a byte budget (STTGPU_STORE_CRASH_AT
+// or testing_set_crash_at()) and SIGKILLs the process mid-write when the
+// budget is crossed — the hook the crash-injection harness and CI smoke use
+// to prove recovery at arbitrary torn offsets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sttgpu::store {
+
+inline constexpr std::uint32_t kWalMagic = 0x31525453u;  // "STR1" in LE byte order
+inline constexpr std::size_t kWalHeaderBytes = 12;
+/// Sanity cap on payload_len: a corrupt length field must not make the
+/// scanner swallow the rest of the log as one "record".
+inline constexpr std::uint32_t kWalMaxPayload = 1u << 20;
+
+struct WalScanReport {
+  std::uint64_t scanned_end = 0;   ///< offset just past the last complete frame
+  std::size_t records = 0;         ///< complete, CRC-verified frames seen
+  std::size_t corrupt_ranges = 0;  ///< distinct quarantinable byte ranges
+  std::uint64_t corrupt_bytes = 0;
+  bool torn_tail = false;  ///< valid frame prefix at end of buffer
+  std::uint64_t torn_bytes = 0;
+
+  bool clean() const { return corrupt_ranges == 0 && !torn_tail; }
+};
+
+/// Walks @p buf (the log's bytes starting at file offset @p base_offset).
+/// Offsets reported to the callbacks and in the report are file offsets.
+/// @p on_corrupt may be null (ranges are still counted).
+WalScanReport scan_wal_buffer(
+    std::string_view buf, std::uint64_t base_offset,
+    const std::function<void(std::uint64_t, std::string_view)>& on_record,
+    const std::function<void(std::uint64_t, std::string_view)>& on_corrupt = nullptr);
+
+/// Frames @p payload for appending. Throws SimError if the payload is empty
+/// or exceeds kWalMaxPayload.
+std::string frame_record(std::string_view payload);
+
+/// Appends @p bytes (one or more complete frames) to @p fd with write(2),
+/// then fsyncs when @p sync. Throws SimError (with errno context, naming
+/// @p path) on failure. Honours the crash-injection budget.
+void wal_append(int fd, std::string_view bytes, const std::string& path,
+                bool sync = true);
+
+/// Test hook: SIGKILL the process once @p bytes total have been handed to
+/// wal_append() across the whole process (a crossing append is written
+/// partially first, simulating a torn write). Negative disables. The
+/// STTGPU_STORE_CRASH_AT environment variable seeds the same budget for
+/// child processes / the CLI.
+void testing_set_crash_at(long long bytes);
+
+}  // namespace sttgpu::store

@@ -10,11 +10,23 @@
 
 #include "common/error.hpp"
 #include "sim/probe.hpp"
+#include "store/result_store.hpp"
 
 namespace sttgpu::sim {
 namespace {
 
 constexpr double kTinyScale = 0.04;
+
+// Removes a test cache CSV together with its store sidecars; stale sidecars
+// from a previous run would otherwise let the matrix resume from the store
+// and invalidate cold-cache assumptions.
+void remove_cache_files(const std::string& csv_path) {
+  std::remove(csv_path.c_str());
+  const std::string store = store::ResultStore::derive_path(csv_path);
+  std::remove(store.c_str());
+  std::remove((store + ".lock").c_str());
+  std::remove(store::ResultStore::quarantine_path_for(store).c_str());
+}
 
 Metrics sample_metrics() {
   Metrics m;
@@ -72,14 +84,14 @@ TEST(Runner, DeterministicAcrossCalls) {
 
 TEST(Runner, CacheRoundTrip) {
   const std::string path = "test_runner_cache.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   Metrics m = sample_metrics();
   m.ipc = 1.0 / 3.0;  // needs all 17 digits to round-trip exactly
   save_cache(path, 0.5, {m});
   const auto cache = load_cache(path, 0.5);
   ASSERT_EQ(cache.size(), 1u);
   expect_identical(cache.at({"C1", "bfs"}), m);
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, LoadCacheMissingFileIsEmpty) {
@@ -88,17 +100,17 @@ TEST(Runner, LoadCacheMissingFileIsEmpty) {
 
 TEST(Runner, CacheScaleMismatchIsDiscarded) {
   const std::string path = "test_runner_cache_scale.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   save_cache(path, 0.5, {sample_metrics()});
   EXPECT_EQ(load_cache(path, 0.5).size(), 1u);
   EXPECT_TRUE(load_cache(path, 1.0).empty());
   EXPECT_TRUE(load_cache(path, 0.25).empty());
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, CacheConfigFingerprintMismatchIsDiscarded) {
   const std::string path = "test_runner_cache_fp.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   save_cache(path, 0.5, {sample_metrics()});
   // Tamper with the recorded fingerprint: the whole file must be ignored.
   std::string text = slurp(path);
@@ -107,7 +119,7 @@ TEST(Runner, CacheConfigFingerprintMismatchIsDiscarded) {
   text[pos + 7] = text[pos + 7] == '0' ? '1' : '0';
   std::ofstream(path, std::ios::trunc) << text;
   EXPECT_TRUE(load_cache(path, 0.5).empty());
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, CacheV1FormatIsDiscardedNotMisparsed) {
@@ -118,12 +130,12 @@ TEST(Runner, CacheV1FormatIsDiscardedNotMisparsed) {
         << "C1,bfs,1.25,123456,0.5,0.1,0.6,0.4,0.2\n";
   }
   EXPECT_TRUE(load_cache(path, 0.5).empty());
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, CacheMalformedRowsAreSkippedNotCorrupted) {
   const std::string path = "test_runner_cache_bad.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   save_cache(path, 0.5, {sample_metrics()});
   {
     // Append a truncated row (the old parser would have reused the previous
@@ -136,7 +148,7 @@ TEST(Runner, CacheMalformedRowsAreSkippedNotCorrupted) {
   const auto cache = load_cache(path, 0.5);
   ASSERT_EQ(cache.size(), 1u);  // only the well-formed row survives
   expect_identical(cache.at({"C1", "bfs"}), sample_metrics());
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, SaveCacheUnwritablePathThrows) {
@@ -155,7 +167,7 @@ TEST(Runner, MatrixParallelIsByteIdenticalToSequential) {
 
 TEST(Runner, MatrixPersistsWriteThroughAndResumes) {
   const std::string path = "test_runner_matrix_resume.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   const std::vector<Architecture> archs{Architecture::kSramBaseline};
   const std::vector<std::string> benchmarks{"bfs", "kmeans"};
   const auto fresh = run_matrix(archs, benchmarks, {.scale = kTinyScale, .cache_path = path, .jobs = 1});
@@ -174,12 +186,12 @@ TEST(Runner, MatrixPersistsWriteThroughAndResumes) {
   ASSERT_EQ(resumed.size(), fresh.size());
   for (std::size_t i = 0; i < fresh.size(); ++i) expect_identical(fresh[i], resumed[i]);
   EXPECT_EQ(load_cache(path, kTinyScale).size(), 2u);
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, MatrixUsesCachedRowsVerbatim) {
   const std::string path = "test_runner_matrix_cached.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   Metrics planted = sample_metrics();
   planted.arch = "sram";
   planted.benchmark = "bfs";
@@ -189,7 +201,7 @@ TEST(Runner, MatrixUsesCachedRowsVerbatim) {
                                {.scale = kTinyScale, .cache_path = path, .jobs = 1});
   ASSERT_EQ(rows.size(), 1u);
   expect_identical(rows[0], planted);
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(Runner, ConfigFingerprintIsStable) {

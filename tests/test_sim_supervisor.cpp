@@ -12,9 +12,21 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "sim/runner.hpp"
+#include "store/result_store.hpp"
 
 namespace sttgpu::sim {
 namespace {
+
+// Removes a test cache CSV together with its store sidecars; a stale store
+// from a previous run would satisfy the whole matrix and defeat the
+// interrupt-and-resume scenario below.
+void remove_cache_files(const std::string& csv_path) {
+  std::remove(csv_path.c_str());
+  const std::string store = store::ResultStore::derive_path(csv_path);
+  std::remove(store.c_str());
+  std::remove((store + ".lock").c_str());
+  std::remove(store::ResultStore::quarantine_path_for(store).c_str());
+}
 
 // Every wall-clock budget in this file is chosen so the slow side (a
 // livelocked loop) trips it within a few monitor polls while the fast side
@@ -342,9 +354,58 @@ TEST(SupervisedRun, SupervisionDoesNotChangeResults) {
   EXPECT_DOUBLE_EQ(a.leakage_w, b.leakage_w);
 }
 
+TEST(Supervisor, CriticalSectionDefersWatchdogKill) {
+  // While a job holds a CriticalSection (e.g. a durable store append), the
+  // watchdog must hold its fire even with a stone-dead heartbeat; the kill
+  // lands once the section closes.
+  std::atomic<bool> cancelled_during_critical{false};
+  std::vector<Job> jobs;
+  jobs.push_back(supervised_job("persisting", [&](const JobControl& ctl) {
+    {
+      const CriticalSection cs(ctl);
+      const auto start = std::chrono::steady_clock::now();
+      while (std::chrono::steady_clock::now() - start <
+             std::chrono::duration<double>(3 * kShortBudget)) {
+        if (ctl.cancelled()) cancelled_during_critical = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    livelock(ctl);  // section closed: the deferred watchdog may now land
+  }));
+  SupervisorOptions opts;
+  opts.watchdog_s = kShortBudget;
+  const SupervisedResult r = run_supervised(std::move(jobs), 1, opts);
+  EXPECT_FALSE(cancelled_during_critical.load());
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].status, JobStatus::kWatchdog);
+}
+
+TEST(Supervisor, CriticalSectionDoesNotDeferUserCancellation) {
+  // User interrupts stay prompt: only watchdog/timeout kills are deferred.
+  CancelToken cancel;
+  std::atomic<bool> entered{false};
+  std::vector<Job> jobs;
+  jobs.push_back(supervised_job("interruptible", [&entered](const JobControl& ctl) {
+    const CriticalSection cs(ctl);
+    entered = true;
+    livelock(ctl);
+  }));
+  SupervisorOptions opts;
+  opts.external = &cancel;
+  std::thread killer([&cancel, &entered]() {
+    while (!entered.load()) std::this_thread::yield();
+    cancel.request(CancelReason::kUser);
+  });
+  const SupervisedResult r = run_supervised(std::move(jobs), 1, opts);
+  killer.join();
+  EXPECT_TRUE(r.interrupted);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].status, JobStatus::kCancelled);
+}
+
 TEST(SupervisedRun, MatrixInterruptReportsResumableState) {
   const std::string path = "test_supervisor_matrix_cache.csv";
-  std::remove(path.c_str());
+  remove_cache_files(path);
   CancelToken cancel;
   cancel.request(CancelReason::kUser);
   RunOptions opts;
@@ -373,7 +434,7 @@ TEST(SupervisedRun, MatrixInterruptReportsResumableState) {
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_GT(rows[0].cycles, 0u);
   EXPECT_GT(rows[1].cycles, 0u);
-  std::remove(path.c_str());
+  remove_cache_files(path);
 }
 
 TEST(SupervisedRun, MatrixKeepGoingStillCompletes) {

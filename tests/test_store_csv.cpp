@@ -1,0 +1,155 @@
+#include "store/csv_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/error.hpp"
+
+namespace sttgpu::store {
+namespace {
+
+constexpr std::uint64_t kFp = 0xd180d94558f98587ull;
+
+ResultRow sample_row() {
+  ResultRow r;
+  r.arch = "C1";
+  r.benchmark = "bfs";
+  r.ipc = 1.0 / 3.0;
+  r.cycles = 123456;
+  r.dynamic_w = 0.5;
+  r.leakage_w = 0.1;
+  r.total_w = 0.6;
+  r.write_share = 0.4;
+  r.miss_rate = 0.2;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct LogCapture {
+  std::vector<std::string> lines;
+  LogFn fn() {
+    return [this](const std::string& l) { lines.push_back(l); };
+  }
+};
+
+TEST(StoreCsv, WriteReadRoundTripIsBitExact) {
+  const std::string path = "test_store_csv_roundtrip.csv";
+  std::remove(path.c_str());
+  write_csv_v2(path, 0.5, kFp, {sample_row()});
+  const std::string first = slurp(path);
+  LogCapture log;
+  const std::vector<ResultRow> rows = read_csv_v2(path, 0.5, kFp, log.fn());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].ipc, sample_row().ipc);
+  EXPECT_EQ(rows[0].cycles, sample_row().cycles);
+  EXPECT_TRUE(log.lines.empty());
+  // Re-exporting the loaded rows regenerates the byte-identical file — the
+  // property the checked-in fig8_cache.csv depends on.
+  write_csv_v2(path, 0.5, kFp, rows);
+  EXPECT_EQ(slurp(path), first);
+  std::remove(path.c_str());
+}
+
+TEST(StoreCsv, EmptyOrWhitespaceFileIsAColdCacheWithoutWarnings) {
+  const std::string path = "test_store_csv_empty.csv";
+  for (const std::string content : {std::string(), std::string("\n \t\n  \n")}) {
+    std::ofstream(path, std::ios::trunc) << content;
+    LogCapture log;
+    EXPECT_TRUE(read_csv_v2(path, 0.5, kFp, log.fn()).empty());
+    EXPECT_TRUE(log.lines.empty()) << log.lines.front();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreCsv, MissingFileIsAColdCacheWithoutWarnings) {
+  LogCapture log;
+  EXPECT_TRUE(read_csv_v2("no_such_csv_xyz.csv", 0.5, kFp, log.fn()).empty());
+  EXPECT_TRUE(log.lines.empty());
+}
+
+TEST(StoreCsv, ScaleOrFingerprintMismatchDiscardsWithOneWarning) {
+  const std::string path = "test_store_csv_mismatch.csv";
+  std::remove(path.c_str());
+  write_csv_v2(path, 0.5, kFp, {sample_row()});
+  {
+    LogCapture log;
+    EXPECT_TRUE(read_csv_v2(path, 1.0, kFp, log.fn()).empty());
+    EXPECT_EQ(log.lines.size(), 1u);
+  }
+  {
+    LogCapture log;
+    EXPECT_TRUE(read_csv_v2(path, 0.5, kFp + 1, log.fn()).empty());
+    EXPECT_EQ(log.lines.size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreCsv, MalformedRowsAreSkippedAndSummarized) {
+  const std::string path = "test_store_csv_badrows.csv";
+  std::remove(path.c_str());
+  write_csv_v2(path, 0.5, kFp, {sample_row()});
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "C2,bfs,2.5,99\n"                  // short row
+        << "C3,bfs,nan?,1,2,3,4,5,6\n";       // non-numeric cell
+  }
+  LogCapture log;
+  const std::vector<ResultRow> rows = read_csv_v2(path, 0.5, kFp, log.fn());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].arch, "C1");
+  EXPECT_FALSE(log.lines.empty());
+  std::remove(path.c_str());
+}
+
+// --- atomic_write_file failure semantics ------------------------------------
+
+TEST(AtomicFile, UnwritableDirectoryThrowsWithErrnoContext) {
+  try {
+    atomic_write_file("no_such_dir_xyz/file.txt", [](std::ostream& os) { os << "x"; });
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string what = e.what();
+    // The message must carry the OS-level cause, not just "cannot write".
+    EXPECT_NE(what.find('('), std::string::npos) << what;
+    EXPECT_NE(what.find(')'), std::string::npos) << what;
+    EXPECT_NE(what.find("no_such_dir_xyz"), std::string::npos) << what;
+  }
+}
+
+TEST(AtomicFile, FailedReplaceUnlinksTheTempFile) {
+  // Renaming a file over a non-empty directory fails after the temp file
+  // was fully written — exactly the path that used to leak "<path>.tmp".
+  const std::string dir = "test_atomic_target_dir";
+  ::mkdir(dir.c_str(), 0755);
+  std::ofstream(dir + "/occupant") << "x";
+  EXPECT_THROW(atomic_write_file(dir, [](std::ostream& os) { os << "payload"; }),
+               SimError);
+  EXPECT_FALSE(std::ifstream(dir + ".tmp").good()) << "temp file leaked";
+  std::remove((dir + "/occupant").c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(AtomicFile, SuccessfulWriteLeavesNoTempBehind) {
+  const std::string path = "test_atomic_ok.txt";
+  atomic_write_file(path, [](std::ostream& os) { os << "hello"; });
+  EXPECT_EQ(slurp(path), "hello");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sttgpu::store

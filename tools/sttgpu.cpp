@@ -20,6 +20,14 @@
 //         keep_going=1     quarantine failures, print a manifest, return the
 //                          partial matrix instead of failing fast
 //
+//   sttgpu store <fsck|compact|stats> [store=fig8_cache.store]
+//       Maintain the crash-safe WAL result store that shadows the matrix
+//       cache. `fsck` opens the store (recovering a torn tail, quarantining
+//       corruption) and reports; it exits 5 while the quarantine sidecar is
+//       non-empty — inspect and delete "<store>.quarantine" to acknowledge.
+//       `compact` rewrites the log down to live records; `stats` prints the
+//       index/log/quarantine summary.
+//
 // Exit codes:
 //   0  success
 //   1  simulation/setup error
@@ -27,6 +35,7 @@
 //   3  interrupted (SIGINT/SIGTERM) — completed rows are cached; rerun with
 //      the same cache= to resume
 //   4  a job was killed by the watchdog or per-job timeout
+//   5  store fsck: quarantined data awaiting acknowledgement
 //
 //   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
 //       Run once and capture the L2 demand stream to a CSV trace.
@@ -63,6 +72,7 @@
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
+#include "store/result_store.hpp"
 
 namespace {
 
@@ -73,6 +83,7 @@ constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitInterrupted = 3;  // user interrupt; cached rows resume
 constexpr int kExitWatchdog = 4;     // watchdog / per-job timeout kill
+constexpr int kExitQuarantine = 5;   // store fsck: unacknowledged quarantine
 
 /// Process-wide cancellation source, flipped by SIGINT/SIGTERM. Every
 /// command that simulates passes it down; the Gpu cycle loop observes it at
@@ -312,6 +323,74 @@ int cmd_replay(const Config& cfg) {
   return 0;
 }
 
+/// Prints the shared stats block of `store fsck` / `store stats`.
+void print_store_stats(const std::string& path, const store::StoreStats& s) {
+  std::cout << path << ":\n"
+            << "  live rows    " << s.live_rows << " (" << s.groups << " group"
+            << (s.groups == 1 ? "" : "s") << " of fingerprint x scale)\n"
+            << "  log          " << s.file_bytes << " bytes, " << s.applied_records
+            << " record" << (s.applied_records == 1 ? "" : "s") << " (" << s.dead_records
+            << " dead)\n";
+  if (s.repaired_torn_bytes > 0) {
+    std::cout << "  repaired     torn tail of " << s.repaired_torn_bytes
+              << " bytes truncated (interrupted append)\n";
+  }
+  if (s.quarantined_new_incidents > 0) {
+    std::cout << "  quarantined  " << s.quarantined_new_incidents << " new corrupt range"
+              << (s.quarantined_new_incidents == 1 ? "" : "s") << " ("
+              << s.quarantined_new_bytes << " bytes) this pass\n";
+  }
+  if (s.quarantine_incidents > 0) {
+    std::cout << "  quarantine   " << s.quarantine_incidents << " incident"
+              << (s.quarantine_incidents == 1 ? "" : "s") << ", " << s.quarantine_bytes
+              << " bytes preserved in "
+              << store::ResultStore::quarantine_path_for(path) << "\n";
+  }
+}
+
+/// Exit-code mapping for fsck/stats: 5 while the quarantine sidecar holds
+/// unacknowledged data, 0 otherwise.
+int store_exit(const std::string& path, const store::FsckReport& r) {
+  if (r.healthy()) return kExitOk;
+  std::cout << "store holds quarantined data; inspect and delete "
+            << store::ResultStore::quarantine_path_for(path)
+            << " to acknowledge (affected rows re-simulate on the next matrix run)\n";
+  return kExitQuarantine;
+}
+
+int cmd_store(const std::string& verb, const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobStore;
+  sim::validate_knobs(cfg, kCmd, "store");
+  const std::string path = sim::knob_string(cfg, kCmd, "store");
+  store::StoreOptions so;
+  so.log = [](const std::string& line) { sim::log_line(line); };
+  so.cancel = &g_cancel;
+
+  if (verb == "fsck" || verb == "stats") {
+    // Opening the store IS the recovery pass: fsck and stats differ only in
+    // how a missing file is reported.
+    const store::FsckReport r = store::ResultStore::fsck(path, so);
+    if (!r.present) {
+      std::cout << path << ": no store file (cold — the next matrix run creates it)\n";
+      return verb == "fsck" ? store_exit(path, r) : kExitOk;
+    }
+    print_store_stats(path, r.stats);
+    if (verb == "fsck" && r.healthy()) std::cout << "  clean\n";
+    return verb == "fsck" ? store_exit(path, r) : kExitOk;
+  }
+  if (verb == "compact") {
+    std::ifstream probe(path);
+    STTGPU_REQUIRE(static_cast<bool>(probe),
+                   "store: no store file at " + path + " — nothing to compact");
+    store::ResultStore db(path, so);
+    db.compact();
+    print_store_stats(path, db.stats());
+    return kExitOk;
+  }
+  std::cerr << "unknown store verb '" << verb << "' (expected fsck, compact or stats)\n";
+  return kExitUsage;
+}
+
 int usage() {
   std::cerr << sim::knob_usage();
   return kExitUsage;
@@ -327,6 +406,13 @@ int main(int argc, char** argv) {
     if (command == "help") {
       std::cout << sim::knob_usage();
       return kExitOk;
+    }
+    if (command == "store") {
+      // The verb rides as argv[2] (not key=value), so the knob Config
+      // parses from the arguments after it.
+      if (argc < 3) return usage();
+      const Config cfg = Config::from_args(argc - 2, argv + 2);
+      return cmd_store(argv[2], cfg);
     }
     const Config cfg = Config::from_args(argc - 1, argv + 1);
     if (command == "list") return cmd_list();
