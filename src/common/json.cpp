@@ -1,6 +1,8 @@
 #include "common/json.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -128,6 +130,319 @@ void JsonWriter::write_escaped(std::string_view s) {
     }
   }
   *os_ << '"';
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+const char* JsonValue::kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "bool";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void type_error(JsonValue::Kind want, JsonValue::Kind got) {
+  throw SimError(std::string("JSON: expected ") + JsonValue::kind_name(want) + ", got " +
+                 JsonValue::kind_name(got));
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) type_error(Kind::kBool, kind_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  return num_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  const auto i = static_cast<std::int64_t>(num_);
+  STTGPU_REQUIRE(static_cast<double>(i) == num_,
+                 "JSON: number " + text_ + " is not an exact integer");
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) type_error(Kind::kString, kind_);
+  return text_;
+}
+
+const std::string& JsonValue::raw_number() const {
+  if (kind_ != Kind::kNumber) type_error(Kind::kNumber, kind_);
+  return text_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  type_error(Kind::kArray, kind_);
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (kind_ != Kind::kArray) type_error(Kind::kArray, kind_);
+  STTGPU_REQUIRE(i < items_.size(), "JSON: array index out of range");
+  return items_[i];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) type_error(Kind::kObject, kind_);
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  STTGPU_REQUIRE(v != nullptr, "JSON: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) type_error(Kind::kObject, kind_);
+  return members_;
+}
+
+/// Strict recursive-descent parser. Depth is bounded so hostile input (the
+/// server parses bytes off a socket) cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after the JSON document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SimError("JSON parse error at byte " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    STTGPU_REQUIRE(depth_ < kMaxDepth, "JSON: nesting deeper than 64 levels");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.text_ = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kBool;
+        if (consume_literal("true")) {
+          v.bool_ = true;
+        } else if (consume_literal("false")) {
+          v.bool_ = false;
+        } else {
+          fail("invalid literal");
+        }
+        return v;
+      }
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    ++depth_;
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      for (const auto& [name, ignored] : v.members_) {
+        if (name == key) fail("duplicate object key '" + key + "'");
+      }
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    ++depth_;
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      v.items_.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    --depth_;
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are rejected —
+          // nothing in the protocol produces them).
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&]() {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    const std::size_t int_digits = digits();
+    if (int_digits == 0) fail("invalid number");
+    // JSON forbids leading zeros ("01"); a lone zero is fine.
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      fail("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("digits required in exponent");
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.text_ = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.num_ = std::strtod(v.text_.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("unparseable number");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 }  // namespace sttgpu

@@ -1,7 +1,8 @@
-// A minimal streaming JSON writer — enough to export run results and figure
-// data for external plotting without pulling in a JSON library.
+// Minimal JSON support — a streaming writer plus a strict parser, enough to
+// export run results and speak the sweep-service wire protocol without
+// pulling in a JSON library.
 //
-// Usage:
+// Writer usage:
 //   JsonWriter w(os);
 //   w.begin_object();
 //   w.key("ipc").value(3.14);
@@ -12,12 +13,23 @@
 //
 // The writer validates nesting (unbalanced begin/end throws) and escapes
 // strings. Output is compact (no pretty printing).
+//
+// Parser usage:
+//   JsonValue v = parse_json(R"({"verb":"submit","scale":0.05})");
+//   v.at("verb").as_string();          // "submit"
+//   v.find("missing");                 // nullptr, no throw
+//
+// parse_json is strict (one root value, no trailing bytes, no comments) and
+// throws SimError with a byte offset on malformed input. Numbers keep their
+// raw source text alongside the parsed double, so forwarding a number into
+// a string-keyed Config never reformats it ("0.05" stays "0.05").
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sttgpu {
@@ -63,5 +75,57 @@ class JsonWriter {
   bool expecting_value_ = false;  ///< a key was just written
   bool wrote_root_ = false;
 };
+
+/// One parsed JSON value. Objects preserve member order (vector of pairs,
+/// linear find — protocol payloads have a handful of keys); duplicate keys
+/// are rejected at parse time.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw SimError naming the expected type on mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< throws when not an exact integer
+  const std::string& as_string() const;
+
+  /// The number exactly as it appeared in the source text ("0.05", "1e-3").
+  const std::string& raw_number() const;
+
+  // --- arrays ---
+  std::size_t size() const;  ///< array length / object member count
+  const JsonValue& at(std::size_t i) const;
+
+  // --- objects ---
+  /// Member lookup: nullptr when absent (find) or SimError (at).
+  const JsonValue* find(std::string_view key) const;
+  const JsonValue& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  static const char* kind_name(Kind k) noexcept;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string text_;  ///< string value, or a number's raw source text
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses exactly one JSON document (surrounding whitespace allowed, nothing
+/// else). Throws SimError with a byte offset on malformed input, duplicate
+/// object keys, or nesting deeper than 64 levels.
+JsonValue parse_json(std::string_view text);
 
 }  // namespace sttgpu

@@ -92,7 +92,7 @@ using CounterId = std::uint32_t;
 ///
 /// Hot paths intern their counter names once (at component construction) and
 /// bump through at(CounterId) — a vector index, no string lookup per event.
-/// The string-keyed operator[] stays as a shim for cold paths and tests.
+/// There is no string-keyed mutator: every writer holds a CounterId.
 class CounterSet {
  public:
   /// Resolves @p name to a dense id, creating the counter (at 0) on first use.
@@ -110,16 +110,6 @@ class CounterSet {
   std::uint64_t& at(CounterId id) noexcept { return values_[id]; }
   std::uint64_t at(CounterId id) const noexcept { return values_[id]; }
 
-  /// Cold-path/compatibility shim: interns on every call. Per-access paths
-  /// must intern once and go through at(CounterId); outside the test suite
-  /// (which defines STTGPU_ALLOW_STRING_COUNTERS to exercise the shim) new
-  /// uses are flagged at compile time.
-#if !defined(STTGPU_ALLOW_STRING_COUNTERS)
-  [[deprecated("intern the counter name once and use at(CounterId) instead")]]
-#endif
-  std::uint64_t& operator[](const std::string& name) {
-    return values_[intern(name)];
-  }
   std::uint64_t get(const std::string& name) const;
 
   /// Enumeration by dense id (telemetry sampling, report loops): ids are

@@ -71,6 +71,7 @@ void Telemetry::end_frame() {
     }
   }
   in_frame_ = false;
+  if (on_frame_) on_frame_(*this, frame_cycles_.size() - 1);
 }
 
 void Telemetry::slice(std::string_view track, std::string_view name, Cycle begin, Cycle end) {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <string_view>
@@ -67,6 +68,14 @@ class Telemetry {
   void end_frame();
 
   bool in_frame() const noexcept { return in_frame_; }
+
+  /// Observer invoked synchronously at the end of end_frame() with the
+  /// just-closed frame index — the sweep service streams live telemetry
+  /// events from it. Purely observational (no effect on sampling); runs on
+  /// the simulating thread, so keep it short.
+  void set_on_frame(std::function<void(const Telemetry&, std::size_t frame)> fn) {
+    on_frame_ = std::move(fn);
+  }
 
   // --- timeline events (any time, frames not required) ---
 
@@ -146,6 +155,7 @@ class Telemetry {
   std::unordered_map<std::string, std::size_t> index_;
   std::vector<Slice> slices_;
   std::vector<Instant> instants_;
+  std::function<void(const Telemetry&, std::size_t)> on_frame_;
 };
 
 }  // namespace sttgpu

@@ -8,8 +8,8 @@
 // Hot-path interning: the per-access charge sites (the L2 banks) resolve
 // their category names to dense EnergyId handles once at construction and
 // charge through add(EnergyId, pj) — a vector index, no string hashing or
-// tree walk per access. The string-keyed API stays as a construction/report
-// -time shim, so report writers and tests keep working unchanged.
+// tree walk per access. All charging goes through EnergyId handles; the
+// string-keyed readers (category_pj, categories) remain for reports.
 #pragma once
 
 #include <cstdint>
@@ -44,17 +44,6 @@ class EnergyLedger {
   void add(EnergyId id, PicoJoule pj) noexcept {
     values_[id] += pj;
     total_pj_ += pj;
-  }
-
-  /// Convenience/compatibility shim: interns on every call. Per-access
-  /// paths must intern once and charge through add(EnergyId, pj); outside
-  /// the test suite (which defines STTGPU_ALLOW_STRING_COUNTERS) new uses
-  /// are flagged at compile time.
-#if !defined(STTGPU_ALLOW_STRING_COUNTERS)
-  [[deprecated("intern the category once and use add(EnergyId, pj) instead")]]
-#endif
-  void add(const std::string& category, PicoJoule pj) {
-    add(intern(category), pj);
   }
 
   PicoJoule total_pj() const noexcept { return total_pj_; }

@@ -1,0 +1,905 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cancel.hpp"
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/telemetry.hpp"
+#include "serve/protocol.hpp"
+#include "sim/executor.hpp"
+#include "sim/knobs.hpp"
+#include "sim/runner.hpp"
+#include "sim/supervisor.hpp"
+#include "store/record.hpp"
+#include "store/result_store.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace sttgpu::serve {
+
+namespace {
+
+/// Splits a comma-separated knob value; empty input yields an empty list.
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t comma = s.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
+int close_quiet(int fd) noexcept { return fd >= 0 ? ::close(fd) : 0; }
+
+}  // namespace
+
+struct SweepServer::Impl {
+  // --- model ---------------------------------------------------------------
+
+  /// One unique (fingerprint, scale, arch, benchmark) simulation in flight.
+  /// Shared by every submission that wants the row; simulated exactly once.
+  struct Task {
+    std::string key;  ///< store_key — the dedupe identity
+    sim::Architecture arch_id{};
+    std::string arch;
+    std::string bench;
+    std::uint64_t fp = 0;
+    sim::RunOptions base;  ///< scale + simulation-shaping knobs, no hooks
+    bool want_telemetry = false;
+    Cycle interval = 50000;
+    CancelToken token;                    ///< supervisor external source
+    std::vector<std::uint64_t> waiters;   ///< submission ids awaiting the row
+  };
+
+  struct Submission {
+    std::uint64_t id = 0;
+    std::uint64_t fp = 0;
+    double scale = 0.5;
+    std::string scale17;
+    sttl2::FaultInjectionConfig faults;
+    std::vector<std::pair<std::string, std::string>> pairs;  ///< (arch, bench)
+    std::set<std::string> pending;  ///< outstanding task keys
+    std::size_t total = 0, hits = 0, simulated = 0, failed = 0;
+    bool touched_store = false;  ///< any task simulated → re-export the CSV
+    std::string state = "running";  ///< running|complete|failed|cancelled
+    bool complete = false;
+    std::vector<std::string> events;  ///< NDJSON backlog for watchers
+  };
+
+  explicit Impl(ServerOptions o) : opts(std::move(o)) {}
+
+  ServerOptions opts;
+  std::unique_ptr<store::ResultStore> store;
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  unsigned workers = 1;
+
+  std::mutex mu;
+  std::condition_variable cv_queue;   ///< workers wait for tasks
+  std::condition_variable cv_events;  ///< watchers wait for event appends
+  bool stopping = false;
+  bool stopped = false;
+  bool started = false;
+  std::uint64_t next_id = 1;
+  std::map<std::uint64_t, Submission> submissions;
+  std::map<std::string, std::shared_ptr<Task>> inflight;  ///< key → task
+  std::deque<std::shared_ptr<Task>> queue;
+  std::set<int> conns;  ///< open connection fds (shutdown on stop)
+
+  // Monotonic counters (mu-free reads for the on_apply hook).
+  std::atomic<std::uint64_t> n_submissions{0}, n_simulated{0}, n_failed{0},
+      n_store_hits{0}, n_attached{0}, n_applied{0}, n_own_puts{0};
+
+  std::thread accept_thread;
+  std::vector<std::thread> worker_threads;
+  std::vector<std::thread> conn_threads;
+
+  void say(const std::string& line) const {
+    if (opts.log) opts.log("[serve] " + line);
+  }
+
+  // --- listeners -----------------------------------------------------------
+
+  void bind_unix() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw BindError("socket path too long: " + opts.socket_path);
+    }
+    std::strncpy(addr.sun_path, opts.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+    // A leftover socket file from a dead server would make bind() fail with
+    // EADDRINUSE forever. Probe it: a live server accepts the connection
+    // (that is a real conflict); a dead one refuses, and the stale file is
+    // safe to reclaim.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      if (::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+        close_quiet(probe);
+        throw BindError("another server is already listening on " + opts.socket_path);
+      }
+      close_quiet(probe);
+      ::unlink(opts.socket_path.c_str());
+    }
+
+    unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd < 0) throw BindError(std::string("socket: ") + std::strerror(errno));
+    if (::bind(unix_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const std::string why = std::strerror(errno);
+      close_quiet(unix_fd);
+      unix_fd = -1;
+      throw BindError("cannot bind " + opts.socket_path + ": " + why);
+    }
+    if (::listen(unix_fd, 16) != 0) {
+      const std::string why = std::strerror(errno);
+      close_quiet(unix_fd);
+      unix_fd = -1;
+      throw BindError("cannot listen on " + opts.socket_path + ": " + why);
+    }
+  }
+
+  void bind_tcp() {
+    tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd < 0) throw BindError(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(tcp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never a public listener
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts.tcp_port));
+    if (::bind(tcp_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(tcp_fd, 16) != 0) {
+      const std::string why = std::strerror(errno);
+      close_quiet(tcp_fd);
+      tcp_fd = -1;
+      throw BindError("cannot listen on loopback port " + std::to_string(opts.tcp_port) +
+                      ": " + why);
+    }
+  }
+
+  // --- event plumbing (mu held) --------------------------------------------
+
+  void append_event_locked(Submission& sub, const std::string& line) {
+    sub.events.push_back(line);
+    cv_events.notify_all();
+  }
+
+  static std::string task_event(const char* event, const Task& t, const char* status,
+                                const std::string& detail_key,
+                                const std::string& detail) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("event").value(event);
+    w.key("arch").value(t.arch);
+    w.key("benchmark").value(t.bench);
+    if (status != nullptr) w.key("status").value(status);
+    if (!detail_key.empty()) w.key(detail_key).value(detail);
+    w.end_object();
+    return os.str();
+  }
+
+  std::string complete_event(const Submission& sub) const {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("event").value("complete");
+    w.key("id").value(sub.id);
+    w.key("state").value(sub.state);
+    w.key("total").value(static_cast<std::uint64_t>(sub.total));
+    w.key("hits").value(static_cast<std::uint64_t>(sub.hits));
+    w.key("simulated").value(static_cast<std::uint64_t>(sub.simulated));
+    w.key("failed").value(static_cast<std::uint64_t>(sub.failed));
+    w.end_object();
+    return os.str();
+  }
+
+  /// Marks @p sub terminal and emits its "complete" event. mu held.
+  void complete_submission_locked(Submission& sub) {
+    sub.complete = true;
+    if (sub.state == "running") sub.state = sub.failed > 0 ? "failed" : "complete";
+    append_event_locked(sub, complete_event(sub));
+    say("submission " + std::to_string(sub.id) + " " + sub.state + " (" +
+        std::to_string(sub.hits) + " hits, " + std::to_string(sub.simulated) +
+        " simulated, " + std::to_string(sub.failed) + " failed)");
+  }
+
+  // --- CSV export (call WITHOUT mu) ----------------------------------------
+
+  /// The exact export sequence run_matrix performs after a sweep, so the
+  /// CSV this daemon publishes is byte-identical to a direct run's.
+  void export_csv(std::uint64_t fp, double scale,
+                  const sttl2::FaultInjectionConfig& faults) {
+    try {
+      store->refresh();
+      std::vector<sim::Metrics> all;
+      for (const store::ResultRow& r : store->rows_for(fp, scale)) {
+        all.push_back(sim::from_store_row(r));
+      }
+      sim::save_cache(opts.cache_path, scale, all, faults);
+    } catch (const std::exception& e) {
+      // The WAL already holds every row durably; a failed export is a
+      // nuisance, not data loss — the next completion retries.
+      say(std::string("CSV export failed: ") + e.what());
+    }
+  }
+
+  // --- task lifecycle ------------------------------------------------------
+
+  /// Records a finished task into every waiting submission. mu held.
+  /// Returns the (fp, scale, faults) export jobs for submissions that just
+  /// completed (performed by the caller after releasing mu).
+  struct ExportJob {
+    std::uint64_t fp;
+    double scale;
+    sttl2::FaultInjectionConfig faults;
+  };
+  /// Removes @p t from the in-flight table iff it is still the registered
+  /// task for its key — a cancelled task may have been replaced by a fresh
+  /// one for the same config, which must not be evicted. mu held.
+  void drop_inflight_locked(const std::shared_ptr<Task>& t) {
+    const auto it = inflight.find(t->key);
+    if (it != inflight.end() && it->second == t) inflight.erase(it);
+  }
+
+  std::vector<ExportJob> finish_task_locked(const std::shared_ptr<Task>& t,
+                                            const char* status,
+                                            const std::string& error,
+                                            const store::ResultRow* row) {
+    drop_inflight_locked(t);
+    std::vector<ExportJob> exports;
+    for (const std::uint64_t id : t->waiters) {
+      const auto it = submissions.find(id);
+      if (it == submissions.end()) continue;
+      Submission& sub = it->second;
+      sub.pending.erase(t->key);
+      if (row != nullptr) {
+        ++sub.simulated;
+        sub.touched_store = true;
+        append_event_locked(
+            sub, task_event("done", *t, status, "row",
+                            store::encode_put(t->fp, sub.scale17, *row)));
+      } else {
+        ++sub.failed;
+        append_event_locked(sub, task_event("failed", *t, status, "error", error));
+      }
+      if (sub.pending.empty() && !sub.complete) {
+        complete_submission_locked(sub);
+        if (sub.touched_store) exports.push_back({sub.fp, sub.scale, sub.faults});
+      }
+    }
+    return exports;
+  }
+
+  /// Emits a telemetry frame event to every waiter. Runs on the simulating
+  /// thread via Telemetry::set_on_frame.
+  void emit_telemetry(const Task& t, const Telemetry& tel, std::size_t frame) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("event").value("telemetry");
+    w.key("arch").value(t.arch);
+    w.key("benchmark").value(t.bench);
+    w.key("cycle").value(static_cast<std::uint64_t>(tel.frame_cycle(frame)));
+    w.key("counters").begin_object();
+    for (std::size_t k = 0; k < tel.track_count(); ++k) {
+      if (!tel.track_is_counter(k)) continue;
+      const auto& s = tel.track_samples(k);
+      const double prev = frame > 0 ? s[frame - 1] : 0.0;
+      w.key(tel.track_name(k)).value(s[frame] - prev);
+    }
+    w.end_object();
+    w.key("gauges").begin_object();
+    for (std::size_t k = 0; k < tel.track_count(); ++k) {
+      if (tel.track_is_counter(k)) continue;
+      w.key(tel.track_name(k)).value(tel.track_samples(k)[frame]);
+    }
+    w.end_object();
+    w.end_object();
+    const std::string line = os.str();
+    std::lock_guard<std::mutex> lk(mu);
+    for (const std::uint64_t id : t.waiters) {
+      const auto it = submissions.find(id);
+      if (it != submissions.end()) append_event_locked(it->second, line);
+    }
+  }
+
+  void run_task(const std::shared_ptr<Task>& t) {
+    // One supervised job per task: the per-task token is the supervisor's
+    // external cancellation source, so the `cancel` verb, the watchdog, the
+    // per-job timeout, and retry/backoff are the matrix runner's own
+    // semantics. keep_going: the outcome is recorded per task; a failing
+    // task must never tear the service down.
+    sim::SupervisorOptions sup;
+    sup.external = &t->token;
+    sup.watchdog_s = opts.watchdog_s;
+    sup.job_timeout_s = opts.job_timeout_s;
+    sup.retries = opts.retries;
+    sup.keep_going = true;
+
+    std::optional<store::ResultRow> row;
+    sim::Job job;
+    job.label = t->arch + "/" + t->bench;
+    job.supervised = [this, &t, &row](const sim::JobControl& ctl) {
+      sim::RunOptions ro = t->base;
+      ro.cancel = ctl.cancel;
+      ro.heartbeat = ctl.heartbeat;
+      std::unique_ptr<Telemetry> tel;
+      if (t->want_telemetry) {
+        tel = std::make_unique<Telemetry>(t->interval);
+        tel->set_on_frame([this, &t](const Telemetry& T, std::size_t frame) {
+          emit_telemetry(*t, T, frame);
+        });
+        ro.telemetry = tel.get();
+      }
+      const sim::Metrics m = sim::run_one(t->arch_id, t->bench, ro);
+      {
+        // Durable write-through before the row is announced; the critical
+        // section keeps a cooperative watchdog kill from landing between
+        // "simulated" and "persisted".
+        const sim::CriticalSection cs(ctl);
+        n_own_puts.fetch_add(1, std::memory_order_relaxed);
+        store->put(t->fp, t->base.scale, sim::to_store_row(m));
+      }
+      row = sim::to_store_row(m);
+    };
+    std::vector<sim::Job> jobs;
+    jobs.push_back(std::move(job));
+    const sim::SupervisedResult res = sim::run_supervised(std::move(jobs), 1, sup);
+    const sim::JobOutcome& o = res.outcomes.at(0);
+
+    std::vector<ExportJob> exports;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (o.status == sim::JobStatus::kOk && row) {
+        n_simulated.fetch_add(1, std::memory_order_relaxed);
+        exports = finish_task_locked(t, "ok", "", &*row);
+      } else {
+        n_failed.fetch_add(1, std::memory_order_relaxed);
+        exports =
+            finish_task_locked(t, sim::job_status_name(o.status), o.error, nullptr);
+      }
+    }
+    for (const ExportJob& e : exports) export_csv(e.fp, e.scale, e.faults);
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Task> t;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        cv_queue.wait(lk, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        t = queue.front();
+        queue.pop_front();
+        if (t->waiters.empty()) {
+          // Every submitter cancelled before the task started; nothing to
+          // report to and nothing worth simulating.
+          drop_inflight_locked(t);
+          n_failed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (const std::uint64_t id : t->waiters) {
+          const auto it = submissions.find(id);
+          if (it != submissions.end()) {
+            append_event_locked(it->second, task_event("start", *t, nullptr, "", ""));
+          }
+        }
+      }
+      run_task(t);
+    }
+  }
+
+  // --- verb handlers -------------------------------------------------------
+
+  /// Shared options plumbing: JSON object → Config → registry validation.
+  static Config options_config(const JsonValue& req, sim::KnobCommand cmd,
+                               const std::string& name) {
+    const JsonValue* ov = req.find("options");
+    Config cfg = ov != nullptr ? sim::config_from_json(*ov) : Config{};
+    sim::validate_knobs(cfg, cmd, name);
+    return cfg;
+  }
+
+  std::string handle_submit(const JsonValue& req) {
+    constexpr auto kCmd = sim::kKnobSubmit;
+    const Config cfg = options_config(req, kCmd, "submit");
+    const sim::RunOptions base = sim::run_options_from_knobs(cfg, kCmd);
+    const bool want_telemetry = sim::knob_bool(cfg, kCmd, "telemetry");
+    const std::int64_t interval = sim::knob_int(cfg, kCmd, "interval");
+    STTGPU_REQUIRE(interval > 0, "interval= must be a positive cycle count");
+
+    std::vector<sim::Architecture> archs;
+    const std::string arch_csv = sim::knob_string(cfg, kCmd, "archs");
+    if (arch_csv.empty()) {
+      archs = sim::all_architectures();
+    } else {
+      for (const std::string& a : split_csv(arch_csv)) {
+        archs.push_back(sim::architecture_from_string(a));
+      }
+    }
+    std::vector<std::string> benchmarks = split_csv(sim::knob_string(cfg, kCmd, "benchmarks"));
+    const std::vector<std::string> known = workload::benchmark_names();
+    if (benchmarks.empty()) {
+      benchmarks = known;
+    } else {
+      for (const std::string& b : benchmarks) {
+        STTGPU_REQUIRE(std::find(known.begin(), known.end(), b) != known.end(),
+                       "unknown benchmark '" + b + "' (see `sttgpu list`)");
+      }
+    }
+
+    const std::uint64_t fp = sim::config_fingerprint(base.faults);
+    const std::string scale17 = store::scale_text(base.scale);
+    // Observe rows other processes appended before deciding what to run.
+    store->refresh();
+
+    std::size_t scheduled = 0, attach = 0;
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      STTGPU_REQUIRE(!stopping, "server is draining — submission refused");
+      id = next_id++;
+      Submission& sub = submissions[id];
+      sub.id = id;
+      sub.fp = fp;
+      sub.scale = base.scale;
+      sub.scale17 = scale17;
+      sub.faults = base.faults;
+      for (const sim::Architecture a : archs) {
+        const std::string arch_name = sim::make_arch(a).name;
+        for (const std::string& bench : benchmarks) {
+          sub.pairs.emplace_back(arch_name, bench);
+          const std::string key = store::store_key(fp, scale17, arch_name, bench);
+          const auto live = inflight.find(key);
+          if (live != inflight.end()) {
+            live->second->waiters.push_back(id);
+            sub.pending.insert(key);
+            ++attach;
+            n_attached.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (store->get(fp, base.scale, arch_name, bench)) {
+            ++sub.hits;
+            n_store_hits.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          auto t = std::make_shared<Task>();
+          t->key = key;
+          t->arch_id = a;
+          t->arch = arch_name;
+          t->bench = bench;
+          t->fp = fp;
+          t->base = base;
+          t->want_telemetry = want_telemetry;
+          t->interval = static_cast<Cycle>(interval);
+          t->waiters.push_back(id);
+          inflight.emplace(key, t);
+          queue.push_back(std::move(t));
+          sub.pending.insert(key);
+          ++scheduled;
+        }
+      }
+      sub.total = sub.pairs.size();
+      n_submissions.fetch_add(1, std::memory_order_relaxed);
+
+      {
+        std::ostringstream os;
+        JsonWriter w(os);
+        w.begin_object();
+        w.key("event").value("scheduled");
+        w.key("id").value(id);
+        w.key("total").value(static_cast<std::uint64_t>(sub.total));
+        w.key("hits").value(static_cast<std::uint64_t>(sub.hits));
+        w.key("scheduled").value(static_cast<std::uint64_t>(scheduled));
+        w.key("attached").value(static_cast<std::uint64_t>(attach));
+        w.end_object();
+        append_event_locked(sub, os.str());
+      }
+      if (sub.pending.empty()) complete_submission_locked(sub);  // pure hit
+      say("submit " + std::to_string(id) + ": " + std::to_string(sub.total) +
+          " configs, " + std::to_string(sub.hits) + " store hits, " +
+          std::to_string(scheduled) + " scheduled, " + std::to_string(attach) +
+          " attached");
+    }
+    cv_queue.notify_all();
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("protocol_version").value(kProtocolVersion);
+    w.key("ok").value(true);
+    w.key("id").value(id);
+    w.key("total").value(static_cast<std::uint64_t>(archs.size() * benchmarks.size()));
+    w.key("hits").value(static_cast<std::uint64_t>(archs.size() * benchmarks.size() -
+                                                   scheduled - attach));
+    w.key("scheduled").value(static_cast<std::uint64_t>(scheduled));
+    w.key("attached").value(static_cast<std::uint64_t>(attach));
+    w.end_object();
+    return os.str();
+  }
+
+  ServerStats stats_snapshot() {
+    ServerStats s;
+    s.submissions = n_submissions.load(std::memory_order_relaxed);
+    s.tasks_simulated = n_simulated.load(std::memory_order_relaxed);
+    s.tasks_failed = n_failed.load(std::memory_order_relaxed);
+    s.store_hits = n_store_hits.load(std::memory_order_relaxed);
+    s.attached = n_attached.load(std::memory_order_relaxed);
+    const std::uint64_t applied = n_applied.load(std::memory_order_relaxed);
+    const std::uint64_t own = n_own_puts.load(std::memory_order_relaxed);
+    s.merged_rows = applied > own ? applied - own : 0;
+    s.store_rows = store->size();
+    s.workers = workers;
+    std::lock_guard<std::mutex> lk(mu);
+    s.queued = queue.size();
+    return s;
+  }
+
+  std::string handle_status(const JsonValue& req) {
+    const JsonValue* idv = req.find("id");
+    const std::uint64_t id = idv != nullptr ? static_cast<std::uint64_t>(idv->as_int()) : 0;
+    std::ostringstream os;
+    JsonWriter w(os);
+    if (id == 0) {
+      const ServerStats s = stats_snapshot();
+      w.begin_object();
+      w.key("protocol_version").value(kProtocolVersion);
+      w.key("ok").value(true);
+      w.key("server").begin_object();
+      w.key("submissions").value(s.submissions);
+      w.key("tasks_simulated").value(s.tasks_simulated);
+      w.key("tasks_failed").value(s.tasks_failed);
+      w.key("store_hits").value(s.store_hits);
+      w.key("attached").value(s.attached);
+      w.key("merged_rows").value(s.merged_rows);
+      w.key("queued").value(static_cast<std::uint64_t>(s.queued));
+      w.key("store_rows").value(static_cast<std::uint64_t>(s.store_rows));
+      w.key("workers").value(s.workers);
+      w.end_object();
+      w.end_object();
+      return os.str();
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    const auto it = submissions.find(id);
+    STTGPU_REQUIRE(it != submissions.end(),
+                   "no submission with id " + std::to_string(id));
+    const Submission& sub = it->second;
+    w.begin_object();
+    w.key("protocol_version").value(kProtocolVersion);
+    w.key("ok").value(true);
+    w.key("id").value(sub.id);
+    w.key("state").value(sub.state);
+    w.key("total").value(static_cast<std::uint64_t>(sub.total));
+    w.key("hits").value(static_cast<std::uint64_t>(sub.hits));
+    w.key("simulated").value(static_cast<std::uint64_t>(sub.simulated));
+    w.key("failed").value(static_cast<std::uint64_t>(sub.failed));
+    w.key("pending").value(static_cast<std::uint64_t>(sub.pending.size()));
+    w.end_object();
+    return os.str();
+  }
+
+  std::string handle_cancel(const JsonValue& req) {
+    const std::uint64_t id = static_cast<std::uint64_t>(req.at("id").as_int());
+    STTGPU_REQUIRE(id > 0, "cancel needs id=<submission>");
+    std::lock_guard<std::mutex> lk(mu);
+    const auto it = submissions.find(id);
+    STTGPU_REQUIRE(it != submissions.end(),
+                   "no submission with id " + std::to_string(id));
+    Submission& sub = it->second;
+    if (!sub.complete) {
+      // Detach from every outstanding task; a task nobody waits for any
+      // more is cancelled (running: via its token at the next supervision
+      // checkpoint; queued: skipped at pop). Tasks other submissions still
+      // wait on keep running — cancelling one client never steals another
+      // client's result.
+      for (const std::string& key : sub.pending) {
+        const auto task = inflight.find(key);
+        if (task == inflight.end()) continue;
+        auto& waiters = task->second->waiters;
+        waiters.erase(std::remove(waiters.begin(), waiters.end(), id), waiters.end());
+        if (waiters.empty()) {
+          // Nobody wants the row any more: cancel the run (queued tasks are
+          // skipped at pop) and un-register the key so a later submission
+          // of the same config schedules a fresh task.
+          task->second->token.request(CancelReason::kUser);
+          inflight.erase(task);
+        }
+      }
+      sub.failed += sub.pending.size();
+      sub.pending.clear();
+      sub.state = "cancelled";
+      complete_submission_locked(sub);
+    }
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("protocol_version").value(kProtocolVersion);
+    w.key("ok").value(true);
+    w.key("id").value(sub.id);
+    w.key("state").value(sub.state);
+    w.end_object();
+    return os.str();
+  }
+
+  std::string handle_result(const JsonValue& req) {
+    const JsonValue* idv = req.find("id");
+    const std::uint64_t id = idv != nullptr ? static_cast<std::uint64_t>(idv->as_int()) : 0;
+
+    std::uint64_t fp = 0;
+    double scale = 0.5;
+    std::string scale17;
+    std::vector<std::pair<std::string, std::string>> pairs;
+    std::string state = "complete";
+    if (id > 0) {
+      std::lock_guard<std::mutex> lk(mu);
+      const auto it = submissions.find(id);
+      STTGPU_REQUIRE(it != submissions.end(),
+                     "no submission with id " + std::to_string(id));
+      const Submission& sub = it->second;
+      fp = sub.fp;
+      scale = sub.scale;
+      scale17 = sub.scale17;
+      pairs = sub.pairs;
+      state = sub.state;
+    } else {
+      // Row lookup by (arch, benchmark, scale): the same registry rows the
+      // CLI validates against, baseline (fault-free) fingerprint.
+      constexpr auto kCmd = sim::kKnobResult;
+      const Config cfg = options_config(req, kCmd, "result");
+      const sim::RunOptions ro = sim::run_options_from_knobs(cfg, kCmd);
+      const std::string arch = sim::knob_string(cfg, kCmd, "arch");
+      // Resolve through the registry so an unknown arch fails loudly here.
+      sim::architecture_from_string(arch);
+      fp = sim::config_fingerprint(ro.faults);
+      scale = ro.scale;
+      scale17 = store::scale_text(scale);
+      pairs.emplace_back(arch, sim::knob_string(cfg, kCmd, "benchmark"));
+    }
+
+    store->refresh();
+    std::vector<std::string> rows;
+    std::vector<std::string> missing;
+    for (const auto& [arch, bench] : pairs) {
+      const auto row = store->get(fp, scale, arch, bench);
+      if (row) {
+        rows.push_back(store::encode_put(fp, scale17, *row));
+      } else {
+        missing.push_back(arch + "/" + bench);
+      }
+    }
+    STTGPU_REQUIRE(id > 0 || !rows.empty(),
+                   "no stored result for " + missing.front() + " at scale " + scale17);
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("protocol_version").value(kProtocolVersion);
+    w.key("ok").value(true);
+    if (id > 0) w.key("id").value(id);
+    w.key("state").value(state);
+    w.key("scale").value(scale17);
+    w.key("rows").begin_array();
+    for (const std::string& r : rows) w.value(r);
+    w.end_array();
+    w.key("missing").begin_array();
+    for (const std::string& m : missing) w.value(m);
+    w.end_array();
+    w.end_object();
+    return os.str();
+  }
+
+  void handle_watch(int fd, const JsonValue& req) {
+    const std::uint64_t id = static_cast<std::uint64_t>(req.at("id").as_int());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      STTGPU_REQUIRE(submissions.find(id) != submissions.end(),
+                     "no submission with id " + std::to_string(id));
+    }
+    {
+      std::ostringstream os;
+      JsonWriter w(os);
+      w.begin_object();
+      w.key("protocol_version").value(kProtocolVersion);
+      w.key("ok").value(true);
+      w.key("id").value(id);
+      w.end_object();
+      write_frame(fd, os.str());
+    }
+    // Replay the backlog, then follow live appends. The terminal "complete"
+    // event is always the last line; the client stops there.
+    std::size_t idx = 0;
+    for (;;) {
+      std::vector<std::string> batch;
+      bool done = false;
+      {
+        std::unique_lock<std::mutex> lk(mu);
+        Submission& sub = submissions.at(id);
+        cv_events.wait(lk, [&] { return sub.events.size() > idx || sub.complete; });
+        while (idx < sub.events.size()) batch.push_back(sub.events[idx++]);
+        done = sub.complete && idx == sub.events.size();
+      }
+      for (const std::string& line : batch) write_event_line(fd, line);
+      if (done) return;
+    }
+  }
+
+  // --- connection handling -------------------------------------------------
+
+  void handle_connection(int fd) {
+    try {
+      const std::optional<std::string> payload = read_frame(fd);
+      if (payload) {
+        const JsonValue req = parse_json(*payload);
+        require_version(req);
+        const std::string verb = req.at("verb").as_string();
+        if (verb == "watch") {
+          handle_watch(fd, req);
+        } else if (verb == "submit") {
+          write_frame(fd, handle_submit(req));
+        } else if (verb == "status") {
+          write_frame(fd, handle_status(req));
+        } else if (verb == "cancel") {
+          write_frame(fd, handle_cancel(req));
+        } else if (verb == "result") {
+          write_frame(fd, handle_result(req));
+        } else {
+          throw SimError("unknown verb '" + verb +
+                         "' (expected submit, status, watch, cancel or result)");
+        }
+      }
+    } catch (const ProtocolMismatch& e) {
+      try {
+        write_frame(fd, error_response(e.what(), /*protocol_mismatch=*/true));
+      } catch (...) {
+      }
+    } catch (const std::exception& e) {
+      try {
+        write_frame(fd, error_response(e.what()));
+      } catch (...) {
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      conns.erase(fd);
+    }
+    close_quiet(fd);
+  }
+
+  void accept_loop() {
+    std::vector<pollfd> fds;
+    if (unix_fd >= 0) fds.push_back({unix_fd, POLLIN, 0});
+    if (tcp_fd >= 0) fds.push_back({tcp_fd, POLLIN, 0});
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopping) return;
+      }
+      const int n = ::poll(fds.data(), fds.size(), /*ms=*/200);
+      if (n <= 0) continue;  // timeout or EINTR: re-check stopping
+      for (const pollfd& p : fds) {
+        if ((p.revents & POLLIN) == 0) continue;
+        const int conn = ::accept(p.fd, nullptr, nullptr);
+        if (conn < 0) continue;
+        std::lock_guard<std::mutex> lk(mu);
+        if (stopping) {
+          close_quiet(conn);
+          continue;
+        }
+        conns.insert(conn);
+        conn_threads.emplace_back([this, conn] { handle_connection(conn); });
+      }
+    }
+  }
+};
+
+SweepServer::SweepServer(ServerOptions opts) : impl_(std::make_unique<Impl>(std::move(opts))) {
+  Impl& s = *impl_;
+  STTGPU_REQUIRE(!s.opts.cache_path.empty(), "serve: cache= must not be empty");
+  s.workers = s.opts.jobs == 0 ? sim::default_jobs() : s.opts.jobs;
+
+  store::StoreOptions so;
+  so.log = s.opts.log;
+  // A long-lived daemon must not pause submissions for a compaction sweep;
+  // `sttgpu store compact` remains available offline.
+  so.auto_compact = false;
+  s.store = std::make_unique<store::ResultStore>(
+      store::ResultStore::derive_path(s.opts.cache_path), so);
+  s.store->set_on_apply([impl = impl_.get()](const store::PutRecord&) {
+    impl->n_applied.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  s.bind_unix();
+  if (s.opts.tcp_port > 0) {
+    try {
+      s.bind_tcp();
+    } catch (...) {
+      close_quiet(s.unix_fd);
+      ::unlink(s.opts.socket_path.c_str());
+      throw;
+    }
+  }
+}
+
+SweepServer::~SweepServer() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+void SweepServer::start() {
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    STTGPU_REQUIRE(!s.started, "server already started");
+    s.started = true;
+  }
+  s.accept_thread = std::thread([&s] { s.accept_loop(); });
+  for (unsigned i = 0; i < s.workers; ++i) {
+    s.worker_threads.emplace_back([&s] { s.worker_loop(); });
+  }
+  s.say("listening on " + s.opts.socket_path +
+        (s.tcp_fd >= 0 ? " and 127.0.0.1:" + std::to_string(s.opts.tcp_port) : "") +
+        " (" + std::to_string(s.workers) + " worker" + (s.workers == 1 ? "" : "s") +
+        ", store " + s.store->path() + ")");
+}
+
+void SweepServer::stop() {
+  Impl& s = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (s.stopped) return;
+    s.stopped = true;
+    s.stopping = true;
+  }
+  s.cv_queue.notify_all();
+  s.cv_events.notify_all();
+  if (s.accept_thread.joinable()) s.accept_thread.join();
+  close_quiet(s.unix_fd);
+  close_quiet(s.tcp_fd);
+  ::unlink(s.opts.socket_path.c_str());
+  // Drain: workers finish every queued and running task (completing their
+  // submissions and publishing CSV exports) before exiting.
+  for (std::thread& t : s.worker_threads) {
+    if (t.joinable()) t.join();
+  }
+  // Idle connections still waiting for a request see EOF; watchers have
+  // already streamed their terminal event (every submission is complete).
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const int fd : s.conns) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : s.conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  s.say("drained and stopped");
+}
+
+const std::string& SweepServer::socket_path() const { return impl_->opts.socket_path; }
+
+ServerStats SweepServer::stats() const { return impl_->stats_snapshot(); }
+
+}  // namespace sttgpu::serve

@@ -1,0 +1,107 @@
+// The sweep service daemon: a persistent `sttgpu serve` process that turns
+// the Fig. 8 result store into a shared simulation service.
+//
+// Clients connect over a unix socket (optionally loopback TCP) and speak
+// the length-framed JSON protocol (serve/protocol.hpp). Every submission —
+// a RunOptions-shaped config plus an (archs x benchmarks) slice — is
+// deduplicated three ways before any cycle is simulated:
+//
+//   1. against the crash-safe WAL result store, keyed by
+//      (config fingerprint, scale, arch, benchmark): rows simulated by any
+//      past run, by a direct `sttgpu matrix`, or by another server are pure
+//      store hits;
+//   2. against the in-flight task table: two concurrent clients submitting
+//      overlapping matrices attach to the same task, so each unique config
+//      is simulated exactly once;
+//   3. within a submission (a degenerate case of 2).
+//
+// Misses run on a persistent supervised worker pool. Each task is executed
+// under the PR-5 supervisor (sim/supervisor.hpp) with a per-task
+// CancelToken as the external source — the `cancel` verb, the progress
+// watchdog, the per-job timeout, and the retry budget are all literally the
+// matrix runner's semantics, not a re-implementation. Completed rows are
+// persisted write-through to the store under a CriticalSection, and the
+// CSV export is regenerated with the exact refresh + rows_for + save_cache
+// sequence run_matrix uses, so the served cache file is byte-identical to
+// one written by a direct run.
+//
+// Subscribed `watch` clients receive newline-delimited JSON events:
+// scheduling, per-task start/done/failed, live telemetry frames (when the
+// submission asked for telemetry), and a terminal "complete".
+//
+// stop() is the SIGTERM drain: stop accepting, refuse new submissions,
+// finish every queued and running task, publish the final CSV export, then
+// return — the store is always fsck-clean afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include <memory>
+
+namespace sttgpu::serve {
+
+struct ServerOptions {
+  std::string socket_path = "sttgpu.sock";
+  /// >0: additionally listen on this loopback TCP port.
+  int tcp_port = 0;
+  /// CSV export path; the WAL store lives at the derived "<cache>.store".
+  std::string cache_path = "fig8_cache.csv";
+  /// Worker threads simulating tasks (0 = hardware concurrency).
+  unsigned jobs = 1;
+  // Supervision applied to every task (sim/supervisor.hpp semantics).
+  double watchdog_s = 0.0;
+  double job_timeout_s = 0.0;
+  unsigned retries = 0;
+  /// Sink for "[serve] ..." progress lines. Null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// Monotonic service counters, snapshot via SweepServer::stats() or the
+/// `status` verb with id=0.
+struct ServerStats {
+  std::uint64_t submissions = 0;
+  std::uint64_t tasks_simulated = 0;  ///< simulations actually run to completion
+  std::uint64_t tasks_failed = 0;     ///< failed/cancelled/watchdog-killed tasks
+  std::uint64_t store_hits = 0;       ///< submission entries served from the store
+  std::uint64_t attached = 0;         ///< entries attached to an in-flight task
+  /// Rows other writers (direct matrix runs, other servers) merged into the
+  /// store while we served — observed via the store's on_apply hook.
+  std::uint64_t merged_rows = 0;
+  std::size_t queued = 0;     ///< tasks waiting for a worker
+  std::size_t store_rows = 0; ///< live rows in the result store
+  unsigned workers = 0;
+};
+
+class SweepServer {
+ public:
+  /// Binds the unix socket (and the TCP port when requested) and opens the
+  /// result store. Throws BindError when a listener cannot be established —
+  /// including when another live server already owns the socket path; a
+  /// stale socket file left by a dead server is reclaimed silently.
+  explicit SweepServer(ServerOptions opts);
+
+  /// stop()s if still running.
+  ~SweepServer();
+
+  SweepServer(const SweepServer&) = delete;
+  SweepServer& operator=(const SweepServer&) = delete;
+
+  /// Spawns the accept loop and the worker pool.
+  void start();
+
+  /// Graceful drain (the SIGTERM path): stop accepting connections, refuse
+  /// new submissions, let every queued and in-flight task finish, publish
+  /// the final CSV export, join every thread. Idempotent.
+  void stop();
+
+  const std::string& socket_path() const;
+  ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sttgpu::serve

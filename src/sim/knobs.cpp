@@ -1,8 +1,11 @@
 #include "sim/knobs.hpp"
 
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 
 namespace sttgpu::sim {
 
@@ -13,6 +16,12 @@ using Type = KnobSpec::Type;
 constexpr unsigned kRunMatrix = kKnobRun | kKnobMatrix;
 constexpr unsigned kRunRecord = kKnobRun | kKnobRecord;
 constexpr unsigned kRunMatrixRecord = kKnobRun | kKnobMatrix | kKnobRecord;
+// Simulation-shaping knobs a submit request shares with run/matrix.
+constexpr unsigned kRunMatrixSubmit = kKnobRun | kKnobMatrix | kKnobSubmit;
+constexpr unsigned kRunMatrixRecordSubmit = kRunMatrixRecord | kKnobSubmit;
+// Every verb that talks to a running sweep service.
+constexpr unsigned kClientVerbs =
+    kKnobSubmit | kKnobStatus | kKnobWatch | kKnobCancel | kKnobResult;
 
 const char* type_name(Type t) {
   switch (t) {
@@ -31,6 +40,12 @@ const char* command_name(KnobCommand c) {
     case kKnobRecord: return "record";
     case kKnobReplay: return "replay";
     case kKnobStore: return "store";
+    case kKnobServe: return "serve";
+    case kKnobSubmit: return "submit";
+    case kKnobStatus: return "status";
+    case kKnobWatch: return "watch";
+    case kKnobCancel: return "cancel";
+    case kKnobResult: return "result";
   }
   return "?";
 }
@@ -40,47 +55,73 @@ const char* command_name(KnobCommand c) {
 const std::vector<KnobSpec>& knob_registry() {
   static const std::vector<KnobSpec> kKnobs = {
       {"arch", Type::kString, "C1", "architecture (sram|stt-base|C1|C2|C3)",
-       kKnobRun | kKnobReplay},
+       kKnobRun | kKnobReplay | kKnobResult},
       {"arch", Type::kString, "sram", "architecture to record under", kKnobRecord},
-      {"benchmark", Type::kString, "bfs", "benchmark model (see `sttgpu list`)", kRunRecord},
-      {"scale", Type::kDouble, "0.5", "workload scale in (0, 1]", kRunMatrixRecord},
-      {"json", Type::kString, "", "write the result as JSON to this path", kRunMatrix},
+      {"benchmark", Type::kString, "bfs", "benchmark model (see `sttgpu list`)",
+       kRunRecord | kKnobResult},
+      {"scale", Type::kDouble, "0.5", "workload scale in (0, 1]",
+       kRunMatrixRecord | kKnobSubmit | kKnobResult},
+      {"json", Type::kString, "", "write the result as JSON to this path",
+       kRunMatrix | kKnobSubmit},
       {"cache", Type::kString, "fig8_cache.csv", "matrix result cache (empty disables)",
        kKnobMatrix},
-      {"jobs", Type::kInt, "0", "worker threads (0 = all hardware threads)", kKnobMatrix},
+      {"cache", Type::kString, "fig8_cache.csv",
+       "result cache the service dedupes against and re-exports", kKnobServe},
+      {"jobs", Type::kInt, "0", "worker threads (0 = all hardware threads)",
+       kKnobMatrix | kKnobServe},
       {"watchdog", Type::kDouble, "0",
        "abort a job with no forward progress for this many seconds (0 = off)",
-       kKnobMatrix},
+       kKnobMatrix | kKnobServe},
       {"job_timeout", Type::kDouble, "0",
-       "per-job wall-clock budget in seconds (0 = unlimited)", kKnobMatrix},
+       "per-job wall-clock budget in seconds (0 = unlimited)", kKnobMatrix | kKnobServe},
       {"retry", Type::kInt, "0", "extra attempts for a job that fails transiently",
-       kKnobMatrix},
+       kKnobMatrix | kKnobServe},
       {"keep_going", Type::kBool, "0",
        "quarantine failing jobs and report a manifest instead of failing fast",
        kKnobMatrix},
       {"store", Type::kString, "fig8_cache.store",
        "result store path (WAL log; sidecars <store>.lock / <store>.quarantine)",
        kKnobStore},
+      {"socket", Type::kString, "sttgpu.sock",
+       "unix socket the sweep service listens on / clients connect to",
+       kKnobServe | kClientVerbs},
+      {"port", Type::kInt, "0",
+       "loopback TCP port (serve: also listen; clients: connect via TCP instead "
+       "of the unix socket; 0 = unix socket only)",
+       kKnobServe | kClientVerbs},
+      {"archs", Type::kString, "",
+       "comma-separated architecture subset to submit (empty = all)", kKnobSubmit},
+      {"benchmarks", Type::kString, "",
+       "comma-separated benchmark subset to submit (empty = all)", kKnobSubmit},
+      {"wait", Type::kBool, "1",
+       "block until the submission completes and print the result rows", kKnobSubmit},
+      {"id", Type::kInt, "0",
+       "submission id (status: 0 = whole-server stats; result: 0 = look up by "
+       "arch/benchmark/scale)",
+       kKnobStatus | kKnobWatch | kKnobCancel | kKnobResult},
       {"trace", Type::kString, "l2.trace", "L2 demand-stream trace path",
        kKnobRecord | kKnobReplay},
       {"fastforward", Type::kBool, "1",
-       "event-driven idle-cycle skip; results are identical either way", kRunMatrixRecord},
+       "event-driven idle-cycle skip; results are identical either way",
+       kRunMatrixRecordSubmit},
       {"hotpath", Type::kInt, "2",
        "hot-path level: 0=plain loop, 1=event lanes, 2=event wheel; results are "
        "identical at every level",
-       kRunMatrixRecord},
+       kRunMatrixRecordSubmit},
       {"tick_jobs", Type::kInt, "1",
        "threads for the per-cycle L2 bank tick batch (hotpath only); results are "
        "identical at any value",
-       kRunMatrixRecord},
+       kRunMatrixRecordSubmit},
       {"faults", Type::kBool, "0", "seeded STT-RAM retention/write-failure injector",
-       kRunMatrix},
-      {"fault_seed", Type::kInt, "42", "fault injector RNG seed", kRunMatrix},
-      {"fault_accel", Type::kDouble, "1", "error-rate acceleration factor", kRunMatrix},
-      {"ecc", Type::kBool, "1", "SECDED recovery on collapsed lines", kRunMatrix},
+       kRunMatrixSubmit},
+      {"fault_seed", Type::kInt, "42", "fault injector RNG seed", kRunMatrixSubmit},
+      {"fault_accel", Type::kDouble, "1", "error-rate acceleration factor",
+       kRunMatrixSubmit},
+      {"ecc", Type::kBool, "1", "SECDED recovery on collapsed lines", kRunMatrixSubmit},
       {"telemetry", Type::kBool, "0", "per-interval telemetry sampling (observational)",
-       kRunRecord},
-      {"interval", Type::kInt, "50000", "telemetry sampling window in cycles", kRunRecord},
+       kRunRecord | kKnobSubmit},
+      {"interval", Type::kInt, "50000", "telemetry sampling window in cycles",
+       kRunRecord | kKnobSubmit},
       {"trace_out", Type::kString, "", "write a Chrome trace-event JSON (Perfetto-loadable)",
        kRunRecord},
       {"telemetry_csv", Type::kString, "", "write the interval series as CSV", kRunRecord},
@@ -151,10 +192,13 @@ bool knob_bool(const Config& cfg, KnobCommand command, const std::string& name) 
 
 std::string knob_usage() {
   std::ostringstream os;
-  os << "usage: sttgpu <list|run|matrix|record|replay|store|help> [key=value ...]\n"
-        "       sttgpu store <fsck|compact|stats> [store=<path>]\n";
+  os << "usage: sttgpu <list|run|matrix|record|replay|store|serve|submit|status|"
+        "watch|cancel|result|help> [key=value ...]\n"
+        "       sttgpu store <fsck|compact|stats> [store=<path>]\n"
+        "       sttgpu serve socket=<path> [port=<tcp>] [cache=<csv>] [jobs=N]\n";
   for (const KnobCommand cmd :
-       {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay, kKnobStore}) {
+       {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay, kKnobStore, kKnobServe,
+        kKnobSubmit, kKnobStatus, kKnobWatch, kKnobCancel, kKnobResult}) {
     os << "  " << command_name(cmd) << ":\n";
     for (const KnobSpec& k : knob_registry()) {
       if ((k.commands & cmd) == 0) continue;
@@ -176,6 +220,67 @@ sttl2::FaultInjectionConfig fault_knobs(const Config& cfg, KnobCommand command) 
   f.accel = knob_double(cfg, command, "fault_accel");
   f.ecc = knob_bool(cfg, command, "ecc");
   return f;
+}
+
+Config config_from_json(const JsonValue& obj) {
+  STTGPU_REQUIRE(obj.is_object(), "options must be a JSON object of knob values");
+  Config cfg;
+  for (const auto& [key, value] : obj.members()) {
+    switch (value.kind()) {
+      case JsonValue::Kind::kBool: cfg.set(key, value.as_bool() ? "1" : "0"); break;
+      // Raw source text, not a re-formatted double: "0.05" submitted over
+      // the wire is the same token the CLI would have parsed from argv.
+      case JsonValue::Kind::kNumber: cfg.set(key, value.raw_number()); break;
+      case JsonValue::Kind::kString: cfg.set(key, value.as_string()); break;
+      default:
+        throw SimError("knob '" + key + "' must be a scalar, got " +
+                       JsonValue::kind_name(value.kind()));
+    }
+  }
+  return cfg;
+}
+
+RunOptions run_options_from_knobs(const Config& cfg, KnobCommand command) {
+  RunOptions opts;
+  // Only resolve knobs the command's mask declares; the rest keep their
+  // RunOptions defaults (e.g. record has no fault knobs).
+  if (find_knob(command, "scale") != nullptr) {
+    opts.scale = knob_double(cfg, command, "scale");
+    STTGPU_REQUIRE(opts.scale > 0.0 && opts.scale <= 1.0, "scale= must be in (0, 1]");
+  }
+  if (find_knob(command, "fastforward") != nullptr) {
+    opts.fast_forward = knob_bool(cfg, command, "fastforward");
+  }
+  if (find_knob(command, "hotpath") != nullptr) {
+    opts.hotpath = static_cast<unsigned>(knob_int(cfg, command, "hotpath"));
+  }
+  if (find_knob(command, "tick_jobs") != nullptr) {
+    opts.tick_jobs = static_cast<unsigned>(knob_int(cfg, command, "tick_jobs"));
+  }
+  if (find_knob(command, "faults") != nullptr) {
+    opts.faults = fault_knobs(cfg, command);
+  }
+  return opts;
+}
+
+void run_options_to_json(JsonWriter& w, const RunOptions& opts) {
+  // max_digits10 so scale/accel round-trip exactly through the wire.
+  std::ostringstream scale, accel;
+  scale << std::setprecision(std::numeric_limits<double>::max_digits10) << opts.scale;
+  accel << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << opts.faults.accel;
+  w.begin_object();
+  // Raw number tokens: route through Config-style strings so the receiving
+  // side's strtod sees the identical text.
+  w.key("scale").value(scale.str());
+  w.key("fastforward").value(opts.fast_forward);
+  w.key("hotpath").value(static_cast<std::uint64_t>(opts.hotpath));
+  w.key("tick_jobs").value(static_cast<std::uint64_t>(opts.tick_jobs));
+  w.key("faults").value(opts.faults.enabled);
+  w.key("fault_seed").value(static_cast<std::uint64_t>(opts.faults.seed));
+  w.key("fault_accel").value(accel.str());
+  w.key("ecc").value(opts.faults.ecc);
+  w.end_object();
 }
 
 }  // namespace sttgpu::sim

@@ -17,17 +17,31 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "sim/runner.hpp"
 #include "sttl2/config.hpp"
+
+namespace sttgpu {
+class JsonValue;
+class JsonWriter;
+}  // namespace sttgpu
 
 namespace sttgpu::sim {
 
-/// Bitmask of CLI subcommands a knob applies to.
+/// Bitmask of CLI subcommands a knob applies to. The sweep-service verbs
+/// (serve and its clients) are commands like any other: their wire-protocol
+/// request fields validate against the same registry rows as the CLI knobs.
 enum KnobCommand : unsigned {
   kKnobRun = 1u << 0,
   kKnobMatrix = 1u << 1,
   kKnobRecord = 1u << 2,
   kKnobReplay = 1u << 3,
   kKnobStore = 1u << 4,
+  kKnobServe = 1u << 5,
+  kKnobSubmit = 1u << 6,
+  kKnobStatus = 1u << 7,
+  kKnobWatch = 1u << 8,
+  kKnobCancel = 1u << 9,
+  kKnobResult = 1u << 10,
 };
 
 struct KnobSpec {
@@ -62,5 +76,32 @@ std::string knob_usage();
 /// Builds the fault-injection config from the faults/fault_seed/
 /// fault_accel/ecc knobs (registry defaults: injection disabled).
 sttl2::FaultInjectionConfig fault_knobs(const Config& cfg, KnobCommand command);
+
+// --- RunOptions <-> JSON, built on the registry -----------------------------
+//
+// The wire protocol and the CLI share one definition of every simulation-
+// shaping knob: a submit request's "options" object is converted to a
+// Config (config_from_json), validated against the registry exactly like
+// argv knobs (validate_knobs), and resolved into RunOptions with the same
+// defaults the CLI applies (run_options_from_knobs). A config submitted
+// over the socket therefore can never parse, default, or validate
+// differently from the same config typed at the shell.
+
+/// Converts a flat JSON object into a string-keyed Config: booleans become
+/// "1"/"0", numbers keep their raw source text (no reformatting), strings
+/// pass through. Nested arrays/objects and null are rejected with SimError.
+Config config_from_json(const JsonValue& obj);
+
+/// Resolves the simulation-shaping RunOptions fields — scale, fastforward,
+/// hotpath, tick_jobs and the fault knobs — from @p cfg using the registry
+/// defaults for @p command. Knobs outside @p command's mask keep their
+/// RunOptions defaults. Orchestration knobs (cache/jobs/watchdog/...) are
+/// intentionally not resolved here; they belong to the caller.
+RunOptions run_options_from_knobs(const Config& cfg, KnobCommand command);
+
+/// Serializes those same fields as one JSON object keyed by knob names —
+/// the inverse of run_options_from_knobs (round-trip exact: numbers are
+/// written at max_digits10).
+void run_options_to_json(JsonWriter& w, const RunOptions& opts);
 
 }  // namespace sttgpu::sim

@@ -70,6 +70,16 @@ void metrics_fields(JsonWriter& w, const Metrics& m) {
 
 }  // namespace
 
+void print_metrics_block(std::ostream& os, const Metrics& metrics, double scale) {
+  os << metrics.arch << " / " << metrics.benchmark << " (scale " << scale << ")\n"
+     << "  IPC        " << metrics.ipc << "\n"
+     << "  cycles     " << metrics.cycles << "\n"
+     << "  L2 power   " << metrics.total_w << " W (dyn " << metrics.dynamic_w
+     << " + leak " << metrics.leakage_w << ")\n"
+     << "  writes     " << metrics.l2_write_share * 100 << "% of L2 accesses\n"
+     << "  miss rate  " << metrics.l2_miss_rate * 100 << "%\n";
+}
+
 void write_metrics_json(std::ostream& os, const Metrics& metrics) {
   JsonWriter w(os);
   w.begin_object();

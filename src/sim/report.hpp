@@ -9,6 +9,13 @@
 
 namespace sttgpu::sim {
 
+/// The human-readable metrics block `sttgpu run` prints:
+///   <arch> / <benchmark> (scale <scale>)
+///     IPC / cycles / L2 power / writes / miss rate
+/// Shared with `sttgpu result` so a row fetched from the sweep service
+/// prints byte-identically to a direct run.
+void print_metrics_block(std::ostream& os, const Metrics& metrics, double scale);
+
 /// One metrics row as a JSON object.
 void write_metrics_json(std::ostream& os, const Metrics& metrics);
 

@@ -129,6 +129,8 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
+}  // namespace
+
 store::ResultRow to_store_row(const Metrics& m) {
   store::ResultRow r;
   r.arch = m.arch;
@@ -143,7 +145,7 @@ store::ResultRow to_store_row(const Metrics& m) {
   return r;
 }
 
-Metrics to_metrics(const store::ResultRow& r) {
+Metrics from_store_row(const store::ResultRow& r) {
   Metrics m;
   m.arch = r.arch;
   m.benchmark = r.benchmark;
@@ -156,8 +158,6 @@ Metrics to_metrics(const store::ResultRow& r) {
   m.l2_miss_rate = r.miss_rate;
   return m;
 }
-
-}  // namespace
 
 namespace {
 
@@ -241,7 +241,7 @@ std::map<std::pair<std::string, std::string>, Metrics> load_cache(
       path, scale, config_fingerprint(faults),
       [](const std::string& line) { log_line(line); });
   for (const store::ResultRow& r : rows) {
-    cache[{r.arch, r.benchmark}] = to_metrics(r);
+    cache[{r.arch, r.benchmark}] = from_store_row(r);
   }
   return cache;
 }
@@ -336,7 +336,7 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
       rows[slot].benchmark = name;
       const auto hit = db ? db->get(fp, scale, spec.name, name) : std::nullopt;
       if (hit) {
-        rows[slot] = to_metrics(*hit);
+        rows[slot] = from_store_row(*hit);
       } else {
         pending.push_back(Pending{slot, spec, name});
       }
@@ -351,7 +351,7 @@ std::vector<Metrics> run_matrix(const std::vector<Architecture>& archs,
     db->refresh();
     std::vector<Metrics> all;
     for (const store::ResultRow& r : db->rows_for(fp, scale)) {
-      all.push_back(to_metrics(r));
+      all.push_back(from_store_row(r));
     }
     save_cache(cache_path, scale, all, faults);
   };

@@ -27,6 +27,7 @@
 #include "gpu/gpu.hpp"
 #include "sim/arch.hpp"
 #include "sim/supervisor.hpp"
+#include "store/record.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace sttgpu {
@@ -196,5 +197,11 @@ void save_cache(const std::string& path, double scale, const std::vector<Metrics
 /// Index @p rows by benchmark for one architecture.
 std::map<std::string, Metrics> by_benchmark(const std::vector<Metrics>& rows,
                                             const std::string& arch);
+
+/// Metrics <-> store-row conversion (the store schema mirrors Metrics by
+/// value, not by type; see store/record.hpp). Shared by the matrix runner
+/// and the sweep service so both persist identical bytes.
+store::ResultRow to_store_row(const Metrics& m);
+Metrics from_store_row(const store::ResultRow& r);
 
 }  // namespace sttgpu::sim

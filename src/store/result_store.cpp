@@ -292,6 +292,11 @@ void ResultStore::apply_record_locked(std::string_view payload, std::uint64_t of
   apply_put_locked(*rec);
 }
 
+void ResultStore::set_on_apply(std::function<void(const PutRecord&)> fn) {
+  std::lock_guard<std::mutex> g(io_mu_);
+  on_apply_ = std::move(fn);
+}
+
 void ResultStore::apply_put_locked(const PutRecord& rec) {
   const std::string key =
       store_key(rec.fingerprint, rec.scale17, rec.row.arch, rec.row.benchmark);
@@ -301,6 +306,7 @@ void ResultStore::apply_put_locked(const PutRecord& rec) {
   const auto [it, inserted] =
       s.map.insert_or_assign(key, Entry{rec.fingerprint, rec.scale17, rec.row});
   if (!inserted) ++dead_records_;
+  if (on_apply_) on_apply_(rec);
 }
 
 void ResultStore::rescan_locked(bool repair) {

@@ -99,6 +99,14 @@ class ResultStore {
   /// processes appended. Never repairs (repair mutates; readers must not).
   void refresh();
 
+  /// Observer invoked for every put record applied to the index after this
+  /// call — own put()/put_many() appends and rows folded in from other
+  /// processes by refresh() alike (a full rescan after compaction replays
+  /// every live record through it). Runs with store locks held: keep it
+  /// short and never call back into the store. The sweep service uses it to
+  /// count rows merged in by concurrent direct `sttgpu matrix` runs.
+  void set_on_apply(std::function<void(const PutRecord&)> fn);
+
   /// All rows for one (fingerprint, scale) group, sorted by
   /// (arch, benchmark) — the CSV export order.
   std::vector<ResultRow> rows_for(std::uint64_t fingerprint, double scale) const;
@@ -163,6 +171,7 @@ class ResultStore {
   std::string path_;
   std::string quarantine_path_;
   StoreOptions opts_;
+  std::function<void(const PutRecord&)> on_apply_;
   int lock_fd_ = -1;
   int log_fd_ = -1;
 

@@ -88,9 +88,9 @@ TEST(GeometricMean, Basics) {
 
 TEST(CounterSet, GetAndMerge) {
   CounterSet a, b;
-  a["x"] = 3;
-  b["x"] = 4;
-  b["y"] = 1;
+  a.at(a.intern("x")) = 3;
+  b.at(b.intern("x")) = 4;
+  b.at(b.intern("y")) = 1;
   a.merge(b);
   EXPECT_EQ(a.get("x"), 7u);
   EXPECT_EQ(a.get("y"), 1u);
@@ -102,7 +102,7 @@ TEST(CounterSet, InternedHandlesAliasStringKeys) {
   const CounterId id = c.intern("hits");
   EXPECT_EQ(c.intern("hits"), id);  // idempotent
   c.at(id) += 5;
-  c["hits"] += 2;
+  c.at(c.intern("hits")) += 2;  // re-interning yields the same slot
   EXPECT_EQ(c.get("hits"), 7u);
   EXPECT_EQ(c.at(id), 7u);
   // Interning alone creates the counter at zero (visible in all()).

@@ -9,9 +9,9 @@ namespace {
 
 TEST(EnergyLedger, AccumulatesByCategory) {
   EnergyLedger ledger;
-  ledger.add("l2.data_write", 100.0);
-  ledger.add("l2.data_write", 50.0);
-  ledger.add("l2.tag_probe", 10.0);
+  ledger.add(ledger.intern("l2.data_write"), 100.0);
+  ledger.add(ledger.intern("l2.data_write"), 50.0);
+  ledger.add(ledger.intern("l2.tag_probe"), 10.0);
   EXPECT_DOUBLE_EQ(ledger.category_pj("l2.data_write"), 150.0);
   EXPECT_DOUBLE_EQ(ledger.category_pj("l2.tag_probe"), 10.0);
   EXPECT_DOUBLE_EQ(ledger.category_pj("unknown"), 0.0);
@@ -20,9 +20,9 @@ TEST(EnergyLedger, AccumulatesByCategory) {
 
 TEST(EnergyLedger, MergeAndReset) {
   EnergyLedger a, b;
-  a.add("x", 1.0);
-  b.add("x", 2.0);
-  b.add("y", 3.0);
+  a.add(a.intern("x"), 1.0);
+  b.add(b.intern("x"), 2.0);
+  b.add(b.intern("y"), 3.0);
   a.merge(b);
   EXPECT_DOUBLE_EQ(a.category_pj("x"), 3.0);
   EXPECT_DOUBLE_EQ(a.category_pj("y"), 3.0);
@@ -37,7 +37,7 @@ TEST(EnergyLedger, InternedHandlesAliasStringCategories) {
   const EnergyId id = l.intern("l2.write");
   EXPECT_EQ(l.intern("l2.write"), id);  // idempotent
   l.add(id, 2.0);
-  l.add("l2.write", 3.0);
+  l.add(l.intern("l2.write"), 3.0);  // re-interning yields the same slot
   EXPECT_DOUBLE_EQ(l.category_pj("l2.write"), 5.0);
   EXPECT_DOUBLE_EQ(l.total_pj(), 5.0);
   // Interning alone creates the category at zero (visible in categories()).
@@ -52,9 +52,9 @@ TEST(EnergyLedger, MergeResolvesByNameNotById) {
   // intern in construction order); merge must match by name.
   EnergyLedger a, b;
   a.intern("alpha");
-  a.add("beta", 1.0);
-  b.add("beta", 2.0);
-  b.add("alpha", 4.0);
+  a.add(a.intern("beta"), 1.0);
+  b.add(b.intern("beta"), 2.0);
+  b.add(b.intern("alpha"), 4.0);
   a.merge(b);
   EXPECT_DOUBLE_EQ(a.category_pj("alpha"), 4.0);
   EXPECT_DOUBLE_EQ(a.category_pj("beta"), 3.0);
@@ -63,7 +63,7 @@ TEST(EnergyLedger, MergeResolvesByNameNotById) {
 
 TEST(PowerReport, ConvertsEnergyToWatts) {
   EnergyLedger ledger;
-  ledger.add("x", 1e12);  // 1 J
+  ledger.add(ledger.intern("x"), 1e12);  // 1 J
   const PowerReport r = PowerReport::from_run(ledger, /*leakage_w=*/0.5, /*runtime_s=*/2.0);
   EXPECT_DOUBLE_EQ(r.dynamic_w, 0.5);
   EXPECT_DOUBLE_EQ(r.leakage_w, 0.5);

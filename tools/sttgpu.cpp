@@ -28,7 +28,28 @@
 //       `compact` rewrites the log down to live records; `stats` prints the
 //       index/log/quarantine summary.
 //
-// Exit codes:
+//   sttgpu serve [socket=sttgpu.sock] [port=<tcp>] [cache=fig8_cache.csv]
+//               [jobs=N] [watchdog=<s>] [job_timeout=<s>] [retry=<n>]
+//       Run the sweep-service daemon: submissions from the client verbs
+//       below are deduplicated against the result store and against each
+//       other before anything simulates, misses run on a supervised worker
+//       pool, and the CSV export is kept byte-identical to a direct matrix
+//       run. SIGINT/SIGTERM drains gracefully (in-flight work finishes and
+//       is persisted) and exits 0.
+//
+//   sttgpu submit [socket=...] [archs=C1,C2] [benchmarks=bfs] [scale=0.5]
+//                 [wait=1] [json=out.json] [<run knobs>...]
+//   sttgpu status [socket=...] [id=N]
+//   sttgpu watch  [socket=...] id=N
+//   sttgpu cancel [socket=...] id=N
+//   sttgpu result [socket=...] [id=N | arch=C1 benchmark=bfs scale=0.5]
+//       Clients of a running `sttgpu serve`. submit sends a matrix slice
+//       (wait=1 blocks, streams progress, and prints the result table);
+//       watch streams a submission's NDJSON events; result fetches stored
+//       rows — by-key output is byte-identical to the metrics block of the
+//       equivalent direct `sttgpu run`.
+//
+// Exit codes (common/exit_codes.hpp):
 //   0  success
 //   1  simulation/setup error
 //   2  usage error (unknown command or knob)
@@ -36,6 +57,8 @@
 //      the same cache= to resume
 //   4  a job was killed by the watchdog or per-job timeout
 //   5  store fsck: quarantined data awaiting acknowledgement
+//   6  serve: cannot bind/listen on the requested socket or port
+//   7  client/server protocol version mismatch
 //
 //   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
 //       Run once and capture the L2 demand stream to a CSV trace.
@@ -55,35 +78,37 @@
 //   interval=<cycles>  sampling window (default 50000)
 //   trace_out=<path>   Chrome trace-event JSON (load in ui.perfetto.dev)
 //   telemetry_csv=<p>  interval series as CSV
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <thread>
 
 #include "common/atomic_file.hpp"
 #include "common/cancel.hpp"
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "common/exit_codes.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/telemetry.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/executor.hpp"
 #include "sim/knobs.hpp"
 #include "sim/probe.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
 #include "sim/trace.hpp"
+#include "store/record.hpp"
 #include "store/result_store.hpp"
 
 namespace {
 
 using namespace sttgpu;
-
-constexpr int kExitOk = 0;
-constexpr int kExitError = 1;
-constexpr int kExitUsage = 2;
-constexpr int kExitInterrupted = 3;  // user interrupt; cached rows resume
-constexpr int kExitWatchdog = 4;     // watchdog / per-job timeout kill
-constexpr int kExitQuarantine = 5;   // store fsck: unacknowledged quarantine
 
 /// Process-wide cancellation source, flipped by SIGINT/SIGTERM. Every
 /// command that simulates passes it down; the Gpu cycle loop observes it at
@@ -188,13 +213,9 @@ int cmd_run(const Config& cfg) {
     throw;
   }
 
-  std::cout << arch_name << " / " << benchmark << " (scale " << scale << ")\n"
-            << "  IPC        " << m.ipc << "\n"
-            << "  cycles     " << m.cycles << "\n"
-            << "  L2 power   " << m.total_w << " W (dyn " << m.dynamic_w << " + leak "
-            << m.leakage_w << ")\n"
-            << "  writes     " << m.l2_write_share * 100 << "% of L2 accesses\n"
-            << "  miss rate  " << m.l2_miss_rate * 100 << "%\n";
+  // Shared with `sttgpu result`: a row fetched from the sweep service
+  // prints byte-identically to this direct run.
+  sim::print_metrics_block(std::cout, m, scale);
   if (!run.l2_counters.all().empty()) {
     std::cout << "  counters:\n";
     for (const auto& [name, value] : run.l2_counters.all()) {
@@ -391,6 +412,231 @@ int cmd_store(const std::string& verb, const Config& cfg) {
   return kExitUsage;
 }
 
+// --- sweep-service verbs ---------------------------------------------------
+
+int cmd_serve(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobServe;
+  sim::validate_knobs(cfg, kCmd, "serve");
+  serve::ServerOptions so;
+  so.socket_path = sim::knob_string(cfg, kCmd, "socket");
+  so.tcp_port = static_cast<int>(sim::knob_int(cfg, kCmd, "port"));
+  so.cache_path = sim::knob_string(cfg, kCmd, "cache");
+  so.jobs = sim::resolve_jobs(sim::knob_int(cfg, kCmd, "jobs"));
+  so.watchdog_s = sim::knob_double(cfg, kCmd, "watchdog");
+  so.job_timeout_s = sim::knob_double(cfg, kCmd, "job_timeout");
+  STTGPU_REQUIRE(so.watchdog_s >= 0.0, "watchdog= must be >= 0 seconds");
+  STTGPU_REQUIRE(so.job_timeout_s >= 0.0, "job_timeout= must be >= 0 seconds");
+  const std::int64_t retries = sim::knob_int(cfg, kCmd, "retry");
+  STTGPU_REQUIRE(retries >= 0, "retry= must be >= 0");
+  so.retries = static_cast<unsigned>(retries);
+  so.log = [](const std::string& line) { sim::log_line(line); };
+
+  serve::SweepServer server(std::move(so));
+  server.start();
+  // Serve until SIGINT/SIGTERM, then drain gracefully: in-flight and queued
+  // work finishes and persists, the final CSV export is published, and the
+  // store is left fsck-clean — so the signal exit is a success (0), not the
+  // resumable-interrupt code a torn matrix run reports.
+  while (!g_cancel.requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  sim::log_line("[serve] " + std::string(cancel_reason_name(g_cancel.reason())) +
+                " interrupt — draining");
+  server.stop();
+  return kExitOk;
+}
+
+/// Builds the {"protocol_version":..,"verb":..,"id":..,"options":{...}}
+/// request envelope. Transport/client-only knobs never go on the wire.
+std::string client_request(const std::string& verb, const Config& cfg,
+                           std::int64_t id = 0) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("protocol_version").value(serve::kProtocolVersion);
+  w.key("verb").value(verb);
+  if (id > 0) w.key("id").value(static_cast<std::int64_t>(id));
+  w.key("options").begin_object();
+  for (const auto& [key, value] : cfg.all()) {
+    if (key == "socket" || key == "port" || key == "wait" || key == "json" ||
+        key == "id") {
+      continue;
+    }
+    // Values travel as the raw key=value text the user typed; the server
+    // re-parses them through the same knob registry as argv.
+    w.key(key).value(value);
+  }
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+serve::Client client_connect(const Config& cfg, sim::KnobCommand cmd) {
+  return serve::Client::connect(sim::knob_string(cfg, cmd, "socket"),
+                                static_cast<int>(sim::knob_int(cfg, cmd, "port")));
+}
+
+/// Decodes the "rows" array of a result/submit response (store "put ..."
+/// payload lines) back into Metrics, exactly as the store itself would.
+std::vector<sim::Metrics> rows_from_response(const JsonValue& response) {
+  std::vector<sim::Metrics> rows;
+  const JsonValue* arr = response.find("rows");
+  if (arr == nullptr) return rows;
+  for (std::size_t i = 0; i < arr->size(); ++i) {
+    const auto rec = store::decode_put(arr->at(i).as_string());
+    STTGPU_REQUIRE(rec.has_value(), "server sent an undecodable result row");
+    rows.push_back(sim::from_store_row(rec->row));
+  }
+  return rows;
+}
+
+void print_rows_table(const std::vector<sim::Metrics>& rows) {
+  TextTable table({"arch", "benchmark", "IPC", "dyn W", "total W"});
+  for (const auto& m : rows) {
+    table.add_row({m.arch, m.benchmark, TextTable::fmt(m.ipc, 3),
+                   TextTable::fmt(m.dynamic_w, 3), TextTable::fmt(m.total_w, 3)});
+  }
+  table.print(std::cout);
+}
+
+/// Follows a submission's event stream, narrating progress to stderr.
+/// Returns the terminal "complete" event.
+JsonValue follow(const Config& cfg, sim::KnobCommand cmd, std::int64_t id) {
+  serve::Client watcher = client_connect(cfg, cmd);
+  Config watch_cfg;  // watch carries no options, just the id
+  return watcher.stream(client_request("watch", watch_cfg, id),
+                        [](const std::string&, const JsonValue& ev) {
+    const std::string kind = ev.at("event").as_string();
+    if (kind == "start" || kind == "done" || kind == "failed") {
+      std::string line = "[serve] " + kind + " " + ev.at("arch").as_string() + "/" +
+                         ev.at("benchmark").as_string();
+      const JsonValue* status = ev.find("status");
+      if (status != nullptr && status->as_string() != "ok") {
+        line += " (" + status->as_string() + ")";
+      }
+      sim::log_line(line);
+    }
+  });
+}
+
+int cmd_submit(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobSubmit;
+  sim::validate_knobs(cfg, kCmd, "submit");
+  serve::Client client = client_connect(cfg, kCmd);
+  const JsonValue response = client.request(client_request("submit", cfg));
+  const std::int64_t id = response.at("id").as_int();
+  std::cout << "submitted " << id << ": " << response.at("total").as_int()
+            << " configs, " << response.at("hits").as_int() << " store hits, "
+            << response.at("scheduled").as_int() << " scheduled, "
+            << response.at("attached").as_int() << " attached\n";
+  if (!sim::knob_bool(cfg, kCmd, "wait")) return kExitOk;
+
+  const JsonValue final_event = follow(cfg, kCmd, id);
+  serve::Client fetcher = client_connect(cfg, kCmd);
+  Config result_cfg;
+  const JsonValue result = fetcher.request(client_request("result", result_cfg, id));
+  const std::vector<sim::Metrics> rows = rows_from_response(result);
+  print_rows_table(rows);
+  if (cfg.has("json")) {
+    atomic_write_file(sim::knob_string(cfg, kCmd, "json"), [&rows](std::ostream& out) {
+      sim::write_matrix_json(out, rows);
+      out << "\n";
+    });
+  }
+  const std::string state = final_event.at("state").as_string();
+  if (state == "complete") return kExitOk;
+  std::cerr << "submission " << id << " " << state << " ("
+            << final_event.at("failed").as_int() << " of "
+            << final_event.at("total").as_int() << " configs failed)\n";
+  return state == "cancelled" ? kExitInterrupted : kExitError;
+}
+
+int cmd_status(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobStatus;
+  sim::validate_knobs(cfg, kCmd, "status");
+  const std::int64_t id = sim::knob_int(cfg, kCmd, "id");
+  serve::Client client = client_connect(cfg, kCmd);
+  Config empty;
+  const JsonValue response = client.request(client_request("status", empty, id));
+  if (id == 0) {
+    const JsonValue& s = response.at("server");
+    std::cout << "server:\n"
+              << "  submissions     " << s.at("submissions").as_int() << "\n"
+              << "  simulated       " << s.at("tasks_simulated").as_int() << " task"
+              << (s.at("tasks_simulated").as_int() == 1 ? "" : "s") << " ("
+              << s.at("tasks_failed").as_int() << " failed)\n"
+              << "  store hits      " << s.at("store_hits").as_int() << " (+"
+              << s.at("attached").as_int() << " attached to in-flight tasks)\n"
+              << "  store rows      " << s.at("store_rows").as_int() << " ("
+              << s.at("merged_rows").as_int() << " merged from other writers)\n"
+              << "  queue           " << s.at("queued").as_int() << " waiting, "
+              << s.at("workers").as_int() << " worker"
+              << (s.at("workers").as_int() == 1 ? "" : "s") << "\n";
+    return kExitOk;
+  }
+  std::cout << "submission " << response.at("id").as_int() << ": "
+            << response.at("state").as_string() << " ("
+            << response.at("hits").as_int() << " hits, "
+            << response.at("simulated").as_int() << " simulated, "
+            << response.at("failed").as_int() << " failed, "
+            << response.at("pending").as_int() << " pending of "
+            << response.at("total").as_int() << ")\n";
+  return kExitOk;
+}
+
+int cmd_watch(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobWatch;
+  sim::validate_knobs(cfg, kCmd, "watch");
+  const std::int64_t id = sim::knob_int(cfg, kCmd, "id");
+  STTGPU_REQUIRE(id > 0, "watch needs id=<submission>");
+  serve::Client client = client_connect(cfg, kCmd);
+  Config empty;
+  // Events pass through verbatim: `sttgpu watch` IS the NDJSON stream.
+  client.stream(client_request("watch", empty, id),
+                [](const std::string& line, const JsonValue&) {
+                  std::cout << line << "\n" << std::flush;
+                });
+  return kExitOk;
+}
+
+int cmd_cancel(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobCancel;
+  sim::validate_knobs(cfg, kCmd, "cancel");
+  const std::int64_t id = sim::knob_int(cfg, kCmd, "id");
+  STTGPU_REQUIRE(id > 0, "cancel needs id=<submission>");
+  serve::Client client = client_connect(cfg, kCmd);
+  Config empty;
+  const JsonValue response = client.request(client_request("cancel", empty, id));
+  std::cout << "submission " << response.at("id").as_int() << ": "
+            << response.at("state").as_string() << "\n";
+  return kExitOk;
+}
+
+int cmd_result(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobResult;
+  sim::validate_knobs(cfg, kCmd, "result");
+  const std::int64_t id = sim::knob_int(cfg, kCmd, "id");
+  serve::Client client = client_connect(cfg, kCmd);
+  const JsonValue response = client.request(client_request("result", cfg, id));
+  const std::vector<sim::Metrics> rows = rows_from_response(response);
+  if (id > 0) {
+    print_rows_table(rows);
+    const JsonValue& missing = response.at("missing");
+    if (missing.size() > 0) {
+      std::cerr << missing.size() << " of " << rows.size() + missing.size()
+                << " rows are not in the store (failed or still pending)\n";
+      return kExitError;
+    }
+    return kExitOk;
+  }
+  // By-key lookup prints the exact metrics block a direct `sttgpu run` of
+  // the same config prints: the row round-trips the store's max_digits10
+  // encoding, so every double is bit-identical.
+  STTGPU_REQUIRE(!rows.empty(), "no stored result");
+  sim::print_metrics_block(std::cout, rows.front(), sim::knob_double(cfg, kCmd, "scale"));
+  return kExitOk;
+}
+
 int usage() {
   std::cerr << sim::knob_usage();
   return kExitUsage;
@@ -420,7 +666,19 @@ int main(int argc, char** argv) {
     if (command == "matrix") return cmd_matrix(cfg);
     if (command == "record") return cmd_record(cfg);
     if (command == "replay") return cmd_replay(cfg);
+    if (command == "serve") return cmd_serve(cfg);
+    if (command == "submit") return cmd_submit(cfg);
+    if (command == "status") return cmd_status(cfg);
+    if (command == "watch") return cmd_watch(cfg);
+    if (command == "cancel") return cmd_cancel(cfg);
+    if (command == "result") return cmd_result(cfg);
     return usage();
+  } catch (const serve::BindError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitBind;
+  } catch (const serve::ProtocolMismatch& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitProtocol;
   } catch (const Cancelled& c) {
     // Artifacts (cache, telemetry, JSON) were finalized before the unwind;
     // the exit code tells scripts whether this is resumable (3 = user
