@@ -1,0 +1,78 @@
+// Per-client round-robin work queue for the sweep service's admission
+// control.
+//
+// A plain FIFO lets one greedy client front-load thousands of tasks and
+// starve everyone behind it. FairQueue keeps one sub-queue per client
+// identity (SO_PEERCRED uid/pid for unix-socket peers) and pops in rotating
+// round-robin order, so a client submitting 1 config next to a client
+// submitting 1000 still gets its task dispatched on the next free worker.
+//
+// Bookkeeping is bounded by *live* clients: a client's lane is dropped the
+// moment its sub-queue drains, so a month of one-shot CLI submissions does
+// not accrete empty deques. Not thread-safe — the server guards it with the
+// same mutex that protects the rest of its scheduling state.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sttgpu::serve {
+
+template <typename T>
+class FairQueue {
+ public:
+  /// Appends @p item to @p client's lane, creating the lane (at the back of
+  /// the rotation) on first use.
+  void push(const std::string& client, T item) {
+    auto it = lanes_.find(client);
+    if (it == lanes_.end()) {
+      it = lanes_.emplace(client, std::deque<T>{}).first;
+      rotation_.push_back(client);
+    }
+    it->second.push_back(std::move(item));
+    ++size_;
+  }
+
+  /// Pops the next item in round-robin order across clients; nullopt when
+  /// empty. Lanes drained by the pop are removed from the rotation.
+  std::optional<T> pop() {
+    while (!rotation_.empty()) {
+      if (next_ >= rotation_.size()) next_ = 0;
+      const auto it = lanes_.find(rotation_[next_]);
+      if (it == lanes_.end() || it->second.empty()) {
+        // Defensive only — the invariant is that every lane is non-empty.
+        if (it != lanes_.end()) lanes_.erase(it);
+        rotation_.erase(rotation_.begin() + static_cast<std::ptrdiff_t>(next_));
+        continue;
+      }
+      T item = std::move(it->second.front());
+      it->second.pop_front();
+      --size_;
+      if (it->second.empty()) {
+        lanes_.erase(it);
+        // Erasing at next_ leaves next_ pointing at the following client.
+        rotation_.erase(rotation_.begin() + static_cast<std::ptrdiff_t>(next_));
+      } else {
+        ++next_;
+      }
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t clients() const noexcept { return lanes_.size(); }
+
+ private:
+  std::map<std::string, std::deque<T>> lanes_;
+  std::vector<std::string> rotation_;  ///< lane order; index next_ pops next
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sttgpu::serve

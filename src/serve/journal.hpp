@@ -1,0 +1,97 @@
+// Crash-recovery submission journal for the sweep service.
+//
+// The result store makes every *finished* row durable, but a daemon that is
+// SIGKILLed mid-sweep still silently dropped everything it had accepted and
+// not yet simulated. The journal closes that gap: an acknowledged
+// submission is first recorded durably ("sub <id> <options-json>"), and only
+// when every one of its rows has been put into the store — the moment the
+// submission completes — is it retired ("done <id>"). On open, any `sub`
+// without a matching `done` is an acknowledged-but-unfinished submission the
+// restarted daemon replays before accepting new work: finished rows come
+// back as warm store hits, the unfinished tail re-simulates.
+//
+// The file lives next to the result store ("x.csv" -> "x.journal") and
+// reuses the store's CRC-framed WAL discipline verbatim (store/wal.hpp):
+// fsync'd single-write appends, torn-tail truncation, bit-rot resync. Open
+// compacts the log — retired and corrupt records are dropped by an atomic
+// rewrite — so the journal stays proportional to *open* submissions, not to
+// the daemon's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sttgpu::serve {
+
+/// The journal cannot be opened/recovered (I/O failure, foreign format).
+/// Mapped to exit code 9 by the CLI — a daemon must not start "recovered"
+/// while silently ignoring the submissions it promised to keep.
+class JournalError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+class Journal {
+ public:
+  /// "x.csv" -> "x.journal", mirroring ResultStore::derive_path.
+  static std::string derive_path(const std::string& csv_path);
+
+  /// Opens (creating if absent), recovers, and compacts the journal.
+  /// Throws JournalError on I/O failure or a foreign/newer format marker.
+  explicit Journal(std::string path, std::function<void(const std::string&)> log = {});
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  struct Pending {
+    std::uint64_t id = 0;
+    std::string options_json;  ///< the submit's options object, as recorded
+  };
+
+  /// Acknowledged-but-unfinished submissions found at open, in id order.
+  std::vector<Pending> recovered() const;
+
+  /// Highest submission id ever journaled (0 on a fresh log) — the server
+  /// seeds its id counter past it so replayed ids are never reissued.
+  std::uint64_t max_id() const;
+
+  /// Durably records an acknowledged submission BEFORE the ack is sent.
+  /// Throws SimError on append failure (the submission must then be refused).
+  void record_submission(std::uint64_t id, const std::string& options_json);
+
+  /// Retires a submission once every row is durably in the store. Append
+  /// failure is swallowed (replaying a finished submission is idempotent —
+  /// it resolves as pure store hits).
+  void record_done(std::uint64_t id) noexcept;
+
+  struct Stats {
+    std::size_t open = 0;     ///< submissions recorded and not yet retired
+    std::size_t records = 0;  ///< records appended since open (sub + done)
+    std::uint64_t bytes = 0;  ///< current file size
+  };
+  Stats stats() const;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  void say(const std::string& line) const;
+
+  std::string path_;
+  std::function<void(const std::string&)> log_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::map<std::uint64_t, std::string> open_;  ///< id -> options json
+  std::vector<Pending> recovered_;
+  std::uint64_t max_id_ = 0;
+  std::size_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace sttgpu::serve

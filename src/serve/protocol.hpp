@@ -58,11 +58,24 @@ class BindError : public SimError {
   using SimError::SimError;
 };
 
-/// The peer speaks a different protocol_version (or none). Mapped to exit
-/// code 7 by the CLI.
+/// The peer speaks a different protocol_version (or none) — or sent bytes
+/// that are not frames at all. Mapped to exit code 7 by the CLI.
 class ProtocolMismatch : public SimError {
  public:
   using SimError::SimError;
+};
+
+/// The server shed a submission because its admission queue is full. Carries
+/// the server's backoff hint; the CLI retries with jitter and maps an
+/// exhausted retry budget to exit code 8.
+class Overloaded : public SimError {
+ public:
+  Overloaded(const std::string& what, std::int64_t retry_after_ms)
+      : SimError(what), retry_after_ms_(retry_after_ms) {}
+  std::int64_t retry_after_ms() const noexcept { return retry_after_ms_; }
+
+ private:
+  std::int64_t retry_after_ms_;
 };
 
 // --- EINTR-safe socket I/O -------------------------------------------------
@@ -73,7 +86,14 @@ void write_all(int fd, const void* buf, std::size_t n);
 
 /// Reads exactly @p n bytes. Returns false on clean EOF before the first
 /// byte; throws SimError on an error or an EOF mid-buffer (torn frame).
+/// A receive timeout (SO_RCVTIMEO expiring mid-frame) is reported as a
+/// "stalled mid-frame" SimError rather than a raw errno.
 bool read_exact(int fd, void* buf, std::size_t n);
+
+/// Polls @p fd for readability. True when at least one byte (or EOF) is
+/// ready within @p timeout_ms; false on timeout. EINTR restarts the wait
+/// with the remaining budget. timeout_ms < 0 waits forever.
+bool wait_readable(int fd, int timeout_ms);
 
 // --- framing ---------------------------------------------------------------
 
@@ -81,7 +101,9 @@ bool read_exact(int fd, void* buf, std::size_t n);
 void write_frame(int fd, std::string_view payload);
 
 /// Receives one frame's payload. nullopt on clean EOF at a frame boundary;
-/// throws SimError on bad magic, an oversized length, or a torn frame.
+/// throws ProtocolMismatch on bad magic or an oversized length (the peer is
+/// not speaking frames — the server answers with a "protocol" error), and
+/// SimError on a torn frame (the peer is gone; nothing can be answered).
 std::optional<std::string> read_frame(int fd);
 
 /// Appends '\n' and writes one event line of a watch stream.
@@ -93,13 +115,18 @@ void write_event_line(int fd, std::string_view line);
 /// "error":<msg>,"kind":<"protocol"|"error">}.
 std::string error_response(const std::string& message, bool protocol_mismatch = false);
 
+/// Serialized admission-control shed: {"protocol_version":N,"ok":false,
+/// "kind":"overloaded","error":<msg>,"retry_after_ms":<hint>}.
+std::string overloaded_response(const std::string& message, std::int64_t retry_after_ms);
+
 /// Server side: verifies a parsed request's protocol_version. Throws
 /// ProtocolMismatch naming both versions when absent or different.
 void require_version(const JsonValue& request);
 
 /// Client side: checks a parsed response envelope. Throws ProtocolMismatch
-/// for kind=="protocol" (and for version mismatches), SimError for any
-/// other ok=false, and returns normally for ok=true.
+/// for kind=="protocol" (and for version mismatches), Overloaded for
+/// kind=="overloaded" (with the server's retry_after_ms hint), SimError for
+/// any other ok=false, and returns normally for ok=true.
 void check_response(const JsonValue& response);
 
 }  // namespace sttgpu::serve

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -16,6 +16,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -23,8 +24,12 @@
 #include "common/config.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/stats.hpp"
 #include "common/telemetry.hpp"
+#include "serve/fair_queue.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
+#include "serve/sandbox.hpp"
 #include "sim/executor.hpp"
 #include "sim/knobs.hpp"
 #include "sim/runner.hpp"
@@ -52,6 +57,32 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 
 int close_quiet(int fd) noexcept { return fd >= 0 ? ::close(fd) : 0; }
+
+/// Fairness identity of a connection. Unix-socket peers are keyed by
+/// SO_PEERCRED (uid + pid: one greedy *process* cannot starve the rest);
+/// loopback TCP peers carry no credentials and share one lane.
+std::string peer_identity(int fd, bool is_tcp) {
+  if (!is_tcp) {
+    ucred cred{};
+    socklen_t len = sizeof cred;
+    if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &len) == 0 &&
+        len == sizeof cred) {
+      return "uid:" + std::to_string(cred.uid) + "/pid:" + std::to_string(cred.pid);
+    }
+  }
+  return "tcp:loopback";
+}
+
+/// Deterministic JSON of a validated knob set (sorted keys, string values) —
+/// the journal's record of an acknowledged submission.
+std::string config_json(const Config& cfg) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  for (const auto& [k, v] : cfg.all()) w.key(k).value(v);
+  w.end_object();
+  return os.str();
+}
 
 }  // namespace
 
@@ -83,18 +114,23 @@ struct SweepServer::Impl {
     std::set<std::string> pending;  ///< outstanding task keys
     std::size_t total = 0, hits = 0, simulated = 0, failed = 0;
     bool touched_store = false;  ///< any task simulated → re-export the CSV
+    bool journaled = false;   ///< has an open journal record to retire
+    bool recovered = false;   ///< replayed from the journal after a restart
     std::string state = "running";  ///< running|complete|failed|cancelled
     bool complete = false;
     std::vector<std::string> events;  ///< NDJSON backlog for watchers
   };
 
-  explicit Impl(ServerOptions o) : opts(std::move(o)) {}
+  explicit Impl(ServerOptions o)
+      : opts(std::move(o)), started_at(std::chrono::steady_clock::now()) {}
 
   ServerOptions opts;
   std::unique_ptr<store::ResultStore> store;
+  std::unique_ptr<Journal> journal;
   int unix_fd = -1;
   int tcp_fd = -1;
   unsigned workers = 1;
+  std::chrono::steady_clock::time_point started_at;
 
   std::mutex mu;
   std::condition_variable cv_queue;   ///< workers wait for tasks
@@ -105,16 +141,29 @@ struct SweepServer::Impl {
   std::uint64_t next_id = 1;
   std::map<std::uint64_t, Submission> submissions;
   std::map<std::string, std::shared_ptr<Task>> inflight;  ///< key → task
-  std::deque<std::shared_ptr<Task>> queue;
+  FairQueue<std::shared_ptr<Task>> queue;  ///< per-client round-robin
   std::set<int> conns;  ///< open connection fds (shutdown on stop)
 
   // Monotonic counters (mu-free reads for the on_apply hook).
   std::atomic<std::uint64_t> n_submissions{0}, n_simulated{0}, n_failed{0},
       n_store_hits{0}, n_attached{0}, n_applied{0}, n_own_puts{0};
+  std::atomic<std::uint64_t> n_shed{0}, n_child_kills{0}, n_child_crashes{0},
+      n_retries{0}, n_replayed{0};
+
+  // Interned connection counters (mu held). One slot today; the intern
+  // call in the initializer keeps additions one-liners.
+  CounterSet conn_counters;
+  CounterId read_drop_counter = conn_counters.intern("serve.read_deadline_drops");
 
   std::thread accept_thread;
   std::vector<std::thread> worker_threads;
-  std::vector<std::thread> conn_threads;
+  // Connection handler threads: live ones are registered by token; a
+  // finishing handler moves its own handle to the zombie list, which the
+  // accept loop joins every poll tick — the registry stays bounded by
+  // *live* connections instead of growing for the daemon's lifetime.
+  std::uint64_t next_conn_token = 1;
+  std::map<std::uint64_t, std::thread> conn_live;
+  std::vector<std::thread> conn_zombies;
 
   void say(const std::string& line) const {
     if (opts.log) opts.log("[serve] " + line);
@@ -221,6 +270,10 @@ struct SweepServer::Impl {
     sub.complete = true;
     if (sub.state == "running") sub.state = sub.failed > 0 ? "failed" : "complete";
     append_event_locked(sub, complete_event(sub));
+    // Retire the journal record only now — every row of the submission is
+    // durably in the store (or accounted failed/cancelled), so a crash
+    // after this point loses nothing that was promised.
+    if (sub.journaled && journal) journal->record_done(sub.id);
     say("submission " + std::to_string(sub.id) + " " + sub.state + " (" +
         std::to_string(sub.hits) + " hits, " + std::to_string(sub.simulated) +
         " simulated, " + std::to_string(sub.failed) + " failed)");
@@ -293,32 +346,9 @@ struct SweepServer::Impl {
     return exports;
   }
 
-  /// Emits a telemetry frame event to every waiter. Runs on the simulating
-  /// thread via Telemetry::set_on_frame.
-  void emit_telemetry(const Task& t, const Telemetry& tel, std::size_t frame) {
-    std::ostringstream os;
-    JsonWriter w(os);
-    w.begin_object();
-    w.key("event").value("telemetry");
-    w.key("arch").value(t.arch);
-    w.key("benchmark").value(t.bench);
-    w.key("cycle").value(static_cast<std::uint64_t>(tel.frame_cycle(frame)));
-    w.key("counters").begin_object();
-    for (std::size_t k = 0; k < tel.track_count(); ++k) {
-      if (!tel.track_is_counter(k)) continue;
-      const auto& s = tel.track_samples(k);
-      const double prev = frame > 0 ? s[frame - 1] : 0.0;
-      w.key(tel.track_name(k)).value(s[frame] - prev);
-    }
-    w.end_object();
-    w.key("gauges").begin_object();
-    for (std::size_t k = 0; k < tel.track_count(); ++k) {
-      if (tel.track_is_counter(k)) continue;
-      w.key(tel.track_name(k)).value(tel.track_samples(k)[frame]);
-    }
-    w.end_object();
-    w.end_object();
-    const std::string line = os.str();
+  /// Delivers one ready-made event line to every submission waiting on @p t.
+  /// Runs on the simulating/supervising thread.
+  void fan_out_event(const Task& t, const std::string& line) {
     std::lock_guard<std::mutex> lk(mu);
     for (const std::uint64_t id : t.waiters) {
       const auto it = submissions.find(id);
@@ -350,7 +380,7 @@ struct SweepServer::Impl {
       if (t->want_telemetry) {
         tel = std::make_unique<Telemetry>(t->interval);
         tel->set_on_frame([this, &t](const Telemetry& T, std::size_t frame) {
-          emit_telemetry(*t, T, frame);
+          fan_out_event(*t, telemetry_event_json(t->arch, t->bench, T, frame));
         });
         ro.telemetry = tel.get();
       }
@@ -385,15 +415,85 @@ struct SweepServer::Impl {
     for (const ExportJob& e : exports) export_csv(e.fp, e.scale, e.faults);
   }
 
+  /// The process-isolated variant of run_task: the simulation runs in a
+  /// forked child (serve/sandbox.hpp); a crash, OOM, or wedge kills only the
+  /// child, which is reaped/retried and reported with a distinct status.
+  void run_task_sandboxed(const std::shared_ptr<Task>& t) {
+    SandboxJob job;
+    job.arch_id = t->arch_id;
+    job.arch = t->arch;
+    job.bench = t->bench;
+    job.fp = t->fp;
+    job.scale17 = store::scale_text(t->base.scale);
+    job.base = t->base;
+    job.want_telemetry = t->want_telemetry;
+    job.interval = t->interval;
+
+    SandboxOptions so;
+    so.watchdog_s = opts.watchdog_s;
+    so.job_timeout_s = opts.job_timeout_s;
+    so.retries = opts.retries;
+    so.mem_limit_bytes = opts.mem_limit_bytes;
+    so.cancel = &t->token;
+    so.in_child = [this] {
+      // An orphaned child must not keep the daemon's listeners open: a
+      // restarting daemon probes the stale socket file, and a held-open
+      // listener would read as "another server is alive".
+      close_quiet(unix_fd);
+      close_quiet(tcp_fd);
+    };
+
+    const SandboxResult res =
+        run_sandboxed(job, so, [this, t](const std::string& event) {
+          fan_out_event(*t, event);
+        });
+    n_child_kills.fetch_add(res.kills, std::memory_order_relaxed);
+    n_child_crashes.fetch_add(res.crashes, std::memory_order_relaxed);
+    if (res.attempts > 1) {
+      n_retries.fetch_add(res.attempts - 1, std::memory_order_relaxed);
+    }
+
+    // The row crossed the pipe as the store's own put-record line; decoding
+    // and re-putting it is byte-exact by the record codec's round-trip
+    // contract, so sandboxed rows match direct-run rows bit for bit.
+    std::optional<store::ResultRow> row;
+    std::string error = res.error;
+    const char* status = sandbox_status_name(res.status);
+    if (res.status == SandboxStatus::kOk) {
+      const auto rec = store::decode_put(res.row_line);
+      if (rec && rec->fingerprint == t->fp) {
+        n_own_puts.fetch_add(1, std::memory_order_relaxed);
+        store->put(t->fp, t->base.scale, rec->row);
+        row = rec->row;
+      } else {
+        status = "failed";
+        error = "sandbox returned an undecodable result row";
+      }
+    }
+
+    std::vector<ExportJob> exports;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (row) {
+        n_simulated.fetch_add(1, std::memory_order_relaxed);
+        exports = finish_task_locked(t, status, "", &*row);
+      } else {
+        n_failed.fetch_add(1, std::memory_order_relaxed);
+        exports = finish_task_locked(t, status, error, nullptr);
+      }
+    }
+    for (const ExportJob& e : exports) export_csv(e.fp, e.scale, e.faults);
+  }
+
   void worker_loop() {
     for (;;) {
       std::shared_ptr<Task> t;
       {
         std::unique_lock<std::mutex> lk(mu);
         cv_queue.wait(lk, [this] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // stopping and drained
-        t = queue.front();
-        queue.pop_front();
+        std::optional<std::shared_ptr<Task>> popped = queue.pop();
+        if (!popped) return;  // stopping and drained
+        t = std::move(*popped);
         if (t->waiters.empty()) {
           // Every submitter cancelled before the task started; nothing to
           // report to and nothing worth simulating.
@@ -408,7 +508,11 @@ struct SweepServer::Impl {
           }
         }
       }
-      run_task(t);
+      if (opts.sandbox) {
+        run_task_sandboxed(t);
+      } else {
+        run_task(t);
+      }
     }
   }
 
@@ -423,9 +527,26 @@ struct SweepServer::Impl {
     return cfg;
   }
 
-  std::string handle_submit(const JsonValue& req) {
+  /// Backpressure hint for shed submissions: scale with how much queued work
+  /// each worker already owns, clamped to something a human would wait.
+  std::int64_t retry_after_ms_locked() const {
+    const std::size_t per_worker = queue.size() / std::max(1u, workers);
+    const std::int64_t ms = 250 + static_cast<std::int64_t>(per_worker) * 250;
+    return std::min<std::int64_t>(ms, 30000);
+  }
+
+  struct SubmitOutcome {
+    std::uint64_t id = 0;
+    std::size_t total = 0, hits = 0, scheduled = 0, attached = 0;
+  };
+
+  /// The submit core, shared by the `submit` verb and journal replay.
+  /// @p client keys the fair-queue lane; @p forced_id reuses a journaled id
+  /// (0 = allocate); @p recovered marks a replay — exempt from admission
+  /// control and from re-journaling (its record is already on disk).
+  SubmitOutcome submit_config(const Config& cfg, const std::string& client,
+                              std::uint64_t forced_id, bool recovered) {
     constexpr auto kCmd = sim::kKnobSubmit;
-    const Config cfg = options_config(req, kCmd, "submit");
     const sim::RunOptions base = sim::run_options_from_knobs(cfg, kCmd);
     const bool want_telemetry = sim::knob_bool(cfg, kCmd, "telemetry");
     const std::int64_t interval = sim::knob_int(cfg, kCmd, "interval");
@@ -453,21 +574,69 @@ struct SweepServer::Impl {
 
     const std::uint64_t fp = sim::config_fingerprint(base.faults);
     const std::string scale17 = store::scale_text(base.scale);
+    // The journal record is the options object as validated — serialized
+    // before taking mu so the lock never covers string building.
+    const std::string options_json = config_json(cfg);
     // Observe rows other processes appended before deciding what to run.
     store->refresh();
 
-    std::size_t scheduled = 0, attach = 0;
-    std::uint64_t id = 0;
+    SubmitOutcome out;
+    std::optional<ExportJob> replay_export;
     {
       std::lock_guard<std::mutex> lk(mu);
       STTGPU_REQUIRE(!stopping, "server is draining — submission refused");
-      id = next_id++;
-      Submission& sub = submissions[id];
-      sub.id = id;
+
+      // Counting pass: decide, under the same lock the mutation pass will
+      // hold, how many fresh tasks this submission would enqueue — the
+      // admission decision and the later mutation always agree.
+      std::size_t would_schedule = 0, would_attach = 0;
+      for (const sim::Architecture a : archs) {
+        const std::string arch_name = sim::make_arch(a).name;
+        for (const std::string& bench : benchmarks) {
+          const std::string key = store::store_key(fp, scale17, arch_name, bench);
+          if (inflight.find(key) != inflight.end()) {
+            ++would_attach;
+          } else if (!store->get(fp, base.scale, arch_name, bench)) {
+            ++would_schedule;
+          }
+        }
+      }
+
+      // Admission control. Replays are exempt: they were acknowledged in a
+      // previous life and shedding them would break the journal's promise.
+      if (!recovered && opts.max_queue > 0 &&
+          queue.size() + would_schedule > opts.max_queue) {
+        n_shed.fetch_add(1, std::memory_order_relaxed);
+        say("submission shed: queue " + std::to_string(queue.size()) + " + " +
+            std::to_string(would_schedule) + " new > max_queue " +
+            std::to_string(opts.max_queue) + " (client " + client + ")");
+        throw Overloaded("server overloaded: queue of " + std::to_string(queue.size()) +
+                             " task(s) cannot admit " + std::to_string(would_schedule) +
+                             " more (max_queue=" + std::to_string(opts.max_queue) + ")",
+                         retry_after_ms_locked());
+      }
+
+      out.id = forced_id != 0 ? forced_id : next_id++;
+      if (forced_id >= next_id) next_id = forced_id + 1;
+
+      // Durable ack BEFORE any state mutation: if the journal append fails
+      // the submission is cleanly refused (the skipped id is harmless).
+      // Pure store hits are worth journaling too — the promise covers the
+      // CSV export, not just simulation work.
+      const bool journal_it = !recovered && journal != nullptr;
+      if (journal_it) journal->record_submission(out.id, options_json);
+
+      Submission& sub = submissions[out.id];
+      sub.id = out.id;
       sub.fp = fp;
       sub.scale = base.scale;
       sub.scale17 = scale17;
       sub.faults = base.faults;
+      sub.journaled = journal_it || recovered;
+      sub.recovered = recovered;
+      // A replayed submission must republish the CSV even when every row is
+      // already in the store — the crash may have landed before the export.
+      if (recovered) sub.touched_store = true;
       for (const sim::Architecture a : archs) {
         const std::string arch_name = sim::make_arch(a).name;
         for (const std::string& bench : benchmarks) {
@@ -475,9 +644,9 @@ struct SweepServer::Impl {
           const std::string key = store::store_key(fp, scale17, arch_name, bench);
           const auto live = inflight.find(key);
           if (live != inflight.end()) {
-            live->second->waiters.push_back(id);
+            live->second->waiters.push_back(out.id);
             sub.pending.insert(key);
-            ++attach;
+            ++out.attached;
             n_attached.fetch_add(1, std::memory_order_relaxed);
             continue;
           }
@@ -495,14 +664,16 @@ struct SweepServer::Impl {
           t->base = base;
           t->want_telemetry = want_telemetry;
           t->interval = static_cast<Cycle>(interval);
-          t->waiters.push_back(id);
+          t->waiters.push_back(out.id);
           inflight.emplace(key, t);
-          queue.push_back(std::move(t));
+          queue.push(client, std::move(t));
           sub.pending.insert(key);
-          ++scheduled;
+          ++out.scheduled;
         }
       }
       sub.total = sub.pairs.size();
+      out.total = sub.total;
+      out.hits = sub.hits;
       n_submissions.fetch_add(1, std::memory_order_relaxed);
 
       {
@@ -510,35 +681,72 @@ struct SweepServer::Impl {
         JsonWriter w(os);
         w.begin_object();
         w.key("event").value("scheduled");
-        w.key("id").value(id);
+        w.key("id").value(out.id);
         w.key("total").value(static_cast<std::uint64_t>(sub.total));
         w.key("hits").value(static_cast<std::uint64_t>(sub.hits));
-        w.key("scheduled").value(static_cast<std::uint64_t>(scheduled));
-        w.key("attached").value(static_cast<std::uint64_t>(attach));
+        w.key("scheduled").value(static_cast<std::uint64_t>(out.scheduled));
+        w.key("attached").value(static_cast<std::uint64_t>(out.attached));
         w.end_object();
         append_event_locked(sub, os.str());
       }
-      if (sub.pending.empty()) complete_submission_locked(sub);  // pure hit
-      say("submit " + std::to_string(id) + ": " + std::to_string(sub.total) +
+      if (sub.pending.empty()) {
+        complete_submission_locked(sub);  // pure hit
+        if (sub.touched_store) replay_export = ExportJob{sub.fp, sub.scale, sub.faults};
+      }
+      say("submit " + std::to_string(out.id) + ": " + std::to_string(sub.total) +
           " configs, " + std::to_string(sub.hits) + " store hits, " +
-          std::to_string(scheduled) + " scheduled, " + std::to_string(attach) +
+          std::to_string(out.scheduled) + " scheduled, " + std::to_string(out.attached) +
           " attached");
     }
     cv_queue.notify_all();
+    if (replay_export) export_csv(replay_export->fp, replay_export->scale,
+                                  replay_export->faults);
+    return out;
+  }
 
+  std::string handle_submit(const JsonValue& req, const std::string& client) {
+    const Config cfg = options_config(req, sim::kKnobSubmit, "submit");
+    const SubmitOutcome out = submit_config(cfg, client, /*forced_id=*/0,
+                                            /*recovered=*/false);
     std::ostringstream os;
     JsonWriter w(os);
     w.begin_object();
     w.key("protocol_version").value(kProtocolVersion);
     w.key("ok").value(true);
-    w.key("id").value(id);
-    w.key("total").value(static_cast<std::uint64_t>(archs.size() * benchmarks.size()));
-    w.key("hits").value(static_cast<std::uint64_t>(archs.size() * benchmarks.size() -
-                                                   scheduled - attach));
-    w.key("scheduled").value(static_cast<std::uint64_t>(scheduled));
-    w.key("attached").value(static_cast<std::uint64_t>(attach));
+    w.key("id").value(out.id);
+    w.key("total").value(static_cast<std::uint64_t>(out.total));
+    w.key("hits").value(static_cast<std::uint64_t>(out.hits));
+    w.key("scheduled").value(static_cast<std::uint64_t>(out.scheduled));
+    w.key("attached").value(static_cast<std::uint64_t>(out.attached));
     w.end_object();
     return os.str();
+  }
+
+  /// Re-submits every acknowledged-but-unfinished submission found in the
+  /// journal. Runs from start() before the accept loop exists, but after the
+  /// workers could be spawned — call it before spawning threads so replayed
+  /// work is queued when the first worker wakes.
+  void replay_journal() {
+    if (!journal) return;
+    const std::vector<Journal::Pending> pending = journal->recovered();
+    if (pending.empty()) return;
+    say("journal: replaying " + std::to_string(pending.size()) + " submission(s)");
+    for (const Journal::Pending& p : pending) {
+      try {
+        const JsonValue opts_json = parse_json(p.options_json);
+        Config cfg = sim::config_from_json(opts_json);
+        sim::validate_knobs(cfg, sim::kKnobSubmit, "submit");
+        submit_config(cfg, "journal-replay", p.id, /*recovered=*/true);
+        n_replayed.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        // A record this build cannot parse any more (or a submit that now
+        // fails validation) must not wedge the daemon in a replay loop on
+        // every restart: report it loudly and retire it.
+        say("journal: replay of submission " + std::to_string(p.id) + " failed (" +
+            e.what() + ") — retiring it");
+        journal->record_done(p.id);
+      }
+    }
   }
 
   ServerStats stats_snapshot() {
@@ -553,9 +761,59 @@ struct SweepServer::Impl {
     s.merged_rows = applied > own ? applied - own : 0;
     s.store_rows = store->size();
     s.workers = workers;
+    s.shed = n_shed.load(std::memory_order_relaxed);
+    s.child_kills = n_child_kills.load(std::memory_order_relaxed);
+    s.child_crashes = n_child_crashes.load(std::memory_order_relaxed);
+    s.task_retries = n_retries.load(std::memory_order_relaxed);
+    s.replayed = n_replayed.load(std::memory_order_relaxed);
+    s.sandbox = opts.sandbox;
+    s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                               started_at)
+                     .count();
+    if (journal) {
+      const Journal::Stats js = journal->stats();
+      s.journal_pending = js.open;
+      s.journal_records = js.records;
+    }
     std::lock_guard<std::mutex> lk(mu);
     s.queued = queue.size();
+    s.inflight = inflight.size();
+    s.connections = conn_live.size();
+    s.read_deadline_drops = conn_counters.at(read_drop_counter);
     return s;
+  }
+
+  std::string handle_health() {
+    const ServerStats s = stats_snapshot();
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("protocol_version").value(kProtocolVersion);
+    w.key("ok").value(true);
+    w.key("health").begin_object();
+    w.key("uptime_s").value(s.uptime_s);
+    w.key("workers").value(s.workers);
+    w.key("sandbox").value(s.sandbox);
+    w.key("queued").value(static_cast<std::uint64_t>(s.queued));
+    w.key("inflight").value(static_cast<std::uint64_t>(s.inflight));
+    w.key("connections").value(static_cast<std::uint64_t>(s.connections));
+    w.key("submissions").value(s.submissions);
+    w.key("tasks_simulated").value(s.tasks_simulated);
+    w.key("tasks_failed").value(s.tasks_failed);
+    w.key("store_hits").value(s.store_hits);
+    w.key("attached").value(s.attached);
+    w.key("shed").value(s.shed);
+    w.key("read_deadline_drops").value(s.read_deadline_drops);
+    w.key("child_kills").value(s.child_kills);
+    w.key("child_crashes").value(s.child_crashes);
+    w.key("task_retries").value(s.task_retries);
+    w.key("replayed").value(s.replayed);
+    w.key("journal_pending").value(s.journal_pending);
+    w.key("journal_records").value(s.journal_records);
+    w.key("store_rows").value(static_cast<std::uint64_t>(s.store_rows));
+    w.end_object();
+    w.end_object();
+    return os.str();
   }
 
   std::string handle_status(const JsonValue& req) {
@@ -748,27 +1006,57 @@ struct SweepServer::Impl {
 
   // --- connection handling -------------------------------------------------
 
-  void handle_connection(int fd) {
+  void handle_connection(int fd, const std::string& client) {
+    bool dropped = false;
     try {
-      const std::optional<std::string> payload = read_frame(fd);
-      if (payload) {
-        const JsonValue req = parse_json(*payload);
-        require_version(req);
-        const std::string verb = req.at("verb").as_string();
-        if (verb == "watch") {
-          handle_watch(fd, req);
-        } else if (verb == "submit") {
-          write_frame(fd, handle_submit(req));
-        } else if (verb == "status") {
-          write_frame(fd, handle_status(req));
-        } else if (verb == "cancel") {
-          write_frame(fd, handle_cancel(req));
-        } else if (verb == "result") {
-          write_frame(fd, handle_result(req));
+      if (opts.read_deadline_s > 0.0) {
+        // Pre-frame deadline: a client that connects and says nothing
+        // releases this thread instead of holding it forever.
+        const int ms = static_cast<int>(opts.read_deadline_s * 1000.0);
+        if (!wait_readable(fd, ms)) {
+          dropped = true;
         } else {
-          throw SimError("unknown verb '" + verb +
-                         "' (expected submit, status, watch, cancel or result)");
+          // Mid-frame stalls are bounded by the socket receive timeout;
+          // read_exact turns EAGAIN into a clean "peer stalled" error.
+          timeval tv{};
+          tv.tv_sec = static_cast<time_t>(opts.read_deadline_s);
+          tv.tv_usec = static_cast<suseconds_t>(
+              (opts.read_deadline_s - static_cast<double>(tv.tv_sec)) * 1e6);
+          ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
         }
+      }
+      if (!dropped) {
+        const std::optional<std::string> payload = read_frame(fd);
+        if (payload) {
+          if (payload->empty()) {
+            throw ProtocolMismatch("zero-length request frame");
+          }
+          const JsonValue req = parse_json(*payload);
+          require_version(req);
+          const std::string verb = req.at("verb").as_string();
+          if (verb == "watch") {
+            handle_watch(fd, req);
+          } else if (verb == "submit") {
+            write_frame(fd, handle_submit(req, client));
+          } else if (verb == "status") {
+            write_frame(fd, handle_status(req));
+          } else if (verb == "cancel") {
+            write_frame(fd, handle_cancel(req));
+          } else if (verb == "result") {
+            write_frame(fd, handle_result(req));
+          } else if (verb == "health") {
+            write_frame(fd, handle_health());
+          } else {
+            throw SimError("unknown verb '" + verb +
+                           "' (expected submit, status, watch, cancel, result or "
+                           "health)");
+          }
+        }
+      }
+    } catch (const Overloaded& e) {
+      try {
+        write_frame(fd, overloaded_response(e.what(), e.retry_after_ms()));
+      } catch (...) {
       }
     } catch (const ProtocolMismatch& e) {
       try {
@@ -784,8 +1072,35 @@ struct SweepServer::Impl {
     {
       std::lock_guard<std::mutex> lk(mu);
       conns.erase(fd);
+      if (dropped) {
+        ++conn_counters.at(read_drop_counter);
+        say("dropped silent connection (client " + client + ", no request within " +
+            std::to_string(opts.read_deadline_s) + "s)");
+      }
     }
     close_quiet(fd);
+  }
+
+  /// Last act of a connection handler: move its own thread handle from the
+  /// live registry to the zombie list the accept loop joins.
+  void finish_conn(std::uint64_t token) {
+    std::lock_guard<std::mutex> lk(mu);
+    const auto it = conn_live.find(token);
+    if (it != conn_live.end()) {
+      conn_zombies.push_back(std::move(it->second));
+      conn_live.erase(it);
+    }
+  }
+
+  void reap_conn_zombies() {
+    std::vector<std::thread> dead;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      dead.swap(conn_zombies);
+    }
+    for (std::thread& t : dead) {
+      if (t.joinable()) t.join();
+    }
   }
 
   void accept_loop() {
@@ -797,19 +1112,25 @@ struct SweepServer::Impl {
         std::lock_guard<std::mutex> lk(mu);
         if (stopping) return;
       }
+      reap_conn_zombies();
       const int n = ::poll(fds.data(), fds.size(), /*ms=*/200);
       if (n <= 0) continue;  // timeout or EINTR: re-check stopping
       for (const pollfd& p : fds) {
         if ((p.revents & POLLIN) == 0) continue;
         const int conn = ::accept(p.fd, nullptr, nullptr);
         if (conn < 0) continue;
+        const std::string client = peer_identity(conn, p.fd == tcp_fd);
         std::lock_guard<std::mutex> lk(mu);
         if (stopping) {
           close_quiet(conn);
           continue;
         }
         conns.insert(conn);
-        conn_threads.emplace_back([this, conn] { handle_connection(conn); });
+        const std::uint64_t token = next_conn_token++;
+        conn_live.emplace(token, std::thread([this, conn, client, token] {
+                            handle_connection(conn, client);
+                            finish_conn(token);
+                          }));
       }
     }
   }
@@ -830,6 +1151,12 @@ SweepServer::SweepServer(ServerOptions opts) : impl_(std::make_unique<Impl>(std:
   s.store->set_on_apply([impl = impl_.get()](const store::PutRecord&) {
     impl->n_applied.fetch_add(1, std::memory_order_relaxed);
   });
+
+  // Open (and recover) the submission journal before listening: replayed
+  // ids must never be reissued, so the id counter seeds past the journal.
+  s.journal = std::make_unique<Journal>(Journal::derive_path(s.opts.cache_path),
+                                        s.opts.log);
+  s.next_id = s.journal->max_id() + 1;
 
   s.bind_unix();
   if (s.opts.tcp_port > 0) {
@@ -857,6 +1184,9 @@ void SweepServer::start() {
     STTGPU_REQUIRE(!s.started, "server already started");
     s.started = true;
   }
+  // Replay before spawning threads: recovered work is already queued when
+  // the first worker wakes, and no client can race the replayed ids.
+  s.replay_journal();
   s.accept_thread = std::thread([&s] { s.accept_loop(); });
   for (unsigned i = 0; i < s.workers; ++i) {
     s.worker_threads.emplace_back([&s] { s.worker_loop(); });
@@ -892,8 +1222,21 @@ void SweepServer::stop() {
     std::lock_guard<std::mutex> lk(s.mu);
     for (const int fd : s.conns) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& t : s.conn_threads) {
-    if (t.joinable()) t.join();
+  // Handlers unblock (EOF / poll wake), move themselves to the zombie list,
+  // and are joined here; loop until the live registry drains.
+  for (;;) {
+    std::vector<std::thread> dead;
+    bool live = false;
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+      dead.swap(s.conn_zombies);
+      live = !s.conn_live.empty();
+    }
+    for (std::thread& t : dead) {
+      if (t.joinable()) t.join();
+    }
+    if (!live && dead.empty()) break;
+    if (dead.empty()) std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   s.say("drained and stopped");
 }

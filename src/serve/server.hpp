@@ -15,19 +15,36 @@
 //      is simulated exactly once;
 //   3. within a submission (a degenerate case of 2).
 //
-// Misses run on a persistent supervised worker pool. Each task is executed
-// under the PR-5 supervisor (sim/supervisor.hpp) with a per-task
-// CancelToken as the external source — the `cancel` verb, the progress
-// watchdog, the per-job timeout, and the retry budget are all literally the
-// matrix runner's semantics, not a re-implementation. Completed rows are
-// persisted write-through to the store under a CriticalSection, and the
-// CSV export is regenerated with the exact refresh + rows_for + save_cache
-// sequence run_matrix uses, so the served cache file is byte-identical to
-// one written by a direct run.
+// Misses run on a persistent worker pool. With `sandbox` on (the default)
+// each simulation executes in a forked child (serve/sandbox.hpp): a run
+// that SIGSEGVs, OOMs against the `mem_limit` RLIMIT_AS, or wedges is
+// SIGKILLed/reaped with the PR-5 supervisor's heartbeat-watchdog, timeout
+// and retry/backoff semantics, reported as a distinct `failed` watch event,
+// and the daemon keeps serving everyone else. Rows travel back over the
+// pipe as the store's own put-record lines, so sandboxed results are
+// byte-identical to in-process and direct-matrix runs. sandbox=0 keeps the
+// original in-process supervised path. The CSV export is regenerated with
+// the exact refresh + rows_for + save_cache sequence run_matrix uses.
+//
+// Admission control: the task queue is capacity-bound (`max_queue`) with
+// per-client round-robin fairness keyed on peer identity (SO_PEERCRED for
+// unix-socket clients). A submission that would overflow the queue is shed
+// with a structured "overloaded" error carrying a retry_after_ms hint.
+// Per-connection read deadlines (`read_deadline_s`) drop silent or stalled
+// peers so they cannot exhaust handler threads.
+//
+// Crash recovery: every acknowledged submission is durably recorded in a
+// CRC-framed journal next to the store (serve/journal.hpp) and retired only
+// when all of its rows are in the store. After a crash — SIGKILL included —
+// the restarted daemon replays unfinished submissions before accepting new
+// work: finished rows resolve as warm store hits, the tail re-simulates,
+// and the final CSV is byte-identical to an uninterrupted run.
 //
 // Subscribed `watch` clients receive newline-delimited JSON events:
 // scheduling, per-task start/done/failed, live telemetry frames (when the
-// submission asked for telemetry), and a terminal "complete".
+// submission asked for telemetry), and a terminal "complete". The `health`
+// verb reports uptime, queue depth, in-flight tasks, shed/retry/child-kill
+// counters, and journal lag.
 //
 // stop() is the SIGTERM drain: stop accepting, refuse new submissions,
 // finish every queued and running task, publish the final CSV export, then
@@ -54,6 +71,18 @@ struct ServerOptions {
   double watchdog_s = 0.0;
   double job_timeout_s = 0.0;
   unsigned retries = 0;
+  /// Run each simulation in a forked sandbox child (serve/sandbox.hpp) so a
+  /// crashing/OOMing/wedged run never takes the daemon down. false = the
+  /// original in-process supervised path.
+  bool sandbox = true;
+  /// RLIMIT_AS for sandbox children, in bytes (0 = unlimited).
+  std::uint64_t mem_limit_bytes = 0;
+  /// Admission control: total queued tasks a submission may not push past
+  /// (0 = unbounded). Overflowing submissions are shed with "overloaded".
+  std::size_t max_queue = 1024;
+  /// Per-connection read deadline in seconds: a client that connects and
+  /// sends nothing (or stalls mid-frame) is dropped (0 = no deadline).
+  double read_deadline_s = 30.0;
   /// Sink for "[serve] ..." progress lines. Null = silent.
   std::function<void(const std::string&)> log;
 };
@@ -72,6 +101,19 @@ struct ServerStats {
   std::size_t queued = 0;     ///< tasks waiting for a worker
   std::size_t store_rows = 0; ///< live rows in the result store
   unsigned workers = 0;
+  // --- robustness counters (health verb) ---
+  std::uint64_t shed = 0;              ///< submissions refused by admission control
+  std::uint64_t read_deadline_drops = 0;  ///< silent/stalled connections dropped
+  std::uint64_t child_kills = 0;       ///< sandbox SIGKILLs (watchdog/timeout/cancel)
+  std::uint64_t child_crashes = 0;     ///< sandbox attempts that crashed or OOMed
+  std::uint64_t task_retries = 0;      ///< extra sandbox attempts performed
+  std::uint64_t replayed = 0;          ///< submissions replayed from the journal
+  std::uint64_t journal_pending = 0;   ///< acknowledged, not yet retired
+  std::uint64_t journal_records = 0;   ///< journal appends since open
+  std::size_t inflight = 0;            ///< unique configs queued or running
+  std::size_t connections = 0;         ///< live connection handler threads
+  double uptime_s = 0.0;
+  bool sandbox = false;
 };
 
 class SweepServer {

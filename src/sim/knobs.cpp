@@ -21,7 +21,7 @@ constexpr unsigned kRunMatrixSubmit = kKnobRun | kKnobMatrix | kKnobSubmit;
 constexpr unsigned kRunMatrixRecordSubmit = kRunMatrixRecord | kKnobSubmit;
 // Every verb that talks to a running sweep service.
 constexpr unsigned kClientVerbs =
-    kKnobSubmit | kKnobStatus | kKnobWatch | kKnobCancel | kKnobResult;
+    kKnobSubmit | kKnobStatus | kKnobWatch | kKnobCancel | kKnobResult | kKnobHealth;
 
 const char* type_name(Type t) {
   switch (t) {
@@ -46,6 +46,7 @@ const char* command_name(KnobCommand c) {
     case kKnobWatch: return "watch";
     case kKnobCancel: return "cancel";
     case kKnobResult: return "result";
+    case kKnobHealth: return "health";
   }
   return "?";
 }
@@ -79,6 +80,20 @@ const std::vector<KnobSpec>& knob_registry() {
       {"keep_going", Type::kBool, "0",
        "quarantine failing jobs and report a manifest instead of failing fast",
        kKnobMatrix},
+      {"sandbox", Type::kBool, "1",
+       "run each simulation in a forked child so a crash/OOM/wedge never takes "
+       "the daemon down (0 = in-process)",
+       kKnobServe},
+      {"mem_limit", Type::kInt, "0",
+       "address-space limit per sandbox child, in MiB (0 = unlimited)", kKnobServe},
+      {"max_queue", Type::kInt, "1024",
+       "admission control: shed submissions that would push the task queue past "
+       "this depth (0 = unbounded)",
+       kKnobServe},
+      {"read_deadline", Type::kDouble, "30",
+       "drop a connection that sends no complete request within this many "
+       "seconds (0 = no deadline)",
+       kKnobServe},
       {"store", Type::kString, "fig8_cache.store",
        "result store path (WAL log; sidecars <store>.lock / <store>.quarantine)",
        kKnobStore},
@@ -193,12 +208,12 @@ bool knob_bool(const Config& cfg, KnobCommand command, const std::string& name) 
 std::string knob_usage() {
   std::ostringstream os;
   os << "usage: sttgpu <list|run|matrix|record|replay|store|serve|submit|status|"
-        "watch|cancel|result|help> [key=value ...]\n"
+        "watch|cancel|result|health|help> [key=value ...]\n"
         "       sttgpu store <fsck|compact|stats> [store=<path>]\n"
         "       sttgpu serve socket=<path> [port=<tcp>] [cache=<csv>] [jobs=N]\n";
   for (const KnobCommand cmd :
        {kKnobRun, kKnobMatrix, kKnobRecord, kKnobReplay, kKnobStore, kKnobServe,
-        kKnobSubmit, kKnobStatus, kKnobWatch, kKnobCancel, kKnobResult}) {
+        kKnobSubmit, kKnobStatus, kKnobWatch, kKnobCancel, kKnobResult, kKnobHealth}) {
     os << "  " << command_name(cmd) << ":\n";
     for (const KnobSpec& k : knob_registry()) {
       if ((k.commands & cmd) == 0) continue;

@@ -42,6 +42,7 @@ enum KnobCommand : unsigned {
   kKnobWatch = 1u << 8,
   kKnobCancel = 1u << 9,
   kKnobResult = 1u << 10,
+  kKnobHealth = 1u << 11,
 };
 
 struct KnobSpec {

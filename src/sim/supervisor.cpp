@@ -91,23 +91,12 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
-/// Exponential backoff with deterministic jitter: base * 2^attempt (capped),
-/// stretched by up to +50% keyed on (label, attempt) so retrying jobs of a
-/// fleet spread out identically on every rerun.
-double backoff_seconds(const SupervisorOptions& opts, const std::string& label,
-                       unsigned attempt) {
-  double delay = opts.retry_backoff_s * std::pow(2.0, static_cast<double>(attempt));
-  delay = std::min(delay, 30.0);
-  const std::uint64_t h =
-      fnv1a(label) ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt + 1));
-  return delay * (1.0 + 0.5 * static_cast<double>(h % 1024) / 1024.0);
-}
-
 /// Interruptible sleep: returns early (false) if the external token fires.
 bool backoff_sleep(const SupervisorOptions& opts, const std::string& label,
                    unsigned attempt) {
   const std::int64_t deadline =
-      now_ms() + static_cast<std::int64_t>(backoff_seconds(opts, label, attempt) * 1000.0);
+      now_ms() + static_cast<std::int64_t>(
+                     retry_backoff_seconds(opts.retry_backoff_s, label, attempt) * 1000.0);
   while (now_ms() < deadline) {
     if (opts.external != nullptr && opts.external->requested()) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -127,6 +116,14 @@ struct Slot {
 };
 
 }  // namespace
+
+double retry_backoff_seconds(double base_s, const std::string& label, unsigned attempt) {
+  double delay = base_s * std::pow(2.0, static_cast<double>(attempt));
+  delay = std::min(delay, 30.0);
+  const std::uint64_t h =
+      fnv1a(label) ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(attempt + 1));
+  return delay * (1.0 + 0.5 * static_cast<double>(h % 1024) / 1024.0);
+}
 
 SupervisedResult run_supervised(std::vector<Job> jobs, unsigned n_threads,
                                 const SupervisorOptions& opts) {

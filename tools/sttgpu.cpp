@@ -30,12 +30,21 @@
 //
 //   sttgpu serve [socket=sttgpu.sock] [port=<tcp>] [cache=fig8_cache.csv]
 //               [jobs=N] [watchdog=<s>] [job_timeout=<s>] [retry=<n>]
+//               [sandbox=1] [mem_limit=<MiB>] [max_queue=N] [read_deadline=<s>]
 //       Run the sweep-service daemon: submissions from the client verbs
 //       below are deduplicated against the result store and against each
 //       other before anything simulates, misses run on a supervised worker
 //       pool, and the CSV export is kept byte-identical to a direct matrix
-//       run. SIGINT/SIGTERM drains gracefully (in-flight work finishes and
-//       is persisted) and exits 0.
+//       run. With sandbox=1 (default) each simulation runs in a forked child
+//       — a crash, OOM (against mem_limit=) or wedge is reaped and retried/
+//       reported without taking the daemon down. Submissions that would push
+//       the queue past max_queue= are shed with a structured "overloaded"
+//       error carrying a retry_after_ms hint; connections that send no
+//       request within read_deadline= seconds are dropped. Acknowledged
+//       submissions are journaled next to the store ("<cache>.journal") and
+//       replayed after a crash — even SIGKILL loses no accepted work.
+//       SIGINT/SIGTERM drains gracefully (in-flight work finishes and is
+//       persisted) and exits 0.
 //
 //   sttgpu submit [socket=...] [archs=C1,C2] [benchmarks=bfs] [scale=0.5]
 //                 [wait=1] [json=out.json] [<run knobs>...]
@@ -43,11 +52,14 @@
 //   sttgpu watch  [socket=...] id=N
 //   sttgpu cancel [socket=...] id=N
 //   sttgpu result [socket=...] [id=N | arch=C1 benchmark=bfs scale=0.5]
+//   sttgpu health [socket=...]
 //       Clients of a running `sttgpu serve`. submit sends a matrix slice
-//       (wait=1 blocks, streams progress, and prints the result table);
-//       watch streams a submission's NDJSON events; result fetches stored
-//       rows — by-key output is byte-identical to the metrics block of the
-//       equivalent direct `sttgpu run`.
+//       (wait=1 blocks, streams progress, and prints the result table) and
+//       retries with jittered backoff when the server sheds it as
+//       overloaded; watch streams a submission's NDJSON events; result
+//       fetches stored rows — by-key output is byte-identical to the metrics
+//       block of the equivalent direct `sttgpu run`; health prints uptime,
+//       queue depth, and the shed/retry/child-kill/journal counters.
 //
 // Exit codes (common/exit_codes.hpp):
 //   0  success
@@ -59,6 +71,8 @@
 //   5  store fsck: quarantined data awaiting acknowledgement
 //   6  serve: cannot bind/listen on the requested socket or port
 //   7  client/server protocol version mismatch
+//   8  submission shed by admission control (retries exhausted)
+//   9  serve: the submission journal is unusable
 //
 //   sttgpu record arch=sram benchmark=bfs trace=bfs.trace [scale=0.5]
 //       Run once and capture the L2 demand stream to a CSV trace.
@@ -83,6 +97,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <thread>
 
@@ -95,6 +110,7 @@
 #include "common/table.hpp"
 #include "common/telemetry.hpp"
 #include "serve/client.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "sim/executor.hpp"
@@ -429,6 +445,15 @@ int cmd_serve(const Config& cfg) {
   const std::int64_t retries = sim::knob_int(cfg, kCmd, "retry");
   STTGPU_REQUIRE(retries >= 0, "retry= must be >= 0");
   so.retries = static_cast<unsigned>(retries);
+  so.sandbox = sim::knob_bool(cfg, kCmd, "sandbox");
+  const std::int64_t mem_limit = sim::knob_int(cfg, kCmd, "mem_limit");
+  STTGPU_REQUIRE(mem_limit >= 0, "mem_limit= must be >= 0 MiB");
+  so.mem_limit_bytes = static_cast<std::uint64_t>(mem_limit) << 20;
+  const std::int64_t max_queue = sim::knob_int(cfg, kCmd, "max_queue");
+  STTGPU_REQUIRE(max_queue >= 0, "max_queue= must be >= 0");
+  so.max_queue = static_cast<std::size_t>(max_queue);
+  so.read_deadline_s = sim::knob_double(cfg, kCmd, "read_deadline");
+  STTGPU_REQUIRE(so.read_deadline_s >= 0.0, "read_deadline= must be >= 0 seconds");
   so.log = [](const std::string& line) { sim::log_line(line); };
 
   serve::SweepServer server(std::move(so));
@@ -519,11 +544,33 @@ JsonValue follow(const Config& cfg, sim::KnobCommand cmd, std::int64_t id) {
   });
 }
 
+/// Sends the submit request, honoring the server's admission control: an
+/// "overloaded" refusal is retried with the server's retry_after_ms hint
+/// plus client-side jitter (so a herd of shed clients doesn't re-arrive in
+/// lockstep). Throws the final Overloaded when the retry budget runs out.
+JsonValue submit_with_backoff(const Config& cfg, sim::KnobCommand cmd) {
+  constexpr int kMaxOverloadRetries = 8;
+  std::mt19937 rng{std::random_device{}()};
+  std::uniform_real_distribution<double> jitter(0.0, 0.5);
+  for (int attempt = 0;; ++attempt) {
+    serve::Client client = client_connect(cfg, cmd);
+    try {
+      return client.request(client_request("submit", cfg));
+    } catch (const serve::Overloaded& e) {
+      if (attempt >= kMaxOverloadRetries) throw;
+      const double ms = static_cast<double>(e.retry_after_ms()) * (1.0 + jitter(rng));
+      std::cerr << "server overloaded; retrying in " << static_cast<std::int64_t>(ms)
+                << "ms (attempt " << attempt + 1 << "/" << kMaxOverloadRetries << ")\n";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<std::int64_t>(ms)));
+    }
+  }
+}
+
 int cmd_submit(const Config& cfg) {
   constexpr auto kCmd = sim::kKnobSubmit;
   sim::validate_knobs(cfg, kCmd, "submit");
-  serve::Client client = client_connect(cfg, kCmd);
-  const JsonValue response = client.request(client_request("submit", cfg));
+  const JsonValue response = submit_with_backoff(cfg, kCmd);
   const std::int64_t id = response.at("id").as_int();
   std::cout << "submitted " << id << ": " << response.at("total").as_int()
             << " configs, " << response.at("hits").as_int() << " store hits, "
@@ -637,6 +684,38 @@ int cmd_result(const Config& cfg) {
   return kExitOk;
 }
 
+int cmd_health(const Config& cfg) {
+  constexpr auto kCmd = sim::kKnobHealth;
+  sim::validate_knobs(cfg, kCmd, "health");
+  serve::Client client = client_connect(cfg, kCmd);
+  Config empty;
+  const JsonValue response = client.request(client_request("health", empty));
+  const JsonValue& h = response.at("health");
+  std::ostringstream up;
+  up.setf(std::ios::fixed);
+  up.precision(1);
+  up << h.at("uptime_s").as_double();
+  std::cout << "server: up " << up.str() << "s, " << h.at("workers").as_int()
+            << " worker" << (h.at("workers").as_int() == 1 ? "" : "s") << ", sandbox "
+            << (h.at("sandbox").as_bool() ? "on" : "off") << "\n"
+            << "  queue        " << h.at("queued").as_int() << " waiting, "
+            << h.at("inflight").as_int() << " in flight ("
+            << h.at("connections").as_int() << " connection"
+            << (h.at("connections").as_int() == 1 ? "" : "s") << ")\n"
+            << "  journal      " << h.at("journal_pending").as_int() << " pending of "
+            << h.at("journal_records").as_int() << " recorded ("
+            << h.at("replayed").as_int() << " replayed at startup)\n"
+            << "  admission    " << h.at("shed").as_int() << " shed, "
+            << h.at("read_deadline_drops").as_int() << " silent-client drops\n"
+            << "  children     " << h.at("child_kills").as_int() << " kills, "
+            << h.at("child_crashes").as_int() << " crashes, "
+            << h.at("task_retries").as_int() << " retries\n"
+            << "  tasks        " << h.at("tasks_simulated").as_int() << " simulated, "
+            << h.at("tasks_failed").as_int() << " failed, "
+            << h.at("submissions").as_int() << " submissions\n";
+  return kExitOk;
+}
+
 int usage() {
   std::cerr << sim::knob_usage();
   return kExitUsage;
@@ -672,10 +751,17 @@ int main(int argc, char** argv) {
     if (command == "watch") return cmd_watch(cfg);
     if (command == "cancel") return cmd_cancel(cfg);
     if (command == "result") return cmd_result(cfg);
+    if (command == "health") return cmd_health(cfg);
     return usage();
   } catch (const serve::BindError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitBind;
+  } catch (const serve::Overloaded& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitOverloaded;
+  } catch (const serve::JournalError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitJournal;
   } catch (const serve::ProtocolMismatch& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitProtocol;
